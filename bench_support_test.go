@@ -1,0 +1,20 @@
+package webmeasure
+
+import "webmeasure/internal/measurement"
+
+// fig6Visit constructs a visit whose tree has exactly the given
+// (child, parent) edges, expressed through synthetic call stacks.
+func fig6Visit(profile, rootURL string, edges [][2]string) *measurement.Visit {
+	v := &measurement.Visit{
+		Site: "fig6.example", PageURL: rootURL, Profile: profile, Success: true,
+		Requests: []measurement.Request{{URL: rootURL, Type: measurement.TypeMainFrame}},
+	}
+	for _, e := range edges {
+		req := measurement.Request{URL: e[0], Type: measurement.TypeScript}
+		if e[1] != rootURL {
+			req.CallStack = []measurement.StackFrame{{FuncName: "f", URL: e[1]}}
+		}
+		v.Requests = append(v.Requests, req)
+	}
+	return v
+}

@@ -1,0 +1,64 @@
+// Command analyze loads a dataset written by cmd/crawl and regenerates the
+// paper's tables and figures from it. The -sites/-pages/-seed flags must
+// match the crawl so the universe (filter list, rank sample) is rebuilt
+// identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webmeasure"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "dataset.jsonl", "input JSONL dataset")
+		sites   = flag.Int("sites", 100, "sites used for the crawl")
+		pages   = flag.Int("pages", 10, "pages per site used for the crawl")
+		seed    = flag.Int64("seed", 1, "seed used for the crawl")
+		csvDir  = flag.String("csv", "", "also export tables/figures as CSV files into this directory")
+		jsonOut = flag.String("json", "", "also export all results as one JSON bundle to this file")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	res, err := webmeasure.LoadAndAnalyze(f, webmeasure.Config{
+		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	res.WriteReport(os.Stdout)
+	if *jsonOut != "" {
+		jf, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(jf); err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: json export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := jf.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "JSON bundle written to %s\n", *jsonOut)
+	}
+	if *csvDir != "" {
+		if err := res.WriteCSVFiles(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "CSV files written to %s\n", *csvDir)
+	}
+}

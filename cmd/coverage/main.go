@@ -1,0 +1,80 @@
+// Command coverage renders the repeated-measurement accumulation curve for
+// one page: how much of the page's behaviour k measurements capture, and
+// how many measurements a chosen coverage target needs (takeaway 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webmeasure/internal/browser"
+	"webmeasure/internal/coverage"
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "master seed")
+		rank    = flag.Int("rank", 1, "site rank to measure")
+		page    = flag.Int("page", 0, "page index (0 = landing page)")
+		visits  = flag.Int("visits", 10, "number of repeated measurements")
+		profile = flag.String("profile", "Sim1", "profile name, or 'all' for the multi-profile strategy")
+		target  = flag.Float64("target", 0.95, "coverage target to report")
+	)
+	flag.Parse()
+
+	u := webgen.New(webgen.DefaultConfig(*seed))
+	list := tranco.Generate(*rank+10, *seed)
+	entry, ok := list.At(*rank)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "coverage: rank %d out of range\n", *rank)
+		os.Exit(1)
+	}
+	site := u.GenerateSite(entry)
+	if site.Unreachable {
+		fmt.Fprintf(os.Stderr, "coverage: site %s is unreachable\n", site.Domain)
+		os.Exit(1)
+	}
+	pages := site.AllPages()
+	if *page < 0 || *page >= len(pages) {
+		fmt.Fprintf(os.Stderr, "coverage: site has %d pages\n", len(pages))
+		os.Exit(1)
+	}
+	measured := pages[*page]
+	filter, _ := filterlist.Parse(u.FilterListText())
+	runner := &coverage.Runner{Filter: filter, Seed: *seed}
+
+	var curve coverage.Curve
+	var err error
+	if *profile == "all" {
+		curve, err = runner.AccumulateAcrossProfiles(measured, browser.DefaultProfiles(), *visits)
+	} else {
+		prof, ok := browser.ProfileByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coverage: unknown profile %q\n", *profile)
+			os.Exit(1)
+		}
+		curve, err = runner.Accumulate(measured, prof, *visits)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverage: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("page %s, %d measurements (%s)\n\n", measured.URL, *visits, *profile)
+	fmt.Printf("%-6s %-10s %-10s %-9s\n", "visit", "nodes", "distinct", "coverage")
+	for k := 1; k <= curve.Measurements(); k++ {
+		fmt.Printf("%-6d %-10d %-10d %6.1f%%\n",
+			k, curve.PerVisit[k-1], curve.Distinct[k-1], curve.CoverageAt(k)*100)
+	}
+	fmt.Println()
+	if k := curve.MeasurementsFor(*target); k > 0 {
+		fmt.Printf("%.0f%% coverage reached after %d measurement(s)\n", *target*100, k)
+	} else {
+		fmt.Printf("%.0f%% coverage not reached within %d measurements\n", *target*100, *visits)
+	}
+	fmt.Printf("failed visits retried along the way: %d\n", curve.Failures)
+}

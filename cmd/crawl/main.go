@@ -1,0 +1,66 @@
+// Command crawl runs only the measurement (no analysis) and writes the raw
+// visit records as JSON Lines — the commander/clients half of the paper's
+// framework (Appendix C). Feed the output to cmd/analyze with the same
+// -sites/-pages/-seed flags.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"webmeasure"
+)
+
+func main() {
+	var (
+		sites  = flag.Int("sites", 100, "number of sites to sample")
+		pages  = flag.Int("pages", 10, "max subpages per site")
+		seed   = flag.Int64("seed", 1, "master seed")
+		out    = flag.String("o", "dataset.jsonl", "output path for the JSONL dataset")
+		resume = flag.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
+	)
+	flag.Parse()
+
+	cfg := webmeasure.Config{
+		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
+		Progress: func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "crawled %d/%d sites\n", done, total)
+			}
+		},
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.ResumeJSONL = f
+	}
+	res, err := webmeasure.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
+		os.Exit(1)
+	}
+	if err := res.WriteDataset(f); err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: write: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: close: %v\n", err)
+		os.Exit(1)
+	}
+	st := res.CrawlStats()
+	fmt.Fprintf(os.Stderr, "done: %d sites, %d pages discovered, %d visits (%d failed, %d reused) → %s\n",
+		st.SitesVisited, st.PagesDiscovered, st.VisitsTotal, st.VisitsFailed, st.VisitsReused, *out)
+	fmt.Fprintf(os.Stderr, "analyze with: analyze -i %s -sites %d -pages %d -seed %d\n",
+		*out, *sites, *pages, *seed)
+}

@@ -1,0 +1,56 @@
+// Command universe inspects the synthetic web a seed generates: the
+// third-party ecosystem, the entity map, the generated filter lists, and
+// the statistical profile of the sites an experiment would crawl — the
+// calibration dashboard behind DESIGN.md §5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "master seed")
+		sites    = flag.Int("sites", 50, "sites to profile")
+		services = flag.Bool("services", false, "list every third-party service and its organization")
+		lists    = flag.Bool("lists", false, "print the generated filter lists")
+	)
+	flag.Parse()
+
+	u := webgen.New(webgen.DefaultConfig(*seed))
+
+	if *lists {
+		fmt.Println("----- EasyList-style (primary) -----")
+		fmt.Print(u.FilterListText())
+		fmt.Println("----- EasyPrivacy-style (secondary) -----")
+		fmt.Print(u.PrivacyListText())
+		return
+	}
+
+	if *services {
+		fmt.Printf("%-32s %-12s %-10s %s\n", "DOMAIN", "KIND", "TRACKING", "ORGANIZATION")
+		for _, s := range u.AllServices() {
+			fmt.Printf("%-32s %-12s %-10v %s\n", s.Domain, s.Kind, s.Tracking, u.OrganizationOf(s.Domain))
+		}
+		orgs := u.Organizations()
+		multi := 0
+		for _, o := range orgs {
+			if len(o.Domains) > 1 {
+				multi++
+			}
+		}
+		fmt.Printf("\n%d services, %d organizations (%d conglomerates)\n",
+			len(u.AllServices()), len(orgs), multi)
+		return
+	}
+
+	list := tranco.Generate(*sites*2, *seed)
+	entries := list.Entries()[:*sites]
+	profile := u.Describe(entries)
+	profile.Write(os.Stdout)
+}

@@ -1,0 +1,100 @@
+// Coverage study: the paper's fourth takeaway in practice — how many
+// measurements does one page need before a study has seen (nearly) all of
+// its behaviour? Renders node-accumulation curves for repeated single-
+// profile measurements and for the multi-profile strategy §4.3 recommends,
+// and reports the experiment-level stability metric (§8 takeaway 1).
+//
+//	go run ./examples/coveragestudy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"webmeasure"
+	"webmeasure/internal/browser"
+	"webmeasure/internal/coverage"
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+func main() {
+	const seed = 31
+
+	// Part 1: accumulation curves on a handful of pages.
+	u := webgen.New(webgen.DefaultConfig(seed))
+	filter, _ := filterlist.Parse(u.FilterListText())
+	runner := &coverage.Runner{Filter: filter, Seed: seed}
+	sim1, _ := browser.ProfileByName("Sim1")
+
+	fmt.Println("Node-accumulation: repeated measurements of the same page")
+	fmt.Println("----------------------------------------------------------")
+	list := tranco.Generate(40, seed)
+	const visits = 10
+	pagesDone := 0
+	var needFor95 []int
+	for rank := 1; rank <= 40 && pagesDone < 5; rank++ {
+		entry, _ := list.At(rank)
+		site := u.GenerateSite(entry)
+		if site.Unreachable {
+			continue
+		}
+		page := site.Landing
+		curve, err := runner.Accumulate(page, sim1, visits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pagesDone++
+		fmt.Printf("\n%s\n", page.URL)
+		fmt.Printf("  distinct nodes after k visits: ")
+		for _, d := range curve.Distinct {
+			fmt.Printf("%d ", d)
+		}
+		fmt.Println()
+		fmt.Printf("  first visit captured %.0f%% of what %d visits found\n",
+			curve.CoverageAt(1)*100, visits)
+		if k := curve.MeasurementsFor(0.95); k > 0 {
+			needFor95 = append(needFor95, k)
+			fmt.Printf("  95%% coverage reached after %d visit(s)\n", k)
+		}
+
+		multi, err := runner.AccumulateAcrossProfiles(page, browser.DefaultProfiles(), visits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  multi-profile strategy: %d distinct nodes (single profile: %d)\n",
+			multi.Total(), curve.Total())
+	}
+	if len(needFor95) > 0 {
+		sum := 0
+		for _, k := range needFor95 {
+			sum += k
+		}
+		fmt.Printf("\non average %.1f measurements reach 95%% coverage of a page\n",
+			float64(sum)/float64(len(needFor95)))
+	}
+
+	// Part 2: the experiment-level stability metric.
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 58))
+	fmt.Println("Experiment-level stability metric (§8 takeaway 1)")
+	res, err := webmeasure.Run(context.Background(), webmeasure.Config{
+		Seed: seed, Sites: 40, PagesPerSite: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Analysis().Stability()
+	fmt.Printf("mean page stability: %.2f (SD %.2f) — %d high / %d medium / %d low pages\n",
+		rep.PageStability.Mean, rep.PageStability.SD, rep.HighPages, rep.MediumPages, rep.LowPages)
+	fmt.Printf("expected new-node mass from one more measurement: %.1f%%\n", rep.ExpectedDiscovery*100)
+	fmt.Printf("measurements needed to push unseen mass below 1%%: %d\n", rep.RequiredMeasurements(0.01))
+	fmt.Println("\nstability by node population (most → least stable):")
+	for _, c := range rep.ByCategory {
+		fmt.Printf("  %-22s presence %.2f  child sim %.2f  (%d nodes)\n",
+			c.Category, c.MeanPresence, c.ChildSim, c.Nodes)
+	}
+}

@@ -1,0 +1,65 @@
+// Profile comparison: reproduce §4.4 — what does each setup knob do to the
+// measurement? Compares every profile against the reference (Sim1), the
+// identical-configuration pair (Sim1 vs Sim2), and runs the paper's
+// Mann-Whitney U test on the interaction effect.
+//
+//	go run ./examples/profilecomparison
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"webmeasure"
+)
+
+func main() {
+	res, err := webmeasure.Run(context.Background(), webmeasure.Config{
+		Seed:         4,
+		Sites:        60,
+		PagesPerSite: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Analysis()
+
+	fmt.Println("Assessing setup implications (§4.4)")
+	fmt.Println("------------------------------------")
+	fmt.Println("tree totals per profile (Table 5):")
+	for _, r := range a.ProfileTotals() {
+		fmt.Printf("  %-9s nodes=%6d  third-party=%6d  tracker=%6d  depth=%d  breadth=%d\n",
+			r.Profile, r.Nodes, r.ThirdParty, r.Tracker, r.MaxDepth, r.MaxBreadth)
+	}
+
+	fmt.Println()
+	fmt.Println("each profile vs the reference Sim1 (Table 6):")
+	for _, r := range a.ProfilePairTable("Sim1") {
+		fmt.Printf("  %-9s FP children perfect %.0f%%  TP children perfect %.0f%%  "+
+			"mean parent sim %.2f  mean child sim %.2f\n",
+			r.Other, r.FPChildrenPerfect*100, r.TPChildrenPerfect*100,
+			r.MeanParentSim, r.MeanChildSim)
+	}
+
+	sc := a.CompareSameConfig("Sim1", "Sim2")
+	fmt.Println()
+	fmt.Printf("identical configuration, run in parallel (Sim1 vs Sim2, %d pages):\n", sc.Pages)
+	fmt.Printf("  upper levels (≤5): %.2f   deeper levels: %.2f\n", sc.UpperSim, sc.DeepSim)
+	fmt.Println("  → even the same setup does not reproduce itself.")
+
+	tests := a.RunTests("Sim1", "NoAction")
+	fmt.Println()
+	if tests.InteractionDepthErr == nil {
+		verdict := "no significant effect"
+		if tests.InteractionDepth.Significant() {
+			verdict = "significant: interaction pushes nodes deeper"
+		}
+		fmt.Printf("Mann-Whitney U (node depth, Sim1 vs NoAction): U=%.0f p=%.3g → %s\n",
+			tests.InteractionDepth.Statistic, tests.InteractionDepth.P, verdict)
+	}
+	if tests.TypeEffectErr == nil {
+		fmt.Printf("Kruskal-Wallis (resource type vs similarity):  H=%.1f p=%.3g → significant=%v\n",
+			tests.TypeEffect.Statistic, tests.TypeEffect.P, tests.TypeEffect.Significant())
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: run a small end-to-end experiment and print the headline
+// findings — how similar are web measurements across the five setups?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"webmeasure"
+)
+
+func main() {
+	res, err := webmeasure.Run(context.Background(), webmeasure.Config{
+		Seed:         2023,
+		Sites:        50,
+		PagesPerSite: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Summary()
+	fmt.Println("Quickstart: similarity of web measurements under different setups")
+	fmt.Println("------------------------------------------------------------------")
+	fmt.Printf("crawled %d sites / %d pages with 5 profiles (%d visits)\n", s.Sites, s.Pages, s.Visits)
+	fmt.Printf("pages comparable across all profiles: %d (%.0f%%)\n", s.VettedPages, s.VettedShare*100)
+	fmt.Println()
+	fmt.Printf("a dependency tree has %.0f nodes on average (depth %.1f)\n", s.MeanNodesPerTree, s.MeanTreeDepth)
+	fmt.Printf("a node appears in %.1f of 5 profiles on average\n", s.MeanNodePresence)
+	fmt.Printf("  … in all five: %.0f%%    … in only one: %.0f%%\n",
+		s.ShareInAllProfiles*100, s.ShareInOneProfile*100)
+	fmt.Println()
+	fmt.Printf("first-party content is stable  (depth similarity %.2f)\n", s.FirstPartyDepthSimilarity)
+	fmt.Printf("third-party content is not     (depth similarity %.2f)\n", s.ThirdPartyDepthSimilarity)
+	fmt.Printf("%.0f%% of nodes are tracking requests; %.0f%% of all nodes are unique to one tree\n",
+		s.TrackingShare*100, s.UniqueNodeShare*100)
+	fmt.Println()
+	fmt.Println("run `go run ./cmd/webmeasure` for the full set of tables and figures.")
+}

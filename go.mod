@@ -1,0 +1,3 @@
+module webmeasure
+
+go 1.22

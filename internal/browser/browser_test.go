@@ -1,0 +1,360 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+func testPage(t *testing.T) *webgen.Page {
+	t.Helper()
+	u := webgen.New(webgen.DefaultConfig(42))
+	s := u.GenerateSite(tranco.Entry{Rank: 1, Site: "render-site.example"})
+	return s.Landing
+}
+
+func profileNamed(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("profile %q missing", name)
+	}
+	return p
+}
+
+// visitOK renders with retries over nonces so the injected browser failure
+// probability cannot flake the test.
+func visitOK(t *testing.T, b *Browser, page *webgen.Page, nonce uint64) *measurement.Visit {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		if v := b.Visit(page, nonce+uint64(i)*1000); v.Success {
+			return v
+		}
+	}
+	t.Fatal("no successful visit in 20 attempts")
+	return nil
+}
+
+func TestDefaultProfilesMatchTable1(t *testing.T) {
+	ps := DefaultProfiles()
+	if len(ps) != 5 {
+		t.Fatalf("got %d profiles, want 5", len(ps))
+	}
+	type row struct {
+		name    string
+		version string
+		ui, gui bool
+	}
+	want := []row{
+		{"Old", "86.0.1", true, true},
+		{"Sim1", "95.0", true, true},
+		{"Sim2", "95.0", true, true},
+		{"NoAction", "95.0", false, true},
+		{"Headless", "95.0", true, false},
+	}
+	for i, w := range want {
+		p := ps[i]
+		if p.Name != w.name || p.VersionString != w.version || p.UserInteraction != w.ui || p.GUI != w.gui || p.Country != "DE" {
+			t.Errorf("profile %d = %+v, want %+v", i, p, w)
+		}
+	}
+	// Sim1 and Sim2 are configured identically apart from the name.
+	s1, s2 := ps[1], ps[2]
+	s2.Name = s1.Name
+	if s1 != s2 {
+		t.Error("Sim1 and Sim2 must share the configuration")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestVisitDeterministic(t *testing.T) {
+	page := testPage(t)
+	b := New(profileNamed(t, "Sim1"))
+	a := b.Visit(page, 7)
+	c := b.Visit(page, 7)
+	if a.Success != c.Success || len(a.Requests) != len(c.Requests) {
+		t.Fatalf("visits differ: %d vs %d requests", len(a.Requests), len(c.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i].URL != c.Requests[i].URL {
+			t.Fatalf("request %d differs: %q vs %q", i, a.Requests[i].URL, c.Requests[i].URL)
+		}
+	}
+}
+
+func TestVisitNonceChangesTraffic(t *testing.T) {
+	page := testPage(t)
+	b := New(profileNamed(t, "Sim1"))
+	a := visitOK(t, b, page, 1)
+	c := visitOK(t, b, page, 50_000)
+	urlsA := map[string]bool{}
+	for _, r := range a.Requests {
+		urlsA[r.URL] = true
+	}
+	diff := 0
+	for _, r := range c.Requests {
+		if !urlsA[r.URL] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different nonces should observe some different URLs")
+	}
+}
+
+func TestVisitShape(t *testing.T) {
+	page := testPage(t)
+	v := visitOK(t, New(profileNamed(t, "Sim1")), page, 3)
+	if len(v.Requests) < 20 {
+		t.Fatalf("only %d requests", len(v.Requests))
+	}
+	if v.Requests[0].URL != page.URL || v.Requests[0].Type != measurement.TypeMainFrame {
+		t.Errorf("first request must be the main document: %+v", v.Requests[0])
+	}
+	var frames, stacks, redirects int
+	for _, r := range v.Requests {
+		if r.FrameID != measurement.TopFrameID {
+			frames++
+		}
+		if len(r.CallStack) > 0 {
+			stacks++
+		}
+		if r.RedirectFrom != "" {
+			redirects++
+		}
+		if r.TimeOffsetMS < 0 || r.TimeOffsetMS > DefaultTimeoutMS {
+			t.Errorf("offset out of range: %d", r.TimeOffsetMS)
+		}
+	}
+	if stacks == 0 {
+		t.Error("no call-stack-attributed requests observed")
+	}
+	if v.DurationMS <= 0 || v.DurationMS > DefaultTimeoutMS {
+		t.Errorf("duration = %d", v.DurationMS)
+	}
+	if len(v.Cookies) == 0 {
+		t.Error("no cookies observed")
+	}
+	// Frames and redirects exist on typical landing pages; tolerate their
+	// absence only if the page genuinely embeds none.
+	t.Logf("requests=%d frames=%d stacks=%d redirects=%d cookies=%d",
+		len(v.Requests), frames, stacks, redirects, len(v.Cookies))
+}
+
+func TestNoActionSeesFewerRequests(t *testing.T) {
+	page := testPage(t)
+	sim := visitOK(t, New(profileNamed(t, "Sim1")), page, 11)
+	noa := visitOK(t, New(profileNamed(t, "NoAction")), page, 11)
+	if len(noa.Requests) >= len(sim.Requests) {
+		t.Errorf("NoAction (%d) should see fewer requests than Sim1 (%d)",
+			len(noa.Requests), len(sim.Requests))
+	}
+}
+
+func TestVersionGating(t *testing.T) {
+	// Build enough pages that version-gated resources certainly occur.
+	u := webgen.New(webgen.DefaultConfig(42))
+	old := New(profileNamed(t, "Old"))
+	sim := New(profileNamed(t, "Sim1"))
+	var oldModern, simModern, oldLegacy, simLegacy int
+	for i := 0; i < 10; i++ {
+		s := u.GenerateSite(tranco.Entry{Rank: i + 1, Site: strings.Repeat("v", i%3+1) + "-gate.example"})
+		for _, page := range s.AllPages()[:3] {
+			vo := old.Visit(page, 5)
+			vs := sim.Visit(page, 5)
+			for _, r := range vo.Requests {
+				if strings.Contains(r.URL, "/v2/") || strings.Contains(r.URL, ".mjs") {
+					oldModern++
+				}
+				if strings.Contains(r.URL, "legacy") {
+					oldLegacy++
+				}
+			}
+			for _, r := range vs.Requests {
+				if strings.Contains(r.URL, "/v2/") || strings.Contains(r.URL, ".mjs") {
+					simModern++
+				}
+				if strings.Contains(r.URL, "legacy") {
+					simLegacy++
+				}
+			}
+		}
+	}
+	if oldModern != 0 {
+		t.Errorf("old browser loaded %d modern modules", oldModern)
+	}
+	if simLegacy != 0 {
+		t.Errorf("new browser loaded %d legacy modules", simLegacy)
+	}
+	if simModern == 0 || oldLegacy == 0 {
+		t.Errorf("gating never exercised: simModern=%d oldLegacy=%d", simModern, oldLegacy)
+	}
+}
+
+func TestHeadlessSkipsGUIOnly(t *testing.T) {
+	u := webgen.New(webgen.DefaultConfig(42))
+	head := New(profileNamed(t, "Headless"))
+	sim := New(profileNamed(t, "Sim1"))
+	var headEnv, simEnv int
+	for i := 0; i < 60; i++ {
+		s := u.GenerateSite(tranco.Entry{Rank: i + 1, Site: nameFor(i) + "-gui.example"})
+		pages := s.AllPages()
+		if len(pages) > 4 {
+			pages = pages[:4]
+		}
+		for _, page := range pages {
+			for _, r := range head.Visit(page, 9).Requests {
+				if strings.HasSuffix(r.URL, "/track/env") || strings.Contains(r.URL, "/track/env?") {
+					headEnv++
+				}
+			}
+			for _, r := range sim.Visit(page, 9).Requests {
+				if strings.HasSuffix(r.URL, "/track/env") || strings.Contains(r.URL, "/track/env?") {
+					simEnv++
+				}
+			}
+		}
+	}
+	if headEnv != 0 {
+		t.Errorf("headless loaded %d GUI-only beacons", headEnv)
+	}
+	if simEnv == 0 {
+		t.Error("GUI profile never loaded a GUI-only beacon (knob dead)")
+	}
+}
+
+func TestRedirectChainsFormRequestChains(t *testing.T) {
+	u := webgen.New(webgen.DefaultConfig(42))
+	b := New(profileNamed(t, "Sim1"))
+	var pages []*webgen.Page
+	for i := 0; i < 10; i++ {
+		s := u.GenerateSite(tranco.Entry{Rank: i + 1, Site: nameFor(i) + "-redir.example"})
+		all := s.AllPages()
+		if len(all) > 4 {
+			all = all[:4]
+		}
+		pages = append(pages, all...)
+	}
+	found := false
+	for _, page := range pages {
+		if found {
+			break
+		}
+		v := b.Visit(page, 7)
+		byURL := map[string]measurement.Request{}
+		for _, r := range v.Requests {
+			byURL[r.URL] = r
+		}
+		for _, r := range v.Requests {
+			if r.RedirectFrom != "" {
+				if _, ok := byURL[r.RedirectFrom]; !ok {
+					t.Fatalf("redirect source %q missing from the request log", r.RedirectFrom)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no redirect chains rendered across 40 pages")
+	}
+}
+
+func nameFor(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestVolatilePathsDifferPerVisit(t *testing.T) {
+	page := testPage(t)
+	b := New(profileNamed(t, "Sim1"))
+	creatives := func(v *measurement.Visit) []string {
+		var out []string
+		for _, r := range v.Requests {
+			if strings.Contains(r.URL, "/creative/") {
+				out = append(out, r.URL)
+			}
+		}
+		return out
+	}
+	a := creatives(visitOK(t, b, page, 101))
+	c := creatives(visitOK(t, b, page, 99_000))
+	if len(a) == 0 && len(c) == 0 {
+		t.Skip("page has no ad creatives; generator randomness")
+	}
+	inA := map[string]bool{}
+	for _, u := range a {
+		inA[u] = true
+	}
+	same := 0
+	for _, u := range c {
+		if inA[u] {
+			same++
+		}
+	}
+	if len(c) > 0 && same == len(c) && len(a) == len(c) {
+		t.Error("creatives identical across visits; volatility dead")
+	}
+}
+
+func TestCookiesRespectProfile(t *testing.T) {
+	page := testPage(t)
+	sim := visitOK(t, New(profileNamed(t, "Sim1")), page, 21)
+	noa := visitOK(t, New(profileNamed(t, "NoAction")), page, 21)
+	if len(noa.Cookies) > len(sim.Cookies) {
+		t.Errorf("NoAction observed more cookies (%d) than Sim1 (%d)", len(noa.Cookies), len(sim.Cookies))
+	}
+	for _, c := range sim.Cookies {
+		if c.SameSite == "None" && !c.Secure {
+			t.Errorf("SameSite=None cookie without Secure: %+v", c)
+		}
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	page := testPage(t)
+	b := New(profileNamed(t, "Sim1"))
+	failures := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if v := b.Visit(page, uint64(i)); !v.Success {
+			failures++
+			if v.Failure == "" || len(v.Requests) != 0 {
+				t.Fatalf("failed visit malformed: %+v", v)
+			}
+		}
+	}
+	rate := float64(failures) / n
+	if rate < 0.01 || rate > 0.06 {
+		t.Errorf("browser failure rate %.3f outside [0.01, 0.06]", rate)
+	}
+}
+
+func TestTimeoutTruncates(t *testing.T) {
+	page := testPage(t)
+	b := &Browser{Profile: profileNamed(t, "Sim1"), TimeoutMS: 400}
+	long := New(profileNamed(t, "Sim1"))
+	short := visitOK(t, b, page, 5)
+	full := visitOK(t, long, page, 5)
+	if len(short.Requests) >= len(full.Requests) {
+		t.Errorf("short timeout (%d reqs) should truncate vs full (%d reqs)",
+			len(short.Requests), len(full.Requests))
+	}
+	if short.DurationMS > 400 {
+		t.Errorf("duration %d exceeds timeout", short.DurationMS)
+	}
+}
+
+func BenchmarkVisit(b *testing.B) {
+	u := webgen.New(webgen.DefaultConfig(42))
+	page := u.GenerateSite(tranco.Entry{Rank: 1, Site: "bench-site.example"}).Landing
+	br := New(DefaultProfiles()[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Visit(page, uint64(i))
+	}
+}

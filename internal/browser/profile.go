@@ -1,0 +1,48 @@
+// Package browser simulates the instrumented browser environment of the
+// paper (Firefox driven by OpenWPM): it renders a webgen page spec into a
+// measurement.Visit — the observed HTTP traffic with frame hierarchy,
+// JavaScript/CSS call stacks, redirect provenance, and cookies. The five
+// profile configurations of Table 1 differ in browser version, mimicked
+// user interaction (Page Down/Tab/End keystrokes after load), and
+// GUI/headless mode.
+package browser
+
+// Profile is one measurement configuration (a row of Table 1).
+type Profile struct {
+	// Name identifies the profile ("Old", "Sim1", ...).
+	Name string
+	// Version is the Firefox major version (86 or 95 in the paper).
+	Version int
+	// VersionString is the full version as documented ("86.0.1", "95.0").
+	VersionString string
+	// UserInteraction mimics Page Down, Tab, and End keystrokes after the
+	// page finished loading, triggering lazy content.
+	UserInteraction bool
+	// GUI spawns the browser with a user interface; false = headless.
+	GUI bool
+	// Country is the measurement vantage point.
+	Country string
+}
+
+// DefaultProfiles returns the paper's five profiles (Table 1). Profiles #2
+// (Sim1) and #3 (Sim2) use the identical setup; comparing them isolates
+// the Web's own dynamics from configuration effects.
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{Name: "Old", Version: 86, VersionString: "86.0.1", UserInteraction: true, GUI: true, Country: "DE"},
+		{Name: "Sim1", Version: 95, VersionString: "95.0", UserInteraction: true, GUI: true, Country: "DE"},
+		{Name: "Sim2", Version: 95, VersionString: "95.0", UserInteraction: true, GUI: true, Country: "DE"},
+		{Name: "NoAction", Version: 95, VersionString: "95.0", UserInteraction: false, GUI: true, Country: "DE"},
+		{Name: "Headless", Version: 95, VersionString: "95.0", UserInteraction: true, GUI: false, Country: "DE"},
+	}
+}
+
+// ProfileByName returns the default profile with the given name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range DefaultProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

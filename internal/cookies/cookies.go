@@ -1,0 +1,189 @@
+// Package cookies implements the RFC 6265 cookie model used by the cookie
+// case study (§5.2): Set-Cookie parsing, the (name, domain, path) identity
+// the paper adopts ("As per RFC 6265, we uniquely identify cookies by name,
+// path, and domain"), a storage jar with domain- and path-matching, and the
+// security attributes whose cross-profile differences §5.2 reports.
+package cookies
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+
+	"webmeasure/internal/urlutil"
+)
+
+// SameSite is the value of the SameSite attribute.
+type SameSite string
+
+// SameSite values per the current cookie RFC draft.
+const (
+	SameSiteDefault SameSite = ""
+	SameSiteLax     SameSite = "Lax"
+	SameSiteStrict  SameSite = "Strict"
+	SameSiteNone    SameSite = "None"
+)
+
+// Cookie is one stored cookie.
+type Cookie struct {
+	Name  string
+	Value string
+
+	// Domain is the cookie's domain attribute, lower-cased, without a
+	// leading dot. HostOnly records whether the attribute was absent.
+	Domain   string
+	HostOnly bool
+	// Path is the cookie path (default-path when the attribute was absent).
+	Path string
+
+	Secure   bool
+	HTTPOnly bool
+	SameSite SameSite
+
+	// Expires is the absolute expiry; zero means a session cookie.
+	Expires time.Time
+}
+
+// ID is the paper's cookie identity: name, domain, and path.
+type ID struct {
+	Name   string
+	Domain string
+	Path   string
+}
+
+// ID returns the cookie's identity tuple.
+func (c *Cookie) ID() ID { return ID{Name: c.Name, Domain: c.Domain, Path: c.Path} }
+
+// AttributeSignature encodes the security-relevant attributes (§5.2 compares
+// "same site, http only, or secure" across profiles).
+func (c *Cookie) AttributeSignature() string {
+	var b strings.Builder
+	if c.Secure {
+		b.WriteString("secure;")
+	}
+	if c.HTTPOnly {
+		b.WriteString("httponly;")
+	}
+	b.WriteString("samesite=")
+	b.WriteString(string(c.SameSite))
+	return b.String()
+}
+
+// ErrMalformedCookie is returned for Set-Cookie headers without a valid
+// name=value pair.
+var ErrMalformedCookie = errors.New("cookies: malformed Set-Cookie header")
+
+// ParseSetCookie parses a Set-Cookie header received for requestURL,
+// applying RFC 6265 defaulting: absent Domain → host-only cookie on the
+// request host; absent Path → the default-path of the request URL. now is
+// used to resolve Max-Age; pass time.Now() outside tests.
+func ParseSetCookie(header, requestURL string, now time.Time) (*Cookie, error) {
+	parts := strings.Split(header, ";")
+	name, value, ok := strings.Cut(strings.TrimSpace(parts[0]), "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return nil, ErrMalformedCookie
+	}
+	host := urlutil.Host(requestURL)
+	if host == "" {
+		return nil, errors.New("cookies: request URL has no host")
+	}
+	c := &Cookie{
+		Name:     name,
+		Value:    strings.TrimSpace(value),
+		Domain:   host,
+		HostOnly: true,
+		Path:     defaultPath(requestURL),
+	}
+	var maxAgeSet bool
+	for _, attr := range parts[1:] {
+		k, v, _ := strings.Cut(strings.TrimSpace(attr), "=")
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "domain":
+			d := strings.ToLower(strings.TrimPrefix(v, "."))
+			if d == "" {
+				continue
+			}
+			// RFC 6265 §5.3 step 6: the request host must domain-match the
+			// attribute, otherwise the cookie is rejected.
+			if !domainMatch(host, d) {
+				return nil, errors.New("cookies: domain attribute does not cover request host")
+			}
+			c.Domain = d
+			c.HostOnly = false
+		case "path":
+			if strings.HasPrefix(v, "/") {
+				c.Path = v
+			}
+		case "secure":
+			c.Secure = true
+		case "httponly":
+			c.HTTPOnly = true
+		case "samesite":
+			switch strings.ToLower(v) {
+			case "lax":
+				c.SameSite = SameSiteLax
+			case "strict":
+				c.SameSite = SameSiteStrict
+			case "none":
+				c.SameSite = SameSiteNone
+			}
+		case "max-age":
+			secs, err := strconv.ParseInt(v, 10, 64)
+			if err == nil {
+				maxAgeSet = true
+				if secs <= 0 {
+					c.Expires = now.Add(-time.Second)
+				} else {
+					c.Expires = now.Add(time.Duration(secs) * time.Second)
+				}
+			}
+		case "expires":
+			if maxAgeSet {
+				continue // Max-Age has precedence (RFC 6265 §4.1.2.2)
+			}
+			for _, layout := range []string{time.RFC1123, time.RFC1123Z, time.RFC850, time.ANSIC} {
+				if t, err := time.Parse(layout, v); err == nil {
+					c.Expires = t
+					break
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// defaultPath computes the RFC 6265 §5.1.4 default-path of a URL.
+func defaultPath(rawURL string) string {
+	p := urlutil.PathOf(rawURL)
+	if p == "" || !strings.HasPrefix(p, "/") {
+		return "/"
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// domainMatch implements RFC 6265 §5.1.3: host domain-matches domain when
+// they are equal or host ends with "." + domain.
+func domainMatch(host, domain string) bool {
+	return host == domain || strings.HasSuffix(host, "."+domain)
+}
+
+// pathMatch implements RFC 6265 §5.1.4 path matching.
+func pathMatch(requestPath, cookiePath string) bool {
+	if requestPath == "" {
+		requestPath = "/"
+	}
+	if requestPath == cookiePath {
+		return true
+	}
+	if strings.HasPrefix(requestPath, cookiePath) {
+		return strings.HasSuffix(cookiePath, "/") || requestPath[len(cookiePath)] == '/'
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package cookies
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, 3, 1, 12, 0, 0, 0, time.UTC)
+
+func fixedNow() time.Time { return t0 }
+
+func TestParseSetCookieBasics(t *testing.T) {
+	c, err := ParseSetCookie("sid=abc123; Path=/; Secure; HttpOnly; SameSite=Lax",
+		"https://shop.example.com/cart/view", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "sid" || c.Value != "abc123" {
+		t.Errorf("name/value = %q/%q", c.Name, c.Value)
+	}
+	if c.Domain != "shop.example.com" || !c.HostOnly {
+		t.Errorf("domain = %q hostOnly=%v", c.Domain, c.HostOnly)
+	}
+	if c.Path != "/" || !c.Secure || !c.HTTPOnly || c.SameSite != SameSiteLax {
+		t.Errorf("attributes wrong: %+v", c)
+	}
+	if !c.Expires.IsZero() {
+		t.Error("should be a session cookie")
+	}
+}
+
+func TestParseSetCookieDomainAttribute(t *testing.T) {
+	c, err := ParseSetCookie("uid=1; Domain=.example.com", "https://shop.example.com/", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Domain != "example.com" || c.HostOnly {
+		t.Errorf("domain = %q hostOnly=%v", c.Domain, c.HostOnly)
+	}
+	// A domain that does not cover the request host is rejected.
+	if _, err := ParseSetCookie("uid=1; Domain=other.com", "https://shop.example.com/", t0); err == nil {
+		t.Error("foreign domain attribute should be rejected")
+	}
+}
+
+func TestParseSetCookieDefaultPath(t *testing.T) {
+	cases := []struct {
+		url, want string
+	}{
+		{"https://x.example/a/b/c.html", "/a/b"},
+		{"https://x.example/a", "/"},
+		{"https://x.example/", "/"},
+		{"https://x.example", "/"},
+	}
+	for _, cse := range cases {
+		c, err := ParseSetCookie("k=v", cse.url, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Path != cse.want {
+			t.Errorf("default path for %q = %q, want %q", cse.url, c.Path, cse.want)
+		}
+	}
+}
+
+func TestParseSetCookieMaxAge(t *testing.T) {
+	c, err := ParseSetCookie("k=v; Max-Age=3600", "https://x.example/", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := t0.Add(time.Hour); !c.Expires.Equal(want) {
+		t.Errorf("expires = %v, want %v", c.Expires, want)
+	}
+	// Max-Age wins over Expires.
+	c, err = ParseSetCookie("k=v; Max-Age=60; Expires=Wed, 01 Mar 2023 12:00:00 UTC", "https://x.example/", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := t0.Add(time.Minute); !c.Expires.Equal(want) {
+		t.Errorf("Max-Age should win: %v", c.Expires)
+	}
+	// Non-positive Max-Age expires immediately.
+	c, err = ParseSetCookie("k=v; Max-Age=0", "https://x.example/", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Expires.After(t0) {
+		t.Error("Max-Age=0 must expire in the past")
+	}
+}
+
+func TestParseSetCookieExpires(t *testing.T) {
+	c, err := ParseSetCookie("k=v; Expires=Wed, 01 Mar 2023 12:00:00 UTC", "https://x.example/", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Expires.Year() != 2023 {
+		t.Errorf("expires = %v", c.Expires)
+	}
+}
+
+func TestParseSetCookieMalformed(t *testing.T) {
+	for _, h := range []string{"", "novalue", "=v", "; Secure"} {
+		if _, err := ParseSetCookie(h, "https://x.example/", t0); err == nil {
+			t.Errorf("ParseSetCookie(%q) succeeded, want error", h)
+		}
+	}
+	if _, err := ParseSetCookie("k=v", "not a url", t0); err == nil {
+		t.Error("missing host should error")
+	}
+}
+
+func TestCookieID(t *testing.T) {
+	a, _ := ParseSetCookie("sid=1; Path=/x", "https://x.example/x/y", t0)
+	b, _ := ParseSetCookie("sid=2; Path=/x", "https://x.example/x/z", t0)
+	if a.ID() != b.ID() {
+		t.Error("same (name,domain,path) must share identity")
+	}
+	c, _ := ParseSetCookie("sid=1; Path=/other", "https://x.example/other/y", t0)
+	if a.ID() == c.ID() {
+		t.Error("different paths must differ")
+	}
+}
+
+func TestAttributeSignature(t *testing.T) {
+	a, _ := ParseSetCookie("k=v; Secure; SameSite=None", "https://x.example/", t0)
+	b, _ := ParseSetCookie("k=v; SameSite=None", "https://x.example/", t0)
+	if a.AttributeSignature() == b.AttributeSignature() {
+		t.Error("secure difference must change the signature")
+	}
+}
+
+func TestJarSetAndGet(t *testing.T) {
+	j := NewJar(fixedNow)
+	if err := j.SetFromHeader("sid=1; Domain=example.com; Path=/", "https://shop.example.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetFromHeader("local=1", "https://shop.example.com/account/settings"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Domain cookie is visible on any subdomain; host-only is not.
+	got := j.Cookies("https://other.example.com/")
+	if len(got) != 1 || got[0].Name != "sid" {
+		t.Errorf("subdomain sees %v", names(got))
+	}
+	// Path matching: /account/settings default path is /account.
+	got = j.Cookies("https://shop.example.com/account/profile")
+	if len(got) != 2 {
+		t.Errorf("path match failed: %v", names(got))
+	}
+	got = j.Cookies("https://shop.example.com/checkout")
+	if len(got) != 1 || got[0].Name != "sid" {
+		t.Errorf("path isolation failed: %v", names(got))
+	}
+}
+
+func TestJarReplacement(t *testing.T) {
+	j := NewJar(fixedNow)
+	_ = j.SetFromHeader("sid=old", "https://x.example/")
+	_ = j.SetFromHeader("sid=new", "https://x.example/")
+	all := j.All()
+	if len(all) != 1 || all[0].Value != "new" {
+		t.Errorf("replacement failed: %+v", all)
+	}
+}
+
+func TestJarExpiry(t *testing.T) {
+	j := NewJar(fixedNow)
+	_ = j.SetFromHeader("keep=1; Max-Age=100", "https://x.example/")
+	_ = j.SetFromHeader("keep=1; Max-Age=0", "https://x.example/")
+	if len(j.All()) != 0 {
+		t.Error("expired re-set should remove the cookie")
+	}
+}
+
+func TestJarSecureAttribute(t *testing.T) {
+	j := NewJar(fixedNow)
+	_ = j.SetFromHeader("s=1; Secure", "https://x.example/")
+	if len(j.Cookies("http://x.example/")) != 0 {
+		t.Error("secure cookie sent over http")
+	}
+	if len(j.Cookies("https://x.example/")) != 1 {
+		t.Error("secure cookie missing over https")
+	}
+}
+
+func TestJarOrdering(t *testing.T) {
+	j := NewJar(fixedNow)
+	_ = j.SetFromHeader("b=1; Path=/", "https://x.example/")
+	_ = j.SetFromHeader("a=1; Path=/", "https://x.example/")
+	_ = j.SetFromHeader("deep=1; Path=/a/b", "https://x.example/a/b/c")
+	got := j.Cookies("https://x.example/a/b/c")
+	if len(got) != 3 || got[0].Name != "deep" || got[1].Name != "a" || got[2].Name != "b" {
+		t.Errorf("order = %v", names(got))
+	}
+}
+
+func TestPathMatch(t *testing.T) {
+	cases := []struct {
+		req, cookie string
+		want        bool
+	}{
+		{"/a/b/c", "/a/b", true},
+		{"/a/b", "/a/b", true},
+		{"/a/bc", "/a/b", false},
+		{"/", "/", true},
+		{"", "/", true},
+		{"/x", "/a", false},
+		{"/a/b/", "/a/b/", true},
+		{"/a/b/c", "/a/b/", true},
+	}
+	for _, c := range cases {
+		if got := pathMatch(c.req, c.cookie); got != c.want {
+			t.Errorf("pathMatch(%q, %q) = %v, want %v", c.req, c.cookie, got, c.want)
+		}
+	}
+}
+
+func names(cs []*Cookie) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func BenchmarkJarCookies(b *testing.B) {
+	j := NewJar(fixedNow)
+	_ = j.SetFromHeader("sid=1; Domain=example.com", "https://a.example.com/")
+	_ = j.SetFromHeader("uid=2; Path=/shop", "https://a.example.com/shop/x")
+	_ = j.SetFromHeader("pref=3", "https://a.example.com/")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Cookies("https://a.example.com/shop/item")
+	}
+}

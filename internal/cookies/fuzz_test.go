@@ -1,0 +1,41 @@
+package cookies
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSetCookie: arbitrary headers parse or error, never panic, and
+// parsed cookies respect the invariants the jar relies on.
+func FuzzParseSetCookie(f *testing.F) {
+	for _, s := range []string{
+		"sid=abc; Path=/; Secure; HttpOnly; SameSite=Lax",
+		"k=v; Domain=.example.com; Max-Age=3600",
+		"k=v; Expires=Wed, 01 Mar 2023 12:00:00 UTC",
+		"=bad",
+		"k=v; Max-Age=notanumber",
+		"k=v; Domain=other.example",
+		"weird;;; = ; Path=x",
+	} {
+		f.Add(s)
+	}
+	now := time.Date(2022, 3, 1, 12, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, header string) {
+		c, err := ParseSetCookie(header, "https://shop.example.com/cart/view", now)
+		if err != nil {
+			return
+		}
+		if c.Name == "" {
+			t.Fatal("parsed cookie without a name")
+		}
+		if c.Path == "" {
+			t.Fatal("parsed cookie without a path")
+		}
+		if c.Domain == "" {
+			t.Fatal("parsed cookie without a domain")
+		}
+		if !c.HostOnly && !domainMatch("shop.example.com", c.Domain) {
+			t.Fatalf("domain attribute %q does not cover the request host", c.Domain)
+		}
+	})
+}

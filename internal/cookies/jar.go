@@ -1,0 +1,117 @@
+package cookies
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"webmeasure/internal/urlutil"
+)
+
+// Jar stores cookies for one browser instance. The measurement runs
+// stateless (Appendix C), so a fresh jar is created per page visit; the jar
+// is nevertheless a complete RFC 6265 store so stateful crawls are possible.
+// Jar is not safe for concurrent use; each simulated browser instance owns
+// its own.
+type Jar struct {
+	cookies map[ID]*Cookie
+	now     func() time.Time
+}
+
+// NewJar creates an empty jar. now may be nil, defaulting to time.Now; the
+// crawler injects the simulation clock.
+func NewJar(now func() time.Time) *Jar {
+	if now == nil {
+		now = time.Now
+	}
+	return &Jar{cookies: make(map[ID]*Cookie), now: now}
+}
+
+// SetCookie stores c, replacing any cookie with the same (name, domain,
+// path) identity. An already-expired cookie deletes the stored one (the
+// standard cookie-removal idiom).
+func (j *Jar) SetCookie(c *Cookie) {
+	if !c.Expires.IsZero() && !c.Expires.After(j.now()) {
+		delete(j.cookies, c.ID())
+		return
+	}
+	j.cookies[c.ID()] = c
+}
+
+// SetFromHeader parses a Set-Cookie header in the context of requestURL and
+// stores the result. Malformed or rejected headers are reported via error
+// and leave the jar unchanged.
+func (j *Jar) SetFromHeader(header, requestURL string) error {
+	c, err := ParseSetCookie(header, requestURL, j.now())
+	if err != nil {
+		return err
+	}
+	j.SetCookie(c)
+	return nil
+}
+
+// Cookies returns the cookies that would be sent to requestURL, applying
+// domain-matching (host-only cookies require exact host equality), path
+// matching, the Secure attribute, and expiry. Results are ordered by
+// longest path first, then by name, matching RFC 6265 §5.4 sort order
+// closely enough for deterministic output.
+func (j *Jar) Cookies(requestURL string) []*Cookie {
+	host := urlutil.Host(requestURL)
+	secure := strings.HasPrefix(strings.ToLower(requestURL), "https://")
+	path := urlutil.PathOf(requestURL)
+	now := j.now()
+
+	var out []*Cookie
+	for _, c := range j.cookies {
+		if !c.Expires.IsZero() && !c.Expires.After(now) {
+			continue
+		}
+		if c.HostOnly {
+			if host != c.Domain {
+				continue
+			}
+		} else if !domainMatch(host, c.Domain) {
+			continue
+		}
+		if c.Secure && !secure {
+			continue
+		}
+		if !pathMatch(path, c.Path) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Path) != len(out[b].Path) {
+			return len(out[a].Path) > len(out[b].Path)
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// All returns every live cookie in the jar in deterministic order.
+func (j *Jar) All() []*Cookie {
+	now := j.now()
+	out := make([]*Cookie, 0, len(j.cookies))
+	for _, c := range j.cookies {
+		if c.Expires.IsZero() || c.Expires.After(now) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ia, ib := out[a].ID(), out[b].ID()
+		if ia.Domain != ib.Domain {
+			return ia.Domain < ib.Domain
+		}
+		if ia.Name != ib.Name {
+			return ia.Name < ib.Name
+		}
+		return ia.Path < ib.Path
+	})
+	return out
+}
+
+// Len returns the number of stored cookies, including expired ones not yet
+// evicted.
+func (j *Jar) Len() int { return len(j.cookies) }

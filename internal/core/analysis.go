@@ -1,0 +1,157 @@
+// Package core is the paper's analysis pipeline: it vets the crawled
+// dataset (pages successful in all profiles), builds the five dependency
+// trees per page, cross-compares them, and computes every table and figure
+// of the evaluation (§4, §5, appendices E–G).
+package core
+
+import (
+	"fmt"
+
+	"webmeasure/internal/dataset"
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/tree"
+	"webmeasure/internal/treediff"
+)
+
+// PageAnalysis holds one vetted page's trees and their cross-comparison.
+type PageAnalysis struct {
+	Key dataset.PageKey
+	// Trees follows Analysis.Profiles order; with partial vetting
+	// (Options.MinSuccessProfiles) failed profiles are simply absent, so
+	// use TreeFor for profile lookups.
+	Trees []*tree.Tree
+	Cmp   *treediff.Comparison
+}
+
+// TreeFor returns the page's tree for a profile, or nil.
+func (pa *PageAnalysis) TreeFor(profile string) *tree.Tree {
+	for _, t := range pa.Trees {
+		if t.Profile == profile {
+			return t
+		}
+	}
+	return nil
+}
+
+// Analysis is the fully-computed experiment analysis.
+type Analysis struct {
+	ds       *dataset.Dataset
+	filter   *filterlist.List
+	profiles []string
+
+	pages []*PageAnalysis
+	// siteRank maps site → Tranco rank for the Appendix F bucket analysis
+	// (may be empty when unknown).
+	siteRank map[string]int
+}
+
+// Options configures New.
+type Options struct {
+	// Profiles fixes the tree ordering; defaults to the dataset's sorted
+	// profile names. The first profile whose name is "Sim1" is used as the
+	// Table 6 reference regardless of order.
+	Profiles []string
+	// SiteRank supplies Tranco ranks for the bucket analysis.
+	SiteRank map[string]int
+	// MinSuccessProfiles relaxes the paper's vetting for the no-vetting
+	// ablation: pages succeed with at least this many profiles (0 = the
+	// paper's rule, all profiles must succeed).
+	MinSuccessProfiles int
+	// TreeBuilder overrides the default builder (ablations on node
+	// identity and attribution signals). The Filter option is applied on
+	// top of it.
+	TreeBuilder *tree.Builder
+}
+
+// New builds the analysis: vetting, tree construction, cross-comparison.
+// filter may be nil (no tracking classification).
+func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis, error) {
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		profiles = ds.Profiles()
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("core: dataset has no profiles")
+	}
+	a := &Analysis{
+		ds:       ds,
+		filter:   filter,
+		profiles: profiles,
+		siteRank: opts.SiteRank,
+	}
+	builder := opts.TreeBuilder
+	if builder == nil {
+		builder = &tree.Builder{}
+	}
+	builder.Filter = filter
+	minSuccess := opts.MinSuccessProfiles
+	if minSuccess <= 0 || minSuccess > len(profiles) {
+		minSuccess = len(profiles)
+	}
+	for _, pv := range ds.Pages() {
+		pa := &PageAnalysis{Key: pv.Key}
+		for _, prof := range profiles {
+			v := pv.ByProfile[prof]
+			if v == nil || !v.Success {
+				continue
+			}
+			t, err := builder.Build(v)
+			if err != nil {
+				// Success flags guarantee requests; a build failure means
+				// a malformed record — skip the visit rather than abort.
+				continue
+			}
+			pa.Trees = append(pa.Trees, t)
+		}
+		if len(pa.Trees) < minSuccess {
+			continue
+		}
+		pa.Cmp = treediff.Compare(pa.Trees)
+		a.pages = append(a.pages, pa)
+	}
+	if len(a.pages) == 0 {
+		return nil, fmt.Errorf("core: no page was crawled successfully by all %d profiles", len(profiles))
+	}
+	return a, nil
+}
+
+// Profiles returns the profile order used for tree indexing.
+func (a *Analysis) Profiles() []string { return a.profiles }
+
+// Pages returns the vetted page analyses.
+func (a *Analysis) Pages() []*PageAnalysis { return a.pages }
+
+// Dataset returns the underlying dataset.
+func (a *Analysis) Dataset() *dataset.Dataset { return a.ds }
+
+// profileIndex returns the tree index of a profile name, -1 if absent.
+func (a *Analysis) profileIndex(name string) int {
+	for i, p := range a.profiles {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// eachNode visits every NodeInfo of every vetted page (including roots).
+func (a *Analysis) eachNode(fn func(pa *PageAnalysis, ni *treediff.NodeInfo)) {
+	for _, pa := range a.pages {
+		for _, ni := range pa.Cmp.Nodes {
+			fn(pa, ni)
+		}
+	}
+}
+
+// eachNonRootNode visits every non-root NodeInfo.
+func (a *Analysis) eachNonRootNode(fn func(pa *PageAnalysis, ni *treediff.NodeInfo)) {
+	for _, pa := range a.pages {
+		rootKey := pa.Trees[0].Root.Key
+		for key, ni := range pa.Cmp.Nodes {
+			if key == rootKey {
+				continue
+			}
+			fn(pa, ni)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import "testing"
+
+// TestCalibrationShape asserts the shape invariants DESIGN.md §5 promises:
+// the synthetic web must reproduce the paper's qualitative findings (who is
+// more similar, which setup sees less) within generous tolerances. If a
+// generator change drifts outside these bands, the reproduction is broken
+// even if all other tests pass.
+func TestCalibrationShape(t *testing.T) {
+	a := sharedExperiment(t)
+
+	cs := a.CrawlSummary()
+	// Per-profile success ≥ low 80s (paper ≥ 89% at full scale); vetted
+	// share near the paper's 55%.
+	for p, r := range cs.SuccessRate {
+		if r < 0.80 || r > 0.97 {
+			t.Errorf("success rate %s = %.3f outside [0.80, 0.97]", p, r)
+		}
+	}
+	if cs.VettedShare < 0.40 || cs.VettedShare > 0.75 {
+		t.Errorf("vetted share %.3f outside [0.40, 0.75] (paper: 0.55)", cs.VettedShare)
+	}
+
+	ov := a.TreeOverview()
+	if ov.Nodes.Mean < 40 || ov.Nodes.Mean > 160 {
+		t.Errorf("mean nodes %.1f outside [40, 160] (paper: 84)", ov.Nodes.Mean)
+	}
+	if ov.Depth.Mean < 2.5 || ov.Depth.Mean > 6 {
+		t.Errorf("mean depth %.2f outside [2.5, 6] (paper: 3.6)", ov.Depth.Mean)
+	}
+	if ov.MeanPresence < 3.0 || ov.MeanPresence > 4.4 {
+		t.Errorf("mean presence %.2f outside [3.0, 4.4] (paper: 3.6)", ov.MeanPresence)
+	}
+	if ov.ShareInAll < 0.35 || ov.ShareInAll > 0.70 {
+		t.Errorf("share in all profiles %.2f outside [0.35, 0.70] (paper: 0.52)", ov.ShareInAll)
+	}
+	if ov.ShareInOne < 0.10 || ov.ShareInOne > 0.40 {
+		t.Errorf("share in one profile %.2f outside [0.10, 0.40] (paper: 0.24)", ov.ShareInOne)
+	}
+
+	// Table 3 bands.
+	rows := map[string]float64{}
+	for _, r := range a.DepthSimilarityTable() {
+		rows[r.Label] = r.Sim
+	}
+	if v := rows["nodes in all trees"]; v < 0.95 {
+		t.Errorf("nodes-in-all-trees sim %.2f < 0.95 (paper: 0.99)", v)
+	}
+	if v := rows["first-party nodes"]; v < 0.78 || v > 0.97 {
+		t.Errorf("first-party sim %.2f outside [0.78, 0.97] (paper: 0.88)", v)
+	}
+	if v := rows["third-party nodes"]; v < 0.45 || v > 0.85 {
+		t.Errorf("third-party sim %.2f outside [0.45, 0.85] (paper: 0.76)", v)
+	}
+
+	// §4.3: party split — about two thirds third-party.
+	pa := a.PartyAppearance()
+	if pa.TPShare < 0.5 || pa.TPShare > 0.8 {
+		t.Errorf("third-party share %.2f outside [0.5, 0.8] (paper: 0.68)", pa.TPShare)
+	}
+	if pa.FPDepth1Mean < 4.0 {
+		t.Errorf("FP depth-1 presence %.2f < 4.0 (paper: 4.5 of 5)", pa.FPDepth1Mean)
+	}
+	if pa.TPDeeperMean >= pa.TPDepth1Mean {
+		t.Errorf("TP presence must fall with depth: d1=%.2f deep=%.2f", pa.TPDepth1Mean, pa.TPDeeperMean)
+	}
+	if pa.FPChildSim.Mean <= pa.TPChildSim.Mean {
+		t.Errorf("FP children (%v) must beat TP (%v) (paper: .86 vs .68)",
+			pa.FPChildSim.Mean, pa.TPChildSim.Mean)
+	}
+	if pa.TPDeepDominance < 0.85 {
+		t.Errorf("TP deep dominance %.2f < 0.85 (paper: 0.95)", pa.TPDeepDominance)
+	}
+
+	// §4.4: Table 5 deltas — NoAction 15–45% smaller; Old/Headless within
+	// a few percent of Sim1.
+	totals := map[string]ProfileTotalsRow{}
+	for _, r := range a.ProfileTotals() {
+		totals[r.Profile] = r
+	}
+	ratio := float64(totals["Sim1"].Nodes) / float64(totals["NoAction"].Nodes)
+	if ratio < 1.10 || ratio > 1.60 {
+		t.Errorf("Sim1/NoAction node ratio %.2f outside [1.10, 1.60] (paper: 1.34)", ratio)
+	}
+	trkRatio := float64(totals["Sim1"].Tracker) / float64(totals["NoAction"].Tracker)
+	if trkRatio < 1.15 {
+		t.Errorf("Sim1/NoAction tracker ratio %.2f < 1.15 (paper: 1.68)", trkRatio)
+	}
+	for _, name := range []string{"Old", "Sim2", "Headless"} {
+		r := float64(totals[name].Nodes) / float64(totals["Sim1"].Nodes)
+		if r < 0.93 || r > 1.07 {
+			t.Errorf("%s/Sim1 node ratio %.3f outside [0.93, 1.07] (paper: ≈1)", name, r)
+		}
+	}
+
+	// §4.2 chain stability orderings and magnitudes.
+	chain := a.ChainStability()
+	if chain.SameChainShareAll < 0.6 || chain.SameChainShareAll > 0.97 {
+		t.Errorf("same-chain (all) %.2f outside [0.6, 0.97] (paper: 0.75)", chain.SameChainShareAll)
+	}
+	if chain.SameChainShareDeep < 0.35 || chain.SameChainShareDeep > 0.85 {
+		t.Errorf("same-chain (deep) %.2f outside [0.35, 0.85] (paper: 0.57)", chain.SameChainShareDeep)
+	}
+	if chain.SameParentShare < 0.45 || chain.SameParentShare > 0.92 {
+		t.Errorf("same-parent share %.2f outside [0.45, 0.92] (paper: 0.61)", chain.SameParentShare)
+	}
+
+	// §5.1 unique nodes.
+	un := a.UniqueNodes()
+	if un.UniqueShare < 0.08 || un.UniqueShare > 0.40 {
+		t.Errorf("unique share %.2f outside [0.08, 0.40] (paper: 0.24)", un.UniqueShare)
+	}
+	if un.TrackingShare < 0.15 || un.TrackingShare > 0.65 {
+		t.Errorf("unique tracking share %.2f outside [0.15, 0.65] (paper: 0.37)", un.TrackingShare)
+	}
+	if un.ThirdPartyShare < 0.7 {
+		t.Errorf("unique third-party share %.2f < 0.7 (paper: 0.90)", un.ThirdPartyShare)
+	}
+
+	// §5.2 cookies.
+	ck := a.CookieStudy("NoAction")
+	if ck.ShareInAllProfiles < 0.15 || ck.ShareInAllProfiles > 0.65 {
+		t.Errorf("cookies in all profiles %.2f outside [0.15, 0.65] (paper: 0.32)", ck.ShareInAllProfiles)
+	}
+	if ck.ShareInOneProfile < 0.15 || ck.ShareInOneProfile > 0.65 {
+		t.Errorf("cookies in one profile %.2f outside [0.15, 0.65] (paper: 0.42)", ck.ShareInOneProfile)
+	}
+	if ck.MeanJaccard.Mean < 0.5 || ck.MeanJaccard.Mean > 0.9 {
+		t.Errorf("cookie similarity %.2f outside [0.5, 0.9] (paper: 0.70)", ck.MeanJaccard.Mean)
+	}
+
+	// §5.3 tracking.
+	tr := a.TrackingStudy()
+	if tr.TrackingShare < 0.12 || tr.TrackingShare > 0.45 {
+		t.Errorf("tracking share %.2f outside [0.12, 0.45] (paper: 0.22)", tr.TrackingShare)
+	}
+	if tr.TriggeredByTracker < 0.4 {
+		t.Errorf("tracking triggered by trackers %.2f < 0.4 (paper: 0.65)", tr.TriggeredByTracker)
+	}
+
+	// §4.4 Sim1 vs Sim2: similar but not identical, upper levels more
+	// similar than deep levels.
+	sc := a.CompareSameConfig("Sim1", "Sim2")
+	if sc.UpperSim < 0.55 || sc.UpperSim > 0.99 {
+		t.Errorf("Sim1/Sim2 upper similarity %.2f outside [0.55, 0.99] (paper: 0.92)", sc.UpperSim)
+	}
+	if sc.DeepSim >= sc.UpperSim {
+		t.Errorf("deep similarity (%v) must trail upper (%v) (paper: .75 vs .92)", sc.DeepSim, sc.UpperSim)
+	}
+}

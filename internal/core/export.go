@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"webmeasure/internal/stats"
+)
+
+// Export bundles every analysis result in a machine-readable form, so CI
+// pipelines can diff reproduction runs and downstream tooling can plot
+// without scraping the text report.
+type Export struct {
+	CrawlSummary    CrawlSummary           `json:"crawl_summary"`
+	TreeOverview    TreeOverview           `json:"tree_overview"`
+	DepthSim        []DepthSimilarityRow   `json:"depth_similarity"`
+	ResourceChains  []ResourceChainRow     `json:"resource_chains"`
+	ChainStability  ChainStability         `json:"chain_stability"`
+	ProfileTotals   []ProfileTotalsRow     `json:"profile_totals"`
+	ProfilePairs    []ProfilePairRow       `json:"profile_pairs"`
+	RankBuckets     *RankBucketResult      `json:"rank_buckets,omitempty"`
+	NodeTypeVolume  []NodeTypeVolumeRow    `json:"node_type_volume"`
+	SimByDepth      []SimilarityByDepthRow `json:"similarity_by_depth"`
+	ChildStats      ChildStats             `json:"child_stats"`
+	SubframeImpact  SubframeImpact         `json:"subframe_impact"`
+	PartyAppearance PartyAppearance        `json:"party_appearance"`
+	UniqueNodes     UniqueNodesResult      `json:"unique_nodes"`
+	CookieStudy     CookieStudyResult      `json:"cookie_study"`
+	TrackingStudy   TrackingStudyResult    `json:"tracking_study"`
+	Tests           exportTests            `json:"statistical_tests"`
+	Stability       StabilityReport        `json:"stability"`
+	StaticDynamic   StaticDynamicReport    `json:"static_dynamic"`
+	Timing          TimingReport           `json:"timing"`
+	SameConfig      SameConfigComparison   `json:"same_config"`
+}
+
+// exportTests flattens StatisticalTests' error fields into strings so the
+// bundle marshals cleanly.
+type exportTests struct {
+	ChildrenVsSimilarity *stats.TestResult `json:"children_vs_similarity,omitempty"`
+	InteractionDepth     *stats.TestResult `json:"interaction_depth,omitempty"`
+	TypeEffect           *stats.TestResult `json:"type_effect,omitempty"`
+	Errors               []string          `json:"errors,omitempty"`
+}
+
+// ExportOptions parameterizes Export.
+type ExportOptions struct {
+	// RankBoundaries enables the rank-bucket section.
+	RankBoundaries []int
+	// Reference is the Table 6 reference profile (default "Sim1").
+	Reference string
+	// NoAction names the no-interaction profile (default "NoAction").
+	NoAction string
+	// TimeoutMS is the page timeout used for the timing section
+	// (default 30000).
+	TimeoutMS int
+}
+
+func (o ExportOptions) withDefaults() ExportOptions {
+	if o.Reference == "" {
+		o.Reference = "Sim1"
+	}
+	if o.NoAction == "" {
+		o.NoAction = "NoAction"
+	}
+	if o.TimeoutMS == 0 {
+		o.TimeoutMS = 30_000
+	}
+	return o
+}
+
+// Export computes the full bundle.
+func (a *Analysis) Export(opts ExportOptions) *Export {
+	opts = opts.withDefaults()
+	e := &Export{
+		CrawlSummary:    a.CrawlSummary(),
+		TreeOverview:    a.TreeOverview(),
+		DepthSim:        a.DepthSimilarityTable(),
+		ResourceChains:  a.ResourceChainTable(),
+		ChainStability:  a.ChainStability(),
+		ProfileTotals:   a.ProfileTotals(),
+		ProfilePairs:    a.ProfilePairTable(opts.Reference),
+		NodeTypeVolume:  a.NodeTypeVolume(),
+		SimByDepth:      a.SimilarityByDepth(),
+		ChildStats:      a.ChildStats(),
+		SubframeImpact:  a.SubframeImpact(),
+		PartyAppearance: a.PartyAppearance(),
+		UniqueNodes:     a.UniqueNodes(),
+		CookieStudy:     a.CookieStudy(opts.NoAction),
+		TrackingStudy:   a.TrackingStudy(),
+		Stability:       a.Stability(),
+		StaticDynamic:   a.StaticDynamic(),
+		Timing:          a.Timing(opts.TimeoutMS),
+		SameConfig:      a.CompareSameConfig("Sim1", "Sim2"),
+	}
+	if len(opts.RankBoundaries) > 0 {
+		rb := a.RankBuckets(opts.RankBoundaries)
+		// Error values do not marshal; surface them as text.
+		if rb.TestError != nil {
+			e.Tests.Errors = append(e.Tests.Errors, "rank buckets: "+rb.TestError.Error())
+			rb.TestError = nil
+		}
+		e.RankBuckets = &rb
+	}
+	tests := a.RunTests(opts.Reference, opts.NoAction)
+	if tests.ChildrenVsSimilarityErr == nil {
+		r := tests.ChildrenVsSimilarity
+		e.Tests.ChildrenVsSimilarity = &r
+	} else {
+		e.Tests.Errors = append(e.Tests.Errors, "wilcoxon: "+tests.ChildrenVsSimilarityErr.Error())
+	}
+	if tests.InteractionDepthErr == nil {
+		r := tests.InteractionDepth
+		e.Tests.InteractionDepth = &r
+	} else {
+		e.Tests.Errors = append(e.Tests.Errors, "mann-whitney: "+tests.InteractionDepthErr.Error())
+	}
+	if tests.TypeEffectErr == nil {
+		r := tests.TypeEffect
+		e.Tests.TypeEffect = &r
+	} else {
+		e.Tests.Errors = append(e.Tests.Errors, "kruskal-wallis: "+tests.TypeEffectErr.Error())
+	}
+	return e
+}
+
+// WriteJSON marshals the bundle with indentation.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/tree"
+)
+
+func TestDepthBreadthHistogramMarginals(t *testing.T) {
+	a := sharedExperiment(t)
+	h := a.DepthBreadthHistogram()
+	// Every tree contributes exactly one (breadth, depth) point, and the
+	// coordinates must match the trees.
+	var total int
+	for _, pa := range a.Pages() {
+		for _, tr := range pa.Trees {
+			total++
+			if h.Count(tr.Breadth(), tr.MaxDepth()) == 0 {
+				t.Fatalf("tree (b=%d, d=%d) not in the histogram", tr.Breadth(), tr.MaxDepth())
+			}
+		}
+	}
+	if h.Total() != total {
+		t.Errorf("histogram total %d != trees %d", h.Total(), total)
+	}
+}
+
+func TestSimilarityDistributionMass(t *testing.T) {
+	a := sharedExperiment(t)
+	d := a.SimilarityDistribution()
+	sum := func(fs []float64) float64 {
+		var s float64
+		for _, f := range fs {
+			s += f
+		}
+		return s
+	}
+	if s := sum(d.Children.RelativeFrequencies()); math.Abs(s-1) > 1e-9 {
+		t.Errorf("children frequencies sum to %v", s)
+	}
+	if s := sum(d.Parents.RelativeFrequencies()); math.Abs(s-1) > 1e-9 {
+		t.Errorf("parent frequencies sum to %v", s)
+	}
+	// Paper Fig. 2: the parent distribution's top bin dominates (most
+	// parents near-perfectly similar).
+	pf := d.Parents.RelativeFrequencies()
+	top := pf[len(pf)-1]
+	for _, f := range pf[:len(pf)-1] {
+		if f > top {
+			t.Errorf("parent top bin (%v) not dominant (bin at %v)", top, f)
+		}
+	}
+}
+
+func TestNodeTypeVolumeTotals(t *testing.T) {
+	a := sharedExperiment(t)
+	rows := a.NodeTypeVolume()
+	var fromRows int
+	for _, r := range rows {
+		fromRows += r.Nodes
+	}
+	var fromTrees int
+	for _, pa := range a.Pages() {
+		for _, tr := range pa.Trees {
+			fromTrees += tr.NodeCount()
+		}
+	}
+	if fromRows != fromTrees {
+		t.Errorf("Fig3 node total %d != tree total %d", fromRows, fromTrees)
+	}
+	// Depth-0 row counts exactly one root per tree.
+	if rows[0].Nodes != len(a.Pages())*5 {
+		t.Errorf("depth-0 nodes %d != trees %d", rows[0].Nodes, len(a.Pages())*5)
+	}
+}
+
+func TestTypeSharesBySimilarityInvariants(t *testing.T) {
+	a := sharedExperiment(t)
+	f := a.TypeSharesBySimilarity("parent", 10)
+	var pages int
+	for _, p := range f.Pages {
+		pages += p
+	}
+	if pages == 0 || pages > len(a.Pages()) {
+		t.Errorf("binned pages = %d of %d", pages, len(a.Pages()))
+	}
+	for _, s := range f.Series {
+		for b, share := range s.Shares {
+			if share < 0 || share > 1 {
+				t.Errorf("type %v bin %d share %v", s.Type, b, share)
+			}
+		}
+	}
+	// Shares within a bin never exceed 1 in total (the five plotted types
+	// are a subset of all types).
+	for b := 0; b < 10; b++ {
+		var sum float64
+		for _, s := range f.Series {
+			sum += s.Shares[b]
+		}
+		if sum > 1+1e-9 {
+			t.Errorf("bin %d type shares sum to %v", b, sum)
+		}
+	}
+}
+
+func TestChildrenByDepthConsistency(t *testing.T) {
+	a := sharedExperiment(t)
+	all := a.ChildrenByDepth(20, false)
+	withKids := a.ChildrenByDepth(20, true)
+	byDepthAll := map[int]ChildrenByDepthRow{}
+	for _, r := range all {
+		byDepthAll[r.Depth] = r
+	}
+	for _, r := range withKids {
+		base, ok := byDepthAll[r.Depth]
+		if !ok {
+			t.Fatalf("with-children depth %d missing from all-nodes view", r.Depth)
+		}
+		if r.Nodes > base.Nodes {
+			t.Errorf("depth %d: filtered nodes %d > all %d", r.Depth, r.Nodes, base.Nodes)
+		}
+		if r.Mean < base.Mean {
+			t.Errorf("depth %d: filtering to parents must raise the mean (%v < %v)",
+				r.Depth, r.Mean, base.Mean)
+		}
+	}
+}
+
+func TestTypeDepthSimilarityCoversObservedTypes(t *testing.T) {
+	a := sharedExperiment(t)
+	rows := a.TypeDepthSimilarity(8)
+	seen := map[measurement.ResourceType]bool{}
+	for _, r := range rows {
+		seen[r.Type] = true
+	}
+	// The panel set of Fig. 7 — every type the generator emits in volume
+	// must appear.
+	for _, ty := range []measurement.ResourceType{
+		measurement.TypeScript, measurement.TypeImage, measurement.TypeStylesheet,
+		measurement.TypeSubFrame, measurement.TypeXHR, measurement.TypeBeacon,
+	} {
+		if !seen[ty] {
+			t.Errorf("Fig7 missing panel for %v", ty)
+		}
+	}
+}
+
+func TestSimilarityByDepthMatchesPartyOrdering(t *testing.T) {
+	a := sharedExperiment(t)
+	rows := a.SimilarityByDepth()
+	// Depth 1 (FP-dominated) must be more parent-similar than the deepest
+	// bucket (TP-dominated) — Fig. 4's trend.
+	d1, deep := rows[1], rows[len(rows)-1]
+	if deep.Nodes > 50 && d1.ParentSim <= deep.ParentSim {
+		t.Errorf("parent similarity should fall with depth: d1=%v deep=%v",
+			d1.ParentSim, deep.ParentSim)
+	}
+}
+
+// TestVolumeVsPartyAppearance cross-checks two independent computations of
+// the third-party share.
+func TestVolumeVsPartyAppearance(t *testing.T) {
+	a := sharedExperiment(t)
+	pa := a.PartyAppearance()
+	// Recompute the TP share from tree instances, weighted by presence:
+	// NodeTypeVolume counts instances, PartyAppearance counts distinct
+	// keys, so they differ — but both must land on the same side of 50%.
+	var tpInstances, instances int
+	for _, page := range a.Pages() {
+		for _, tr := range page.Trees {
+			for _, n := range tr.Nodes() {
+				if n.IsRoot() {
+					continue
+				}
+				instances++
+				if n.Party == tree.ThirdParty {
+					tpInstances++
+				}
+			}
+		}
+	}
+	instShare := float64(tpInstances) / float64(instances)
+	if (pa.TPShare > 0.5) != (instShare > 0.5) {
+		t.Errorf("TP share disagreement: keys %v vs instances %v", pa.TPShare, instShare)
+	}
+}

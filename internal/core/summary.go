@@ -1,0 +1,59 @@
+package core
+
+import (
+	"webmeasure/internal/stats"
+)
+
+// CrawlSummary reports the dataset-shaping numbers of §4 ("Success of
+// Crawling Method").
+type CrawlSummary struct {
+	Sites            int
+	Pages            int
+	Visits           int
+	VisitsPerProfile map[string]int
+	SuccessRate      map[string]float64
+	VettedSites      int
+	VettedPages      int
+	VettedShare      float64
+	// PagesPerSite summarizes discovered pages per site.
+	PagesPerSite stats.Summary
+}
+
+// CrawlSummary computes the crawl-level summary.
+func (a *Analysis) CrawlSummary() CrawlSummary {
+	s := CrawlSummary{
+		VisitsPerProfile: map[string]int{},
+		SuccessRate:      map[string]float64{},
+	}
+	s.Sites = len(a.ds.Sites())
+	pages := a.ds.Pages()
+	s.Pages = len(pages)
+	s.Visits = a.ds.Len()
+	for _, p := range a.profiles {
+		s.SuccessRate[p] = a.ds.SuccessRate(p)
+	}
+	for _, v := range a.ds.Visits() {
+		s.VisitsPerProfile[v.Profile]++
+	}
+
+	pagesPerSite := map[string]int{}
+	for _, pv := range pages {
+		pagesPerSite[pv.Key.Site]++
+	}
+	counts := make([]int, 0, len(pagesPerSite))
+	for _, c := range pagesPerSite {
+		counts = append(counts, c)
+	}
+	s.PagesPerSite = stats.SummarizeInts(counts)
+
+	vettedSites := map[string]bool{}
+	for _, pa := range a.pages {
+		vettedSites[pa.Key.Site] = true
+	}
+	s.VettedSites = len(vettedSites)
+	s.VettedPages = len(a.pages)
+	if s.Pages > 0 {
+		s.VettedShare = float64(s.VettedPages) / float64(s.Pages)
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+// Package coverage implements the repeated-measurement analysis behind the
+// paper's fourth takeaway: "researchers should use different profiles and
+// execute multiple measurements to assess the potential of 'randomized'
+// findings." It renders the same page repeatedly (and across profiles) and
+// reports node-accumulation curves — how much of a page's behaviour k
+// measurements capture, in the spirit of species-accumulation analysis.
+package coverage
+
+import (
+	"fmt"
+
+	"webmeasure/internal/browser"
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/tree"
+	"webmeasure/internal/webgen"
+)
+
+// Curve is a node-accumulation curve: Distinct[k-1] is the number of
+// distinct nodes observed after k successful measurements.
+type Curve struct {
+	// Distinct is cumulative distinct node counts per measurement.
+	Distinct []int
+	// PerVisit is the node count of each individual measurement.
+	PerVisit []int
+	// Failures counts visits that failed and were retried.
+	Failures int
+}
+
+// Measurements returns the number of successful measurements in the curve.
+func (c Curve) Measurements() int { return len(c.Distinct) }
+
+// Total returns the distinct nodes after all measurements.
+func (c Curve) Total() int {
+	if len(c.Distinct) == 0 {
+		return 0
+	}
+	return c.Distinct[len(c.Distinct)-1]
+}
+
+// NewShare returns the share of the final node population that measurement
+// k (1-based) added. NewShare(1) is the first visit's share.
+func (c Curve) NewShare(k int) float64 {
+	if k < 1 || k > len(c.Distinct) || c.Total() == 0 {
+		return 0
+	}
+	prev := 0
+	if k > 1 {
+		prev = c.Distinct[k-2]
+	}
+	return float64(c.Distinct[k-1]-prev) / float64(c.Total())
+}
+
+// CoverageAt returns the fraction of the final population seen after k
+// measurements.
+func (c Curve) CoverageAt(k int) float64 {
+	if k < 1 || c.Total() == 0 {
+		return 0
+	}
+	if k > len(c.Distinct) {
+		k = len(c.Distinct)
+	}
+	return float64(c.Distinct[k-1]) / float64(c.Total())
+}
+
+// MeasurementsFor returns the smallest k reaching the given coverage of
+// the final population (0 when never reached).
+func (c Curve) MeasurementsFor(coverage float64) int {
+	for k := 1; k <= len(c.Distinct); k++ {
+		if c.CoverageAt(k) >= coverage {
+			return k
+		}
+	}
+	return 0
+}
+
+// Runner renders repeated measurements of pages. Filter may be nil.
+type Runner struct {
+	Filter *filterlist.List
+	// Seed individualizes the visit nonces.
+	Seed int64
+}
+
+// Accumulate visits the page `visits` times with one profile, building the
+// dependency tree of each visit and accumulating distinct node keys.
+// Failed visits are retried with fresh nonces (they contribute to
+// Curve.Failures) so the curve always holds `visits` measurements.
+func (r *Runner) Accumulate(page *webgen.Page, prof browser.Profile, visits int) (Curve, error) {
+	return r.accumulate(page, []browser.Profile{prof}, visits)
+}
+
+// AccumulateAcrossProfiles interleaves measurements across the given
+// profiles (visit i uses profiles[i mod len]), the multi-profile strategy
+// §4.3 recommends for capturing a complete view of a page.
+func (r *Runner) AccumulateAcrossProfiles(page *webgen.Page, profiles []browser.Profile, visits int) (Curve, error) {
+	return r.accumulate(page, profiles, visits)
+}
+
+func (r *Runner) accumulate(page *webgen.Page, profiles []browser.Profile, visits int) (Curve, error) {
+	if visits < 1 {
+		return Curve{}, fmt.Errorf("coverage: visits must be positive")
+	}
+	if len(profiles) == 0 {
+		return Curve{}, fmt.Errorf("coverage: at least one profile required")
+	}
+	builder := &tree.Builder{Filter: r.Filter}
+	seen := map[string]bool{}
+	var curve Curve
+	attempt := 0
+	for k := 0; k < visits; k++ {
+		prof := profiles[k%len(profiles)]
+		b := browser.New(prof)
+		var t *tree.Tree
+		for {
+			attempt++
+			if attempt > visits*20 {
+				return curve, fmt.Errorf("coverage: too many failed visits for %s", page.URL)
+			}
+			nonce := webgen.NonceFor(uint64(r.Seed), fmt.Sprintf("%s#%d", prof.Name, attempt), page.URL)
+			v := b.Visit(page, nonce)
+			if !v.Success {
+				curve.Failures++
+				continue
+			}
+			var err error
+			t, err = builder.Build(v)
+			if err != nil {
+				curve.Failures++
+				continue
+			}
+			break
+		}
+		count := 0
+		for _, n := range t.Nodes() {
+			if n.IsRoot() {
+				continue
+			}
+			count++
+			seen[n.Key] = true
+		}
+		curve.PerVisit = append(curve.PerVisit, count)
+		curve.Distinct = append(curve.Distinct, len(seen))
+	}
+	return curve, nil
+}

@@ -1,0 +1,116 @@
+package coverage
+
+import (
+	"testing"
+
+	"webmeasure/internal/browser"
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+func testPage(t *testing.T) (*webgen.Page, *filterlist.List) {
+	t.Helper()
+	u := webgen.New(webgen.DefaultConfig(42))
+	s := u.GenerateSite(tranco.Entry{Rank: 2, Site: "coverage-site.example"})
+	f, _ := filterlist.Parse(u.FilterListText())
+	return s.Landing, f
+}
+
+func TestAccumulateMonotonicAndDeterministic(t *testing.T) {
+	page, filter := testPage(t)
+	r := &Runner{Filter: filter, Seed: 9}
+	prof, _ := browser.ProfileByName("Sim1")
+	c, err := r.Accumulate(page, prof, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Measurements() != 8 || len(c.PerVisit) != 8 {
+		t.Fatalf("measurements = %d", c.Measurements())
+	}
+	for i := 1; i < len(c.Distinct); i++ {
+		if c.Distinct[i] < c.Distinct[i-1] {
+			t.Fatalf("accumulation must be monotone: %v", c.Distinct)
+		}
+	}
+	if c.Total() < c.PerVisit[0] {
+		t.Errorf("total %d < first visit %d", c.Total(), c.PerVisit[0])
+	}
+	// Repeated visits must discover something beyond the first visit on a
+	// page with ads/volatile content.
+	if c.Total() == c.Distinct[0] {
+		t.Error("no new nodes across 8 visits — volatility dead")
+	}
+	// Deterministic given the seed.
+	c2, err := r.Accumulate(page, prof, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Distinct {
+		if c.Distinct[i] != c2.Distinct[i] {
+			t.Fatal("accumulation not deterministic")
+		}
+	}
+}
+
+func TestCurveDerivedMetrics(t *testing.T) {
+	c := Curve{Distinct: []int{50, 60, 65, 66}}
+	if got := c.Total(); got != 66 {
+		t.Errorf("Total = %d", got)
+	}
+	if got := c.NewShare(1); got != 50.0/66 {
+		t.Errorf("NewShare(1) = %v", got)
+	}
+	if got := c.NewShare(2); got != 10.0/66 {
+		t.Errorf("NewShare(2) = %v", got)
+	}
+	if got := c.CoverageAt(2); got != 60.0/66 {
+		t.Errorf("CoverageAt(2) = %v", got)
+	}
+	if got := c.CoverageAt(99); got != 1 {
+		t.Errorf("CoverageAt(99) = %v", got)
+	}
+	if got := c.MeasurementsFor(0.9); got != 2 {
+		t.Errorf("MeasurementsFor(0.9) = %d", got)
+	}
+	if got := c.MeasurementsFor(1.01); got != 0 {
+		t.Errorf("unreachable coverage should be 0, got %d", got)
+	}
+	empty := Curve{}
+	if empty.Total() != 0 || empty.NewShare(1) != 0 || empty.CoverageAt(1) != 0 {
+		t.Error("empty curve metrics must be zero")
+	}
+}
+
+func TestAccumulateAcrossProfiles(t *testing.T) {
+	page, filter := testPage(t)
+	r := &Runner{Filter: filter, Seed: 3}
+	prof, _ := browser.ProfileByName("Sim1")
+	single, err := r.Accumulate(page, prof, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := r.AccumulateAcrossProfiles(page, browser.DefaultProfiles(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3: multiple profiles capture at least as much as repeating one —
+	// typically more, because version/interaction gates differ. Allow
+	// equality for pages without gated content.
+	if multi.Total() < single.Total()-2 {
+		t.Errorf("multi-profile coverage (%d) unexpectedly below single-profile (%d)",
+			multi.Total(), single.Total())
+	}
+}
+
+func TestAccumulateValidation(t *testing.T) {
+	page, _ := testPage(t)
+	r := &Runner{Seed: 1}
+	prof, _ := browser.ProfileByName("Sim1")
+	if _, err := r.Accumulate(page, prof, 0); err == nil {
+		t.Error("zero visits should error")
+	}
+	if _, err := r.AccumulateAcrossProfiles(page, nil, 3); err == nil {
+		t.Error("no profiles should error")
+	}
+}

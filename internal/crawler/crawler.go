@@ -1,0 +1,259 @@
+// Package crawler orchestrates the semi-parallel measurement (§3.1,
+// Appendix C): a commander hands each site to every profile's client
+// ("VM") simultaneously and waits until all clients finished the site's
+// pages before moving on — site visits are synchronized, page visits are
+// not. Each client runs a pool of browser instances, enforces the page
+// timeout, and suffers injected network-level failures so the per-profile
+// success rate matches the paper's (≥89%).
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"webmeasure/internal/browser"
+	"webmeasure/internal/cookies"
+	"webmeasure/internal/dataset"
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+// networkFailureProb is the per-(page, profile) probability of a failure
+// outside the browser (DNS, routing, saturated uplink). Together with the
+// browser's own failure probability the per-profile failure rate is ~11%,
+// the paper's mean.
+const networkFailureProb = 0.08
+
+// Config parameterizes a crawl.
+type Config struct {
+	// Universe generates the sites' pages.
+	Universe *webgen.Universe
+	// Profiles to run; one client per profile. Defaults to the paper's
+	// five (browser.DefaultProfiles).
+	Profiles []browser.Profile
+	// Sites to visit.
+	Sites []tranco.Entry
+	// MaxPages bounds the subpages visited per site in addition to the
+	// landing page (the paper collects 25). 0 = all generated pages.
+	MaxPages int
+	// Instances is the number of parallel browser instances per client
+	// (the paper runs 15 per VM). 0 = 15.
+	Instances int
+	// TimeoutMS is the per-page timeout. 0 = browser.DefaultTimeoutMS.
+	TimeoutMS int
+	// Seed individualizes the crawl's volatile behaviour (visit nonces).
+	Seed int64
+	// Stateful preserves the browser state (cookie jar) across the pages
+	// of a site within each client — the alternative design choice
+	// Appendix C discusses. Stateful clients visit pages sequentially
+	// (browser state is per session), so Instances is ignored. The
+	// default is the paper's stateless mode, where visit order cannot
+	// affect results.
+	Stateful bool
+	// Epoch selects the web's point in time (webgen.GenerateSiteAt):
+	// 0 = the base snapshot; higher values accumulate content churn,
+	// tracker swaps, and page turnover. Crawling the same seed at two
+	// epochs yields the longitudinal-comparability experiment.
+	Epoch int
+	// Resume, if non-nil, is a previously collected (possibly partial)
+	// dataset: visits already present there are reused instead of being
+	// re-performed, so an interrupted multi-day crawl continues where it
+	// stopped. Only successful visits are reused; failures are retried.
+	Resume *dataset.Dataset
+	// Progress, if non-nil, receives the site index after each completed
+	// site batch (monitoring hook for the commander UI).
+	Progress func(done, total int)
+	// OnVisit, if non-nil, receives every visit as it completes — the
+	// streaming sink for multi-day crawls (write-through checkpointing).
+	// Called concurrently from the clients; the callback must be
+	// goroutine-safe.
+	OnVisit func(*measurement.Visit)
+}
+
+// Stats summarizes a crawl.
+type Stats struct {
+	SitesVisited    int
+	PagesDiscovered int
+	VisitsTotal     int
+	VisitsFailed    int
+	// VisitsReused counts visits taken from Config.Resume.
+	VisitsReused int
+}
+
+// Run executes the crawl and returns the collected dataset. The context
+// cancels between site batches.
+func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
+	if cfg.Universe == nil {
+		return nil, Stats{}, fmt.Errorf("crawler: Config.Universe is required")
+	}
+	if len(cfg.Sites) == 0 {
+		return nil, Stats{}, fmt.Errorf("crawler: no sites to crawl")
+	}
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = browser.DefaultProfiles()
+	}
+	instances := cfg.Instances
+	if instances <= 0 {
+		instances = 15
+	}
+
+	ds := dataset.New()
+	var stats Stats
+	var statsMu sync.Mutex
+
+	for si, entry := range cfg.Sites {
+		if err := ctx.Err(); err != nil {
+			return ds, stats, err
+		}
+		site := cfg.Universe.GenerateSiteAt(entry, cfg.Epoch)
+		pages := discoverPages(site, cfg.MaxPages)
+		stats.SitesVisited++
+		stats.PagesDiscovered += len(pages)
+
+		// Checkpoint reuse: split each profile's work into pages already
+		// covered by the resume dataset and pages still to visit.
+		reuse := func(prof browser.Profile, page *webgen.Page) *measurement.Visit {
+			if cfg.Resume == nil {
+				return nil
+			}
+			pv := cfg.Resume.PageGroup(dataset.PageKey{Site: site.Domain, PageURL: page.URL})
+			if pv == nil {
+				return nil
+			}
+			if v := pv.ByProfile[prof.Name]; v != nil && v.Success {
+				return v
+			}
+			return nil
+		}
+
+		// The commander starts every profile's client on the site at the
+		// same moment and waits for all of them (site-level barrier).
+		var wg sync.WaitGroup
+		for _, prof := range profiles {
+			wg.Add(1)
+			go func(prof browser.Profile) {
+				defer wg.Done()
+				b := &browser.Browser{Profile: prof, TimeoutMS: cfg.TimeoutMS}
+				var todo []*webgen.Page
+				for _, p := range pages {
+					if v := reuse(prof, p); v != nil {
+						ds.Add(v)
+						if cfg.OnVisit != nil {
+							cfg.OnVisit(v)
+						}
+						statsMu.Lock()
+						stats.VisitsTotal++
+						stats.VisitsReused++
+						statsMu.Unlock()
+						continue
+					}
+					todo = append(todo, p)
+				}
+				visitAll(b, site, todo, cfg.Seed, instances, cfg.Stateful, ds, func(v *measurement.Visit) {
+					if cfg.OnVisit != nil {
+						cfg.OnVisit(v)
+					}
+					statsMu.Lock()
+					stats.VisitsTotal++
+					if !v.Success {
+						stats.VisitsFailed++
+					}
+					statsMu.Unlock()
+				})
+			}(prof)
+		}
+		wg.Wait()
+		if cfg.Progress != nil {
+			cfg.Progress(si+1, len(cfg.Sites))
+		}
+	}
+	return ds, stats, nil
+}
+
+// discoverPages delegates to the HTML-parsing discovery pass.
+func discoverPages(site *webgen.Site, maxPages int) []*webgen.Page {
+	return DiscoverPages(site, maxPages)
+}
+
+// visitAll runs one client: a pool of browser instances draining the
+// site's pages, or — in stateful mode — one sequential session whose
+// cookie jar persists across the site's pages.
+func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
+	seed int64, instances int, stateful bool, ds *dataset.Dataset, record func(*measurement.Visit)) {
+
+	if stateful {
+		jar := browser.NewJar()
+		for _, p := range pages {
+			v := visitPage(b, site, p, seed, jar)
+			ds.Add(v)
+			record(v)
+		}
+		return
+	}
+
+	type job struct{ page *webgen.Page }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < instances; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				v := visitPage(b, site, j.page, seed, nil)
+				ds.Add(v)
+				record(v)
+			}
+		}()
+	}
+	for _, p := range pages {
+		jobs <- job{page: p}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// visitPage performs one page visit with failure injection and start-offset
+// bookkeeping.
+func visitPage(b *browser.Browser, site *webgen.Site, page *webgen.Page, seed int64, jar *cookies.Jar) *measurement.Visit {
+	nonce := visitNonce(seed, b.Profile.Name, page.URL)
+	if site.Unreachable {
+		return &measurement.Visit{
+			Site: site.Domain, PageURL: page.URL, Profile: b.Profile.Name,
+			Failure: "site unreachable",
+		}
+	}
+	if webgen.RollProb(page.Seed, nonce, "crawler", "netfail") < networkFailureProb {
+		return &measurement.Visit{
+			Site: site.Domain, PageURL: page.URL, Profile: b.Profile.Name,
+			Failure: "network error",
+		}
+	}
+	var v *measurement.Visit
+	if jar != nil {
+		v = b.VisitWithJar(page, nonce, jar)
+	} else {
+		v = b.Visit(page, nonce)
+	}
+	// Visits start near-simultaneously but drift page by page; the paper
+	// reports a 46s mean deviation with heavy tail (Appendix C). Model the
+	// offset as a mixture of small jitter and occasional timeout-induced
+	// stragglers.
+	r := webgen.RollProb(page.Seed, nonce, "crawler", "offset")
+	switch {
+	case r < 0.85:
+		v.StartOffsetS = r * 40 // 0..34s
+	default:
+		v.StartOffsetS = 30 + (r-0.85)*2400 // tail up to ~6 min
+	}
+	return v
+}
+
+// visitNonce derives the per-visit entropy. Distinct profiles get distinct
+// nonces even with identical configurations — they are distinct sessions
+// hitting distinct server-side state, which is why Sim1 and Sim2 differ.
+func visitNonce(seed int64, profile, pageURL string) uint64 {
+	return webgen.NonceFor(uint64(seed), profile, pageURL)
+}

@@ -1,0 +1,51 @@
+package crawler
+
+import (
+	"webmeasure/internal/linkextract"
+	"webmeasure/internal/urlutil"
+	"webmeasure/internal/webgen"
+)
+
+// DiscoverPages implements the paper's subpage collection (§3.1.2): the
+// landing page is fetched ahead of the experiment and its HTML parsed for
+// first-party links; when it holds too few, discovery recurses into the
+// found subpages until maxPages links are known or the site is exhausted.
+// The returned slice starts with the landing page, in discovery order.
+func DiscoverPages(site *webgen.Site, maxPages int) []*webgen.Page {
+	byURL := make(map[string]*webgen.Page, len(site.Pages))
+	for _, p := range site.Pages {
+		byURL[p.URL] = p
+	}
+
+	out := []*webgen.Page{site.Landing}
+	if maxPages == 0 {
+		maxPages = len(site.Pages)
+	}
+	seen := map[string]bool{site.Landing.URL: true}
+	queue := []*webgen.Page{site.Landing}
+	for len(queue) > 0 && len(out)-1 < maxPages {
+		cur := queue[0]
+		queue = queue[1:]
+		links := linkextract.Extract(webgen.RenderHTML(cur), cur.URL)
+		for _, href := range links.Anchors {
+			if len(out)-1 >= maxPages {
+				break
+			}
+			if seen[href] {
+				continue
+			}
+			seen[href] = true
+			// Only first-party links count as subpages.
+			if urlutil.IsThirdParty(href, site.Landing.URL) {
+				continue
+			}
+			p := byURL[href]
+			if p == nil {
+				continue // dangling link (404 in the wild)
+			}
+			out = append(out, p)
+			queue = append(queue, p)
+		}
+	}
+	return out
+}

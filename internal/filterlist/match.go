@@ -1,0 +1,176 @@
+package filterlist
+
+import (
+	"strings"
+
+	"webmeasure/internal/urlutil"
+)
+
+// Request carries the context the matcher needs: the request URL, the URL of
+// the page issuing it (for $third-party and $domain), and the resource type.
+type Request struct {
+	URL     string
+	PageURL string
+	Type    RequestType
+}
+
+// MatchRequest reports whether the rule matches the request, considering the
+// pattern and all options.
+func (r *Rule) MatchRequest(req Request) bool {
+	if r.types&req.Type == 0 && req.Type != 0 {
+		return false
+	}
+	if r.thirdParty != 0 {
+		tp := urlutil.IsThirdParty(req.URL, req.PageURL)
+		if r.thirdParty == 1 && !tp {
+			return false
+		}
+		if r.thirdParty == 2 && tp {
+			return false
+		}
+	}
+	if len(r.includeDomains) > 0 || len(r.excludeDomains) > 0 {
+		host := urlutil.Host(req.PageURL)
+		if len(r.includeDomains) > 0 && !domainInList(host, r.includeDomains) {
+			return false
+		}
+		if domainInList(host, r.excludeDomains) {
+			return false
+		}
+	}
+	return r.matchURL(strings.ToLower(req.URL))
+}
+
+// domainInList reports whether host equals or is a subdomain of any entry.
+func domainInList(host string, list []string) bool {
+	for _, d := range list {
+		if host == d || strings.HasSuffix(host, "."+d) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchURL matches the rule pattern against a lower-cased URL.
+func (r *Rule) matchURL(url string) bool {
+	switch {
+	case r.anchorStart:
+		end, ok := r.matchSegmentsAt(url, 0)
+		return ok && (!r.anchorEnd || end == len(url))
+	case r.anchorDomain:
+		for _, start := range domainAnchorPositions(url) {
+			if end, ok := r.matchSegmentsAt(url, start); ok && (!r.anchorEnd || end == len(url)) {
+				return true
+			}
+		}
+		return false
+	default:
+		for start := 0; start <= len(url); start++ {
+			if end, ok := r.matchSegmentsAt(url, start); ok && (!r.anchorEnd || end == len(url)) {
+				return true
+			}
+			// Only the first segment's first byte constrains the start; skip
+			// ahead cheaply when it is a literal.
+			if len(r.segments) > 0 && r.segments[0][0] != '^' {
+				if start+1 > len(url) {
+					return false
+				}
+				if next := strings.IndexByte(url[start+1:], r.segments[0][0]); next >= 0 {
+					start += next // loop increment adds 1
+				} else {
+					return false
+				}
+			}
+		}
+		return false
+	}
+}
+
+// matchSegmentsAt matches all pattern segments beginning exactly at pos for
+// the first segment, with later segments found anywhere after (wildcard
+// semantics). It returns the position after the final segment.
+func (r *Rule) matchSegmentsAt(url string, pos int) (int, bool) {
+	if len(r.segments) == 0 {
+		return pos, true
+	}
+	end, ok := matchSegmentAt(url, pos, r.segments[0])
+	if !ok {
+		return 0, false
+	}
+	pos = end
+	for _, seg := range r.segments[1:] {
+		found := false
+		for p := pos; p <= len(url); p++ {
+			if e, ok := matchSegmentAt(url, p, seg); ok {
+				pos = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return pos, true
+}
+
+// matchSegmentAt matches one wildcard-free segment at an exact position.
+// '^' matches a separator character or the end of the URL (only as the
+// final character of the segment).
+func matchSegmentAt(url string, pos int, seg string) (int, bool) {
+	for i := 0; i < len(seg); i++ {
+		if seg[i] == '^' {
+			if pos == len(url) {
+				if i == len(seg)-1 {
+					return pos, true
+				}
+				return 0, false
+			}
+			if !isSeparator(url[pos]) {
+				return 0, false
+			}
+			pos++
+			continue
+		}
+		if pos >= len(url) || url[pos] != seg[i] {
+			return 0, false
+		}
+		pos++
+	}
+	return pos, true
+}
+
+// isSeparator implements ABP's separator class: anything that is not a
+// letter, digit, or one of "_-.%".
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '_' || c == '-' || c == '.' || c == '%':
+		return false
+	}
+	return true
+}
+
+// domainAnchorPositions returns the positions in url where a "||" rule may
+// start matching: the beginning of the host and after each dot inside it.
+func domainAnchorPositions(url string) []int {
+	hostStart := 0
+	if i := strings.Index(url, "://"); i >= 0 {
+		hostStart = i + 3
+	}
+	hostEnd := len(url)
+	for i := hostStart; i < len(url); i++ {
+		if c := url[i]; c == '/' || c == '?' || c == ':' || c == '#' {
+			hostEnd = i
+			break
+		}
+	}
+	positions := []int{hostStart}
+	for i := hostStart; i < hostEnd; i++ {
+		if url[i] == '.' {
+			positions = append(positions, i+1)
+		}
+	}
+	return positions
+}

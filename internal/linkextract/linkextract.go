@@ -1,0 +1,253 @@
+// Package linkextract parses HTML documents for the resources and links
+// they reference — the substrate behind the paper's page discovery
+// (§3.1.2: visiting each landing page "to collect 25 subpages (i.e.,
+// first-party links on the page)", recursing when a page holds too few).
+// It implements a small, forgiving HTML tokenizer: attribute quoting in
+// all three styles, case-insensitive names, <base href> resolution,
+// comments, and garbage tolerance — real-world HTML is never clean.
+package linkextract
+
+import (
+	"net/url"
+	"strings"
+)
+
+// Links are the references found in one document, resolved against the
+// document's base URL, in document order, with duplicates removed.
+type Links struct {
+	Anchors     []string // <a href>
+	Scripts     []string // <script src>
+	Images      []string // <img src>
+	Stylesheets []string // <link rel=stylesheet href>
+	Frames      []string // <iframe src>
+}
+
+// Extract parses the document and resolves every reference against
+// baseURL (overridden by a <base href> tag if present). Unresolvable or
+// non-HTTP(S) references are dropped.
+func Extract(document, baseURL string) Links {
+	base, err := url.Parse(baseURL)
+	if err != nil {
+		base = nil
+	}
+	var out Links
+	seen := map[string]bool{}
+	add := func(dst *[]string, raw string) {
+		resolved := resolve(base, raw)
+		if resolved == "" || seen[resolved] {
+			return
+		}
+		seen[resolved] = true
+		*dst = append(*dst, resolved)
+	}
+
+	for _, tag := range tokenize(document) {
+		switch tag.name {
+		case "base":
+			if href := tag.attrs["href"]; href != "" && base != nil {
+				if nb, err := base.Parse(href); err == nil {
+					base = nb
+				}
+			}
+		case "a":
+			add(&out.Anchors, tag.attrs["href"])
+		case "script":
+			add(&out.Scripts, tag.attrs["src"])
+		case "img":
+			add(&out.Images, tag.attrs["src"])
+		case "iframe", "frame":
+			add(&out.Frames, tag.attrs["src"])
+		case "link":
+			rel := strings.ToLower(tag.attrs["rel"])
+			if strings.Contains(rel, "stylesheet") {
+				add(&out.Stylesheets, tag.attrs["href"])
+			}
+		}
+	}
+	return out
+}
+
+// resolve resolves raw against base, dropping fragments, javascript: and
+// data: URLs, and anything that does not end up http(s).
+func resolve(base *url.URL, raw string) string {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return ""
+	}
+	lower := strings.ToLower(raw)
+	if strings.HasPrefix(lower, "javascript:") || strings.HasPrefix(lower, "data:") ||
+		strings.HasPrefix(lower, "mailto:") || strings.HasPrefix(raw, "#") {
+		return ""
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	if base != nil {
+		u = base.ResolveReference(u)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return ""
+	}
+	u.Fragment = ""
+	return u.String()
+}
+
+// tag is one parsed start tag.
+type tag struct {
+	name  string
+	attrs map[string]string
+}
+
+// tokenize scans the document for start tags and their attributes. It is
+// not a conforming HTML5 tokenizer, but it handles the constructs found in
+// the wild: comments, unquoted/single/double-quoted attributes, boolean
+// attributes, self-closing tags, stray '<' characters, and attribute names
+// in any case. Script/style element *content* is skipped so embedded "<a"
+// strings inside code don't produce phantom tags.
+func tokenize(doc string) []tag {
+	var tags []tag
+	i := 0
+	n := len(doc)
+	for i < n {
+		lt := strings.IndexByte(doc[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt
+		// Comment?
+		if strings.HasPrefix(doc[i:], "<!--") {
+			end := strings.Index(doc[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		// Closing tag or declaration: skip to '>'.
+		if i+1 < n && (doc[i+1] == '/' || doc[i+1] == '!' || doc[i+1] == '?') {
+			gt := strings.IndexByte(doc[i:], '>')
+			if gt < 0 {
+				break
+			}
+			i += gt + 1
+			continue
+		}
+		t, next, ok := parseStartTag(doc, i)
+		if !ok {
+			i++ // stray '<'
+			continue
+		}
+		tags = append(tags, t)
+		i = next
+		// Skip raw-text element content.
+		if t.name == "script" || t.name == "style" {
+			closer := "</" + t.name
+			idx := indexFold(doc[i:], closer)
+			if idx < 0 {
+				break
+			}
+			i += idx
+		}
+	}
+	return tags
+}
+
+// parseStartTag parses a start tag beginning at doc[i] == '<'. It returns
+// the tag, the index after '>', and whether a valid tag was parsed.
+func parseStartTag(doc string, i int) (tag, int, bool) {
+	n := len(doc)
+	j := i + 1
+	start := j
+	for j < n && isNameByte(doc[j]) {
+		j++
+	}
+	if j == start {
+		return tag{}, 0, false
+	}
+	t := tag{name: strings.ToLower(doc[start:j]), attrs: map[string]string{}}
+	for {
+		// Skip whitespace and slashes.
+		for j < n && (doc[j] == ' ' || doc[j] == '\t' || doc[j] == '\n' || doc[j] == '\r' || doc[j] == '/') {
+			j++
+		}
+		if j >= n {
+			return tag{}, 0, false
+		}
+		if doc[j] == '>' {
+			return t, j + 1, true
+		}
+		// Attribute name.
+		nameStart := j
+		for j < n && doc[j] != '=' && doc[j] != '>' && doc[j] != ' ' && doc[j] != '\t' && doc[j] != '\n' && doc[j] != '\r' && doc[j] != '/' {
+			j++
+		}
+		name := strings.ToLower(doc[nameStart:j])
+		if name == "" {
+			j++
+			continue
+		}
+		// Skip whitespace before '='.
+		for j < n && (doc[j] == ' ' || doc[j] == '\t') {
+			j++
+		}
+		if j < n && doc[j] == '=' {
+			j++
+			for j < n && (doc[j] == ' ' || doc[j] == '\t') {
+				j++
+			}
+			if j >= n {
+				return tag{}, 0, false
+			}
+			var value string
+			switch doc[j] {
+			case '"', '\'':
+				quote := doc[j]
+				j++
+				end := strings.IndexByte(doc[j:], quote)
+				if end < 0 {
+					return tag{}, 0, false
+				}
+				value = doc[j : j+end]
+				j += end + 1
+			default:
+				valStart := j
+				for j < n && doc[j] != ' ' && doc[j] != '\t' && doc[j] != '\n' && doc[j] != '\r' && doc[j] != '>' {
+					j++
+				}
+				value = doc[valStart:j]
+			}
+			t.attrs[name] = htmlUnescape(value)
+		} else {
+			t.attrs[name] = "" // boolean attribute
+		}
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(s, needle string) int {
+	needle = strings.ToLower(needle)
+	limit := len(s) - len(needle)
+	for i := 0; i <= limit; i++ {
+		if strings.EqualFold(s[i:i+len(needle)], needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+// htmlUnescape handles the entities that occur in URLs.
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&#x2F;", "/",
+)
+
+func htmlUnescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}

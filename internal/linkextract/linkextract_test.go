@@ -1,0 +1,173 @@
+package linkextract
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const base = "https://news.example/articles/today"
+
+func TestExtractBasics(t *testing.T) {
+	doc := `<!DOCTYPE html>
+<html><head>
+<link rel="stylesheet" href="/styles/a.css">
+<link rel=icon href=/favicon.ico>
+<script src="https://cdn.example/lib.js"></script>
+</head><body>
+<a href="/page-1">one</a>
+<a href='page-2'>two (relative)</a>
+<a href="https://other.example/out">external</a>
+<img src="/img/logo.png">
+<iframe src="https://ads.example/frame"></iframe>
+</body></html>`
+	l := Extract(doc, base)
+	wantAnchors := []string{
+		"https://news.example/page-1",
+		"https://news.example/articles/page-2",
+		"https://other.example/out",
+	}
+	if len(l.Anchors) != len(wantAnchors) {
+		t.Fatalf("anchors = %v", l.Anchors)
+	}
+	for i, w := range wantAnchors {
+		if l.Anchors[i] != w {
+			t.Errorf("anchor %d = %q, want %q", i, l.Anchors[i], w)
+		}
+	}
+	if len(l.Stylesheets) != 1 || l.Stylesheets[0] != "https://news.example/styles/a.css" {
+		t.Errorf("stylesheets = %v (icon must not count)", l.Stylesheets)
+	}
+	if len(l.Scripts) != 1 || l.Scripts[0] != "https://cdn.example/lib.js" {
+		t.Errorf("scripts = %v", l.Scripts)
+	}
+	if len(l.Images) != 1 || len(l.Frames) != 1 {
+		t.Errorf("images = %v frames = %v", l.Images, l.Frames)
+	}
+}
+
+func TestExtractBaseTag(t *testing.T) {
+	doc := `<base href="https://mirror.example/root/"><a href="sub">x</a>`
+	l := Extract(doc, base)
+	if len(l.Anchors) != 1 || l.Anchors[0] != "https://mirror.example/root/sub" {
+		t.Errorf("anchors = %v", l.Anchors)
+	}
+}
+
+func TestExtractSkipsNonHTTP(t *testing.T) {
+	doc := `<a href="javascript:void(0)">j</a>
+<a href="mailto:x@y.example">m</a>
+<a href="data:text/plain,hi">d</a>
+<a href="#section">f</a>
+<a href="ftp://files.example/x">ftp</a>
+<a href="/ok">ok</a>`
+	l := Extract(doc, base)
+	if len(l.Anchors) != 1 || l.Anchors[0] != "https://news.example/ok" {
+		t.Errorf("anchors = %v", l.Anchors)
+	}
+}
+
+func TestExtractDeduplicatesAndStripsFragments(t *testing.T) {
+	doc := `<a href="/p">1</a><a href="/p#top">2</a><a href="/p">3</a>`
+	l := Extract(doc, base)
+	if len(l.Anchors) != 1 {
+		t.Errorf("anchors = %v", l.Anchors)
+	}
+}
+
+func TestExtractMalformedHTML(t *testing.T) {
+	cases := []string{
+		`<a href="/x`,                   // unterminated attribute
+		`< a href="/x">`,                // space after <
+		`<a href=/x><a href=>`,          // unquoted + empty
+		`1 < 2 but <a href="/x">ok</a>`, // stray <
+		`<!-- <a href="/no"> --> <a href="/yes">`,
+		`<A HREF="/caps">`, // case-insensitive
+		`<a data-x='y' href="/attr" download>`,
+	}
+	for _, doc := range cases {
+		l := Extract(doc, base) // must not panic
+		for _, a := range l.Anchors {
+			if strings.Contains(a, "/no") {
+				t.Errorf("commented link extracted from %q", doc)
+			}
+		}
+	}
+	if l := Extract(`<a href="/yes">`, base); len(l.Anchors) != 1 {
+		t.Error("baseline extraction broken")
+	}
+	if l := Extract(`<A HREF="/caps">`, base); len(l.Anchors) != 1 {
+		t.Error("case-insensitive extraction broken")
+	}
+}
+
+func TestExtractSkipsScriptContent(t *testing.T) {
+	doc := `<script>var s = '<a href="/phantom">';</script><a href="/real">`
+	l := Extract(doc, base)
+	if len(l.Anchors) != 1 || !strings.HasSuffix(l.Anchors[0], "/real") {
+		t.Errorf("anchors = %v (script content leaked)", l.Anchors)
+	}
+	// Case-insensitive closer.
+	doc = `<SCRIPT>x<a href="/p1"></SCRIPT><a href="/p2">`
+	l = Extract(doc, base)
+	if len(l.Anchors) != 1 || !strings.HasSuffix(l.Anchors[0], "/p2") {
+		t.Errorf("anchors = %v", l.Anchors)
+	}
+}
+
+func TestExtractEntities(t *testing.T) {
+	doc := `<a href="/search?a=1&amp;b=2">x</a>`
+	l := Extract(doc, base)
+	if len(l.Anchors) != 1 || !strings.HasSuffix(l.Anchors[0], "a=1&b=2") {
+		t.Errorf("anchors = %v", l.Anchors)
+	}
+}
+
+func TestExtractBadBase(t *testing.T) {
+	l := Extract(`<a href="https://abs.example/x">`, "http://[::1")
+	if len(l.Anchors) != 1 {
+		t.Errorf("absolute URLs must survive a bad base: %v", l.Anchors)
+	}
+	l = Extract(`<a href="/rel">`, "http://[::1")
+	if len(l.Anchors) != 1 || l.Anchors[0] != "/rel" {
+		// With no usable base, relative URLs cannot resolve to http(s) and
+		// are dropped.
+		if len(l.Anchors) != 0 {
+			t.Errorf("anchors = %v", l.Anchors)
+		}
+	}
+}
+
+// Property: the tokenizer never panics and produces resolvable output on
+// arbitrary input.
+func TestExtractNeverPanics(t *testing.T) {
+	f := func(doc string) bool {
+		l := Extract(doc, base)
+		for _, a := range l.Anchors {
+			if !strings.HasPrefix(a, "http://") && !strings.HasPrefix(a, "https://") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><head><link rel=stylesheet href=/s.css></head><body>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`<a href="/page-`)
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(`">link</a><img src="/img.png">`)
+	}
+	sb.WriteString("</body></html>")
+	doc := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(doc, base)
+	}
+}

@@ -1,0 +1,125 @@
+package measurement
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResourceTypeString(t *testing.T) {
+	cases := map[ResourceType]string{
+		TypeMainFrame:  "main_frame",
+		TypeSubFrame:   "sub_frame",
+		TypeScript:     "script",
+		TypeStylesheet: "stylesheet",
+		TypeImage:      "image",
+		TypeXHR:        "xmlhttprequest",
+		TypeWebSocket:  "websocket",
+		TypeBeacon:     "beacon",
+		TypeCSPReport:  "csp_report",
+		TypeText:       "text",
+		TypeOther:      "other",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := ResourceType(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+func TestAllResourceTypes(t *testing.T) {
+	all := AllResourceTypes()
+	if len(all) != int(numResourceTypes) {
+		t.Fatalf("AllResourceTypes = %d entries", len(all))
+	}
+	seen := map[string]bool{}
+	for _, ty := range all {
+		name := ty.String()
+		if seen[name] {
+			t.Errorf("duplicate type name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestCanHaveChildren(t *testing.T) {
+	can := []ResourceType{TypeMainFrame, TypeSubFrame, TypeScript, TypeStylesheet, TypeXHR, TypeWebSocket}
+	cannot := []ResourceType{TypeImage, TypeFont, TypeMedia, TypeBeacon, TypeCSPReport, TypeText, TypeOther}
+	for _, ty := range can {
+		if !ty.CanHaveChildren() {
+			t.Errorf("%v should be able to load children", ty)
+		}
+	}
+	for _, ty := range cannot {
+		if ty.CanHaveChildren() {
+			t.Errorf("%v must not load children (§3.2 exclusion depends on it)", ty)
+		}
+	}
+}
+
+func TestDefaultContentType(t *testing.T) {
+	for _, ty := range AllResourceTypes() {
+		ct := ty.DefaultContentType()
+		if ty == TypeWebSocket {
+			if ct != "" {
+				t.Errorf("websocket content type = %q", ct)
+			}
+			continue
+		}
+		if !strings.Contains(ct, "/") {
+			t.Errorf("%v content type %q not MIME-shaped", ty, ct)
+		}
+	}
+	if TypeScript.DefaultContentType() != "application/javascript" {
+		t.Error("script content type wrong")
+	}
+}
+
+func TestCookieObservationIdentity(t *testing.T) {
+	a := CookieObservation{Name: "uid", Domain: "t.example", Path: "/"}
+	b := CookieObservation{Name: "uid", Domain: "t.example", Path: "/", Secure: true}
+	if a.ID() != b.ID() {
+		t.Error("identity must ignore attributes")
+	}
+	c := CookieObservation{Name: "uid", Domain: "t.example", Path: "/x"}
+	if a.ID() == c.ID() {
+		t.Error("identity must include the path")
+	}
+	if a.AttributeSignature() == b.AttributeSignature() {
+		t.Error("signature must reflect Secure")
+	}
+}
+
+func TestVisitJSONStability(t *testing.T) {
+	v := Visit{
+		Site: "a.example", PageURL: "https://a.example/", Profile: "Sim1", Success: true,
+		Requests: []Request{{
+			URL: "https://a.example/x.js", Type: TypeScript, FrameID: 0,
+			CallStack: []StackFrame{{FuncName: "f", URL: "https://a.example/", Line: 3}},
+			Status:    200, ContentType: "application/javascript", BodySize: 123,
+		}},
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field names are part of the on-disk dataset format; breaking them
+	// breaks every stored dataset.
+	for _, key := range []string{`"site"`, `"page_url"`, `"profile"`, `"success"`,
+		`"url"`, `"type"`, `"frame_id"`, `"call_stack"`, `"func_name"`,
+		`"status"`, `"content_type"`, `"body_size"`, `"time_offset_ms"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("serialized visit missing %s: %s", key, data)
+		}
+	}
+	var back Visit
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests[0].CallStack[0].URL != "https://a.example/" {
+		t.Error("round trip lost call stack")
+	}
+}

@@ -1,0 +1,74 @@
+package psl
+
+import "sync"
+
+// defaultListText is a compact public suffix list: a representative subset of
+// the real publicsuffix.org data (including its classic wildcard and
+// exception rules, so the full algorithm is exercised) plus the suffixes used
+// by the synthetic web universe in internal/webgen.
+const defaultListText = `
+// ===BEGIN ICANN DOMAINS===
+// ICANN TLDs (subset)
+com
+net
+org
+io
+info
+biz
+de
+fr
+nl
+edu
+gov
+
+// Multi-label ICANN suffixes (subset)
+co.uk
+org.uk
+ac.uk
+gov.uk
+com.au
+net.au
+org.au
+co.jp
+ne.jp
+or.jp
+com.br
+net.br
+
+// Classic wildcard/exception rules from the real list
+*.ck
+!www.ck
+*.kawasaki.jp
+*.kitakyushu.jp
+
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+// Private-domain style suffixes (subset)
+github.io
+gitlab.io
+blogspot.com
+cloudfront.net
+herokuapp.com
+s3.amazonaws.com
+
+// Suffixes reserved for documentation / testing
+example
+test
+invalid
+localhost
+// ===END PRIVATE DOMAINS===
+`
+
+var (
+	defaultOnce sync.Once
+	defaultList *List
+)
+
+// Default returns the embedded list. The list is parsed once and shared; it
+// must not be mutated.
+func Default() *List {
+	defaultOnce.Do(func() {
+		defaultList = MustParse(defaultListText)
+	})
+	return defaultList
+}

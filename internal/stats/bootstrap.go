@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Low, High float64
+	// Point is the statistic on the original sample.
+	Point float64
+	// Level is the confidence level, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Low && v <= c.High }
+
+// Width returns High − Low.
+func (c CI) Width() float64 { return c.High - c.Low }
+
+// BootstrapMeanCI computes a percentile-bootstrap confidence interval for
+// the mean of xs: iters resamples with replacement, seeded for
+// reproducibility. The paper reports bare means; intervals let a
+// reproduction say whether a deviation is noise or signal. Returns a
+// degenerate CI around the point estimate for samples of fewer than two
+// observations.
+func BootstrapMeanCI(xs []float64, level float64, iters int, seed int64) CI {
+	return bootstrapCI(xs, Mean, level, iters, seed)
+}
+
+// BootstrapMedianCI is BootstrapMeanCI for the median.
+func BootstrapMedianCI(xs []float64, level float64, iters int, seed int64) CI {
+	median := func(s []float64) float64 { return Quantile(s, 0.5) }
+	return bootstrapCI(xs, median, level, iters, seed)
+}
+
+func bootstrapCI(xs []float64, stat func([]float64) float64, level float64, iters int, seed int64) CI {
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	if iters < 10 {
+		iters = 1000
+	}
+	point := stat(xs)
+	if len(xs) < 2 {
+		return CI{Low: point, High: point, Point: point, Level: level}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	estimates := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		estimates[i] = stat(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(iters))
+	hi := int((1 - alpha) * float64(iters))
+	if hi >= iters {
+		hi = iters - 1
+	}
+	return CI{Low: estimates[lo], High: estimates[hi], Point: point, Level: level}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapMeanCIBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	ci := BootstrapMeanCI(xs, 0.95, 2000, 7)
+	if !ci.Contains(ci.Point) {
+		t.Errorf("interval must contain the point estimate: %+v", ci)
+	}
+	if !ci.Contains(10) {
+		t.Errorf("true mean outside the 95%% CI: %+v", ci)
+	}
+	if ci.Width() <= 0 || ci.Width() > 0.5 {
+		t.Errorf("CI width implausible for n=400: %v", ci.Width())
+	}
+	if ci.Level != 0.95 {
+		t.Errorf("level = %v", ci.Level)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	a := BootstrapMeanCI(xs, 0.9, 500, 42)
+	b := BootstrapMeanCI(xs, 0.9, 500, 42)
+	if a != b {
+		t.Errorf("same seed must reproduce the interval: %+v vs %+v", a, b)
+	}
+	c := BootstrapMeanCI(xs, 0.9, 500, 43)
+	if a == c {
+		t.Error("different seeds should usually differ")
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	ci := BootstrapMeanCI([]float64{5}, 0.95, 100, 1)
+	if ci.Low != 5 || ci.High != 5 || ci.Point != 5 {
+		t.Errorf("single-sample CI must collapse: %+v", ci)
+	}
+	ci = BootstrapMeanCI(nil, 0.95, 100, 1)
+	if ci.Point != 0 || ci.Width() != 0 {
+		t.Errorf("empty-sample CI must be zero: %+v", ci)
+	}
+	// Bad parameters are repaired.
+	ci = BootstrapMeanCI([]float64{1, 2, 3, 4, 5}, -1, 0, 1)
+	if ci.Level != 0.95 {
+		t.Errorf("level not defaulted: %+v", ci)
+	}
+}
+
+func TestBootstrapWidthShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = rng.Float64()
+	}
+	small := big[:50]
+	wBig := BootstrapMeanCI(big, 0.95, 800, 3).Width()
+	wSmall := BootstrapMeanCI(small, 0.95, 800, 3).Width()
+	if wBig >= wSmall {
+		t.Errorf("CI must shrink with sample size: n=1000 width %v vs n=50 width %v", wBig, wSmall)
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 100} // outlier
+	meanCI := BootstrapMeanCI(xs, 0.95, 1000, 5)
+	medCI := BootstrapMedianCI(xs, 0.95, 1000, 5)
+	if medCI.Point != 4.5 {
+		t.Errorf("median point = %v", medCI.Point)
+	}
+	if medCI.High >= meanCI.High {
+		t.Errorf("median CI should resist the outlier: med %+v vs mean %+v", medCI, meanCI)
+	}
+}
+
+func BenchmarkBootstrapMeanCI(b *testing.B) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i % 97)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BootstrapMeanCI(xs, 0.95, 200, int64(i))
+	}
+}

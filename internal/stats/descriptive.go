@@ -1,0 +1,107 @@
+// Package stats implements the statistical machinery the paper relies on:
+// descriptive summaries, the Jaccard index and its pairwise-mean extension
+// (§3.2 "Computing Tree Similarities"), the three non-parametric tests fixed
+// in §3.1 (Wilcoxon signed-rank, Mann-Whitney U, Kruskal-Wallis) with tie
+// corrections, the ε² effect size (Appendix F), and histogram helpers used
+// to regenerate the figures. Everything is implemented from scratch on the
+// standard library.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics the paper reports for tree
+// characteristics (avg, SD, min, max) plus the median used by the rank
+// tests' narrative.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary. All accumulation runs over a sorted copy, so the result is
+// bit-identical regardless of the input's order — analyses feed samples
+// collected from map iteration, and floating-point addition is not
+// associative.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range sorted {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.SD = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
+	}
+	return s
+}
+
+// SummarizeInts is Summarize over integer observations.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input). Like
+// Summarize it sums over a sorted copy for order-insensitive results.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It sorts a copy of the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

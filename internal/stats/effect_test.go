@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{2, 4, 9, 16, 30, 40, 60, 90} // monotone, non-linear
+	rho, p, err := SpearmanRho(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rho, 1, 1e-12) {
+		t.Errorf("rho = %v, want 1", rho)
+	}
+	if p > 0.05 {
+		t.Errorf("p = %v for perfect correlation", p)
+	}
+	// Perfect anti-correlation.
+	rev := make([]float64, len(y))
+	for i := range y {
+		rev[i] = -y[i]
+	}
+	rho, _, err = SpearmanRho(x, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rho, -1, 1e-12) {
+		t.Errorf("rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// Classic example: ranks with one inversion.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 2, 3, 5, 4}
+	rho, _, err := SpearmanRho(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d² = (0,0,0,1,1) → rho = 1 - 6*2/(5*24) = 0.9.
+	if !almostEqual(rho, 0.9, 1e-12) {
+		t.Errorf("rho = %v, want 0.9", rho)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, _, err := SpearmanRho([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := SpearmanRho([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, _, err := SpearmanRho([]float64{1, 1, 1, 1, 1}, []float64{1, 2, 3, 4, 5}); err == nil {
+		t.Error("constant sample should error")
+	}
+}
+
+// Property: rho is symmetric and bounded.
+func TestSpearmanProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		x := make([]float64, 0, len(raw)/2)
+		y := make([]float64, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := raw[i], raw[i+1]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+				return true
+			}
+			x = append(x, a)
+			y = append(y, b)
+		}
+		r1, _, err1 := SpearmanRho(x, y)
+		r2, _, err2 := SpearmanRho(y, x)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return almostEqual(r1, r2, 1e-9) && r1 >= -1-1e-9 && r1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCliffsDelta(t *testing.T) {
+	// Complete separation: δ = 1.
+	d, err := CliffsDelta([]float64{5, 6, 7}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 1, 1e-12) {
+		t.Errorf("δ = %v, want 1", d)
+	}
+	// Reversed: δ = -1.
+	d, _ = CliffsDelta([]float64{1, 2, 3}, []float64{5, 6, 7})
+	if !almostEqual(d, -1, 1e-12) {
+		t.Errorf("δ = %v, want -1", d)
+	}
+	// Identical samples: δ = 0 (ties split evenly).
+	d, _ = CliffsDelta([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if !almostEqual(d, 0, 1e-12) {
+		t.Errorf("δ = %v, want 0", d)
+	}
+	// Hand-computed: a={1,3}, b={2}: pairs (1<2 → -1), (3>2 → +1) → δ=0.
+	d, _ = CliffsDelta([]float64{1, 3}, []float64{2})
+	if !almostEqual(d, 0, 1e-12) {
+		t.Errorf("δ = %v, want 0", d)
+	}
+	if _, err := CliffsDelta(nil, []float64{1}); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+// Property: Cliff's delta matches the naive O(nm) dominance count.
+func TestCliffsDeltaMatchesNaive(t *testing.T) {
+	f := func(au, bu []uint8) bool {
+		if len(au) == 0 || len(bu) == 0 || len(au) > 30 || len(bu) > 30 {
+			return true
+		}
+		a := make([]float64, len(au))
+		b := make([]float64, len(bu))
+		for i, v := range au {
+			a[i] = float64(v % 10)
+		}
+		for i, v := range bu {
+			b[i] = float64(v % 10)
+		}
+		got, err := CliffsDelta(a, b)
+		if err != nil {
+			return false
+		}
+		var dom float64
+		for _, x := range a {
+			for _, y := range b {
+				switch {
+				case x > y:
+					dom++
+				case x < y:
+					dom--
+				}
+			}
+		}
+		want := dom / float64(len(a)*len(b))
+		return almostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaMagnitude(t *testing.T) {
+	cases := map[float64]string{
+		0: "negligible", 0.1: "negligible", -0.2: "small",
+		0.4: "medium", 0.9: "large", -1: "large",
+	}
+	for d, want := range cases {
+		if got := DeltaMagnitude(d); got != want {
+			t.Errorf("DeltaMagnitude(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-width binned frequency count over [Min, Max]. It is
+// used to regenerate the distribution figures (Fig. 2, Fig. 5).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with n bins spanning [min, max]. Values
+// outside the range are clamped into the first/last bin, matching how the
+// paper's plots cap their axes.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n < 1 || max <= min {
+		panic("stats: invalid histogram configuration")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	n := len(h.Counts)
+	bin := int(math.Floor((v - h.Min) / (h.Max - h.Min) * float64(n)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= n {
+		bin = n - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.total }
+
+// RelativeFrequencies returns each bin's share of the total (all zeros when
+// empty).
+func (h *Histogram) RelativeFrequencies() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + w*(float64(i)+0.5)
+}
+
+// Histogram2D is a two-dimensional integer-keyed frequency count, used for
+// the depth×breadth distribution in Fig. 1.
+type Histogram2D struct {
+	counts map[[2]int]int
+	maxX   int
+	maxY   int
+	total  int
+}
+
+// NewHistogram2D creates an empty 2D histogram.
+func NewHistogram2D() *Histogram2D {
+	return &Histogram2D{counts: make(map[[2]int]int)}
+}
+
+// Add records an (x, y) observation; negative coordinates are clamped to 0.
+func (h *Histogram2D) Add(x, y int) {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	h.counts[[2]int{x, y}]++
+	if x > h.maxX {
+		h.maxX = x
+	}
+	if y > h.maxY {
+		h.maxY = y
+	}
+	h.total++
+}
+
+// Count returns the frequency at (x, y).
+func (h *Histogram2D) Count(x, y int) int { return h.counts[[2]int{x, y}] }
+
+// MaxX and MaxY return the largest observed coordinates.
+func (h *Histogram2D) MaxX() int { return h.maxX }
+
+// MaxY returns the largest observed y coordinate.
+func (h *Histogram2D) MaxY() int { return h.maxY }
+
+// Total returns the number of observations.
+func (h *Histogram2D) Total() int { return h.total }

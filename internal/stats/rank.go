@@ -1,0 +1,59 @@
+package stats
+
+import "sort"
+
+// rankData assigns average ranks (1-based) to xs, resolving ties by the
+// midrank convention, and returns the ranks alongside the sizes of each tie
+// group (needed for tie corrections in the rank tests).
+func rankData(xs []float64) (ranks []float64, tieGroups []int) {
+	n := len(xs)
+	ranks = make([]float64, n)
+	if n == 0 {
+		return ranks, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		if j > i {
+			tieGroups = append(tieGroups, j-i+1)
+		}
+		i = j + 1
+	}
+	return ranks, tieGroups
+}
+
+// TestResult reports the outcome of one of the non-parametric tests.
+type TestResult struct {
+	// Statistic is the test statistic: W (Wilcoxon, the smaller signed-rank
+	// sum), U (Mann-Whitney, the smaller of U1/U2), or H (Kruskal-Wallis,
+	// tie-corrected).
+	Statistic float64
+	// Z is the normal approximation's standardized statistic where
+	// applicable (Wilcoxon, Mann-Whitney); 0 for Kruskal-Wallis.
+	Z float64
+	// P is the two-sided p-value (Kruskal-Wallis: upper-tail chi-square).
+	P float64
+	// N is the effective sample size (pairs with non-zero difference for
+	// Wilcoxon; total observations otherwise).
+	N int
+	// DF is the degrees of freedom (Kruskal-Wallis only).
+	DF int
+}
+
+// Significant reports whether the result is significant at the paper's
+// α = .05 level.
+func (r TestResult) Significant() bool { return r.P < 0.05 }

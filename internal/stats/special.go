@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// normalSF returns the survival function 1 - Φ(z) of the standard normal
+// distribution, computed via the complementary error function for numerical
+// stability in the tails.
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// chiSquareSF returns the survival function P(X > x) of a chi-square
+// distribution with df degrees of freedom: Q(df/2, x/2), the regularized
+// upper incomplete gamma function.
+func chiSquareSF(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regIncGammaQ(float64(df)/2, x/2)
+}
+
+// regIncGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) using the series expansion for x < a+1 and the
+// continued fraction otherwise (Numerical Recipes' gammq).
+func regIncGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesP(a, x)
+	default:
+		return gammaCFQ(a, x)
+	}
+}
+
+// gammaSeriesP evaluates P(a,x) by its series representation.
+func gammaSeriesP(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaCFQ evaluates Q(a,x) by its continued fraction representation
+// (modified Lentz's method).
+func gammaCFQ(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

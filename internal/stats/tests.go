@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficientData is returned when a test has too few observations to
+// produce a meaningful result.
+var ErrInsufficientData = errors.New("stats: insufficient data for test")
+
+// WilcoxonSignedRank performs the two-sided Wilcoxon signed-rank test on
+// paired samples x and y (§3.1 test (1): "differences between two continuous
+// variables"). Zero differences are discarded (Wilcoxon's convention) and
+// the normal approximation with tie correction and continuity correction is
+// used, matching common practice for the sample sizes web measurements
+// produce.
+func WilcoxonSignedRank(x, y []float64) (TestResult, error) {
+	if len(x) != len(y) {
+		return TestResult{}, errors.New("stats: paired samples must have equal length")
+	}
+	var diffs []float64
+	for i := range x {
+		if d := x[i] - y[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n < 5 {
+		return TestResult{}, ErrInsufficientData
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	ranks, ties := rankData(abs)
+	var wPlus, wMinus float64
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+	nf := float64(n)
+	mean := nf * (nf + 1) / 4
+	variance := nf * (nf + 1) * (2*nf + 1) / 24
+	for _, t := range ties {
+		tf := float64(t)
+		variance -= tf * (tf*tf - 1) / 48
+	}
+	if variance <= 0 {
+		return TestResult{}, ErrInsufficientData
+	}
+	// Continuity correction toward the mean.
+	z := (w - mean + 0.5) / math.Sqrt(variance)
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Statistic: w, Z: z, P: p, N: n}, nil
+}
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test on two independent
+// samples (§3.1 test (2)), using the normal approximation with tie and
+// continuity corrections.
+func MannWhitneyU(a, b []float64) (TestResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 < 3 || n2 < 3 {
+		return TestResult{}, ErrInsufficientData
+	}
+	combined := make([]float64, 0, n1+n2)
+	combined = append(combined, a...)
+	combined = append(combined, b...)
+	ranks, ties := rankData(combined)
+	var r1 float64
+	for i := 0; i < n1; i++ {
+		r1 += ranks[i]
+	}
+	f1, f2 := float64(n1), float64(n2)
+	u1 := r1 - f1*(f1+1)/2
+	u2 := f1*f2 - u1
+	u := math.Min(u1, u2)
+	nTot := f1 + f2
+	mean := f1 * f2 / 2
+	variance := f1 * f2 / 12 * (nTot + 1)
+	if len(ties) > 0 {
+		var tieSum float64
+		for _, t := range ties {
+			tf := float64(t)
+			tieSum += tf*tf*tf - tf
+		}
+		variance = f1 * f2 / 12 * ((nTot + 1) - tieSum/(nTot*(nTot-1)))
+	}
+	if variance <= 0 {
+		return TestResult{}, ErrInsufficientData
+	}
+	z := (u - mean + 0.5) / math.Sqrt(variance)
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Statistic: u, Z: z, P: p, N: n1 + n2}, nil
+}
+
+// KruskalWallis performs the Kruskal-Wallis H test across k ≥ 2 groups
+// (§3.1 test (3): differences in the central tendency across multiple
+// groups), with tie correction and the chi-square approximation for the
+// p-value.
+func KruskalWallis(groups ...[]float64) (TestResult, error) {
+	if len(groups) < 2 {
+		return TestResult{}, errors.New("stats: Kruskal-Wallis needs at least two groups")
+	}
+	var combined []float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			return TestResult{}, ErrInsufficientData
+		}
+		combined = append(combined, g...)
+	}
+	n := len(combined)
+	if n < 5 {
+		return TestResult{}, ErrInsufficientData
+	}
+	ranks, ties := rankData(combined)
+	nf := float64(n)
+	var h float64
+	off := 0
+	for _, g := range groups {
+		var rSum float64
+		for i := range g {
+			rSum += ranks[off+i]
+		}
+		off += len(g)
+		h += rSum * rSum / float64(len(g))
+	}
+	h = 12/(nf*(nf+1))*h - 3*(nf+1)
+
+	// Tie correction.
+	if len(ties) > 0 {
+		var tieSum float64
+		for _, t := range ties {
+			tf := float64(t)
+			tieSum += tf*tf*tf - tf
+		}
+		c := 1 - tieSum/(nf*nf*nf-nf)
+		if c <= 0 {
+			return TestResult{}, ErrInsufficientData
+		}
+		h /= c
+	}
+	df := len(groups) - 1
+	p := chiSquareSF(h, df)
+	return TestResult{Statistic: h, P: p, N: n, DF: df}, nil
+}
+
+// EpsilonSquared computes the ε² effect size for a Kruskal-Wallis result:
+// ε² = H / ((n² − 1) / (n + 1)) = H · (n+1) / (n² − 1). The paper reports
+// ε² = .002 for the rank-bucket analysis (Appendix F) and calls it
+// "practically negligible".
+func EpsilonSquared(r TestResult) float64 {
+	n := float64(r.N)
+	if n <= 1 {
+		return 0
+	}
+	return r.Statistic * (n + 1) / (n*n - 1)
+}

@@ -1,0 +1,153 @@
+// Package tranco provides the ranked site list the experiment samples from.
+// It generates a deterministic Tranco-like ranking of synthetic sites and
+// implements the paper's sampling scheme (§3.1.2): the full top bucket plus
+// a random sample from each deeper rank bucket, and the bucket partition of
+// Appendix F (1–5k, 5,001–10k, 10,001–50k, 50,001–250k, 250,001–500k).
+package tranco
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Entry is one ranked site.
+type Entry struct {
+	Rank int    // 1-based
+	Site string // registrable domain (eTLD+1)
+}
+
+// List is a ranking of sites by popularity.
+type List struct {
+	entries []Entry
+}
+
+// PaperBoundaries are the upper bounds of the paper's five rank buckets.
+var PaperBoundaries = []int{5_000, 10_000, 50_000, 250_000, 500_000}
+
+// BucketNames labels the paper's buckets in Table 7 order.
+var BucketNames = []string{"1-5k", "5,001-10k", "10,001-50k", "50,001-250k", "250,001-500k"}
+
+// tlds weights the suffixes used for generated sites. ".example" dominates
+// so generated traffic is visibly synthetic; the rest exercise multi-label
+// suffix handling downstream.
+var tlds = []string{"example", "example", "example", "com", "net", "org", "io", "co.uk", "de"}
+
+// Generate creates a deterministic ranking of n sites from seed. Domains
+// are unique.
+func Generate(n int, seed int64) *List {
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Entry, 0, n)
+	used := make(map[string]bool, n)
+	for rank := 1; rank <= n; rank++ {
+		site := ""
+		for {
+			site = randomName(rng) + "." + tlds[rng.Intn(len(tlds))]
+			if !used[site] {
+				break
+			}
+			// Collisions get a numeric disambiguator instead of looping
+			// forever on small name spaces.
+			site = fmt.Sprintf("%s%d.%s", randomName(rng), rank, tlds[rng.Intn(len(tlds))])
+			if !used[site] {
+				break
+			}
+		}
+		used[site] = true
+		entries = append(entries, Entry{Rank: rank, Site: site})
+	}
+	return &List{entries: entries}
+}
+
+var (
+	consonants = []string{"b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "st", "tr", "pl"}
+	vowels     = []string{"a", "e", "i", "o", "u", "ai", "ou"}
+)
+
+func randomName(rng *rand.Rand) string {
+	n := 2 + rng.Intn(3)
+	name := ""
+	for i := 0; i < n; i++ {
+		name += consonants[rng.Intn(len(consonants))] + vowels[rng.Intn(len(vowels))]
+	}
+	return name
+}
+
+// Len returns the number of ranked sites.
+func (l *List) Len() int { return len(l.entries) }
+
+// Entries returns the full ranking in rank order. The returned slice must
+// not be modified.
+func (l *List) Entries() []Entry { return l.entries }
+
+// At returns the entry with the given 1-based rank.
+func (l *List) At(rank int) (Entry, bool) {
+	if rank < 1 || rank > len(l.entries) {
+		return Entry{}, false
+	}
+	return l.entries[rank-1], true
+}
+
+// BucketIndex returns the index of the bucket containing rank under the
+// given ascending boundaries, or -1 when rank exceeds the last boundary.
+func BucketIndex(rank int, boundaries []int) int {
+	for i, b := range boundaries {
+		if rank <= b {
+			return i
+		}
+	}
+	return -1
+}
+
+// ScaledBoundaries shrinks PaperBoundaries proportionally to a list of
+// total sites, preserving the paper's 1% / 1% / 8% / 40% / 50% partition.
+// Every bucket is at least one rank wide.
+func ScaledBoundaries(total int) []int {
+	out := make([]int, len(PaperBoundaries))
+	prev := 0
+	for i, b := range PaperBoundaries {
+		v := b * total / PaperBoundaries[len(PaperBoundaries)-1]
+		if v <= prev {
+			v = prev + 1
+		}
+		out[i] = v
+		prev = v
+	}
+	out[len(out)-1] = total
+	return out
+}
+
+// Sample implements the paper's site selection: all of the first bucket up
+// to perBucket entries ("the top 5k sites"), then perBucket sites drawn
+// uniformly without replacement from each subsequent bucket. The result is
+// sorted by rank.
+func (l *List) Sample(boundaries []int, perBucket int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Entry
+	lo := 0
+	for i, hi := range boundaries {
+		if hi > len(l.entries) {
+			hi = len(l.entries)
+		}
+		if lo >= hi {
+			break
+		}
+		bucket := l.entries[lo:hi]
+		if i == 0 || len(bucket) <= perBucket {
+			n := perBucket
+			if n > len(bucket) {
+				n = len(bucket)
+			}
+			out = append(out, bucket[:n]...)
+		} else {
+			idx := rng.Perm(len(bucket))[:perBucket]
+			sort.Ints(idx)
+			for _, j := range idx {
+				out = append(out, bucket[j])
+			}
+		}
+		lo = hi
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Rank < out[b].Rank })
+	return out
+}

@@ -1,0 +1,155 @@
+package tranco
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministicAndUnique(t *testing.T) {
+	a := Generate(500, 42)
+	b := Generate(500, 42)
+	if a.Len() != 500 || b.Len() != 500 {
+		t.Fatalf("lengths: %d %d", a.Len(), b.Len())
+	}
+	seen := make(map[string]bool)
+	for i, e := range a.Entries() {
+		if e != b.Entries()[i] {
+			t.Fatalf("not deterministic at %d: %+v vs %+v", i, e, b.Entries()[i])
+		}
+		if e.Rank != i+1 {
+			t.Fatalf("rank %d at index %d", e.Rank, i)
+		}
+		if seen[e.Site] {
+			t.Fatalf("duplicate site %q", e.Site)
+		}
+		seen[e.Site] = true
+	}
+	c := Generate(500, 43)
+	if c.Entries()[0].Site == a.Entries()[0].Site && c.Entries()[1].Site == a.Entries()[1].Site {
+		t.Error("different seeds produced identical prefix")
+	}
+}
+
+func TestAt(t *testing.T) {
+	l := Generate(10, 1)
+	if e, ok := l.At(1); !ok || e.Rank != 1 {
+		t.Errorf("At(1) = %+v, %v", e, ok)
+	}
+	if _, ok := l.At(0); ok {
+		t.Error("At(0) should fail")
+	}
+	if _, ok := l.At(11); ok {
+		t.Error("At(11) should fail")
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		rank, want int
+	}{
+		{1, 0}, {5000, 0}, {5001, 1}, {10000, 1}, {10001, 2},
+		{50000, 2}, {50001, 3}, {250000, 3}, {250001, 4}, {500000, 4}, {500001, -1},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.rank, PaperBoundaries); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.rank, got, c.want)
+		}
+	}
+}
+
+func TestScaledBoundaries(t *testing.T) {
+	b := ScaledBoundaries(500)
+	want := []int{5, 10, 50, 250, 500}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ScaledBoundaries(500) = %v, want %v", b, want)
+		}
+	}
+	// Tiny totals still yield strictly increasing buckets.
+	b = ScaledBoundaries(5)
+	prev := 0
+	for _, v := range b {
+		if v <= prev {
+			t.Fatalf("non-increasing boundaries: %v", b)
+		}
+		prev = v
+	}
+	if b[len(b)-1] != 5 {
+		t.Fatalf("last boundary must equal total: %v", b)
+	}
+}
+
+func TestSample(t *testing.T) {
+	l := Generate(500, 7)
+	bounds := ScaledBoundaries(500) // 5,10,50,250,500
+	got := Sampled(t, l, bounds, 5)
+	if len(got) != 25 {
+		t.Fatalf("sample size = %d, want 25", len(got))
+	}
+	// Bucket 0 is taken wholesale.
+	for i := 0; i < 5; i++ {
+		if got[i].Rank != i+1 {
+			t.Errorf("top bucket not taken in full: %+v", got[:5])
+		}
+	}
+	// Exactly perBucket entries per bucket, ranks within bounds.
+	counts := make([]int, 5)
+	for _, e := range got {
+		bi := BucketIndex(e.Rank, bounds)
+		if bi < 0 {
+			t.Fatalf("rank %d outside buckets", e.Rank)
+		}
+		counts[bi]++
+	}
+	for i, c := range counts {
+		if c != 5 {
+			t.Errorf("bucket %d has %d entries, want 5", i, c)
+		}
+	}
+	// No duplicates; sorted by rank.
+	for i := 1; i < len(got); i++ {
+		if got[i].Rank <= got[i-1].Rank {
+			t.Fatalf("not sorted/unique at %d: %v", i, got)
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := Sampled(t, l, bounds, 5)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func Sampled(t *testing.T, l *List, bounds []int, per int) []Entry {
+	t.Helper()
+	return l.Sample(bounds, per, 99)
+}
+
+func TestSampleSmallList(t *testing.T) {
+	l := Generate(8, 1)
+	got := l.Sample([]int{5, 10}, 5, 1)
+	if len(got) != 8 {
+		t.Fatalf("want all 8 entries, got %d", len(got))
+	}
+}
+
+// Property: every sampled rank falls in the list, sample is duplicate-free.
+func TestSampleProperty(t *testing.T) {
+	l := Generate(200, 3)
+	f := func(seed int64, per uint8) bool {
+		p := int(per%10) + 1
+		got := l.Sample(ScaledBoundaries(200), p, seed)
+		seen := map[int]bool{}
+		for _, e := range got {
+			if e.Rank < 1 || e.Rank > 200 || seen[e.Rank] {
+				return false
+			}
+			seen[e.Rank] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

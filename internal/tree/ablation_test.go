@@ -1,0 +1,121 @@
+package tree
+
+import (
+	"testing"
+
+	"webmeasure/internal/measurement"
+)
+
+func TestRawURLIdentityKeepsSessionVariants(t *testing.T) {
+	v := visitFixture()
+	// Re-request the API endpoint with a different session ID.
+	v.Requests = append(v.Requests, measurement.Request{
+		URL:  "https://news.example/api/v1/data?sid=OTHER",
+		Type: measurement.TypeXHR,
+		CallStack: []measurement.StackFrame{
+			{FuncName: "f", URL: "https://news.example/js/app.js"},
+		},
+	})
+
+	normal, err := (&Builder{}).Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := (&Builder{RawURLIdentity: true}).Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under normalization both session variants merge; under raw identity
+	// they are two nodes — the distortion §3.2 avoids.
+	if raw.NodeCount() != normal.NodeCount()+1 {
+		t.Errorf("raw=%d normal=%d, want raw = normal+1", raw.NodeCount(), normal.NodeCount())
+	}
+	if raw.Node("https://news.example/api/v1/data?sid=123") == nil ||
+		raw.Node("https://news.example/api/v1/data?sid=OTHER") == nil {
+		t.Error("raw identity must keep both variants")
+	}
+	if raw.StrippedURLs != 0 {
+		t.Errorf("raw mode must not strip: %d", raw.StrippedURLs)
+	}
+}
+
+func TestIgnoreCallStacksFlattensChains(t *testing.T) {
+	v := visitFixture()
+	normal, err := (&Builder{}).Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := (&Builder{IgnoreCallStacks: true}).Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.MaxDepth() >= normal.MaxDepth() {
+		t.Errorf("ignoring stacks should flatten: flat depth %d vs normal %d",
+			flat.MaxDepth(), normal.MaxDepth())
+	}
+	// Script-loaded XHR collapses to the root without its call stack.
+	n := flat.Node("https://news.example/api/v1/data?sid=")
+	if n == nil || !n.Parent.IsRoot() {
+		t.Error("stack-attributed node should fall back to the root")
+	}
+	// Frame attribution still works.
+	img := flat.Node("https://adhost-adcontent.example/creative/c1/img.png")
+	if img == nil || img.Parent.Key != "https://adnet-ads.example/frame/slot-0" {
+		t.Errorf("frame attribution lost: %+v", img)
+	}
+	// Redirect attribution still works.
+	done := flat.Node("https://partner-metrics.example/track/done")
+	if done == nil || done.Parent.Key != "https://partner-metrics.example/sync?uid=" {
+		t.Errorf("redirect attribution lost: %+v", done)
+	}
+}
+
+func TestAttributionAccuracyOnFixture(t *testing.T) {
+	v := visitFixture()
+	// Inject ground truth matching the fixture's structure.
+	truth := map[string]string{
+		"https://news.example/js/app.js":                       "https://news.example/article",
+		"https://news.example/logo.png":                        "https://news.example/article",
+		"https://news.example/api/v1/data?sid=123":             "https://news.example/js/app.js",
+		"https://trk-metrics.example/js/analytics.js":          "https://news.example/js/app.js",
+		"https://trk-metrics.example/sync?uid=a":               "https://trk-metrics.example/js/analytics.js",
+		"https://partner-metrics.example/sync?uid=b":           "https://trk-metrics.example/sync?uid=a",
+		"https://partner-metrics.example/track/done":           "https://partner-metrics.example/sync?uid=b",
+		"https://adnet-ads.example/js/adtag.js":                "https://news.example/article",
+		"https://adnet-ads.example/frame/slot-0":               "https://adnet-ads.example/js/adtag.js",
+		"https://adhost-adcontent.example/creative/c1/ad.js":   "https://adnet-ads.example/frame/slot-0",
+		"https://adhost-adcontent.example/creative/c1/img.png": "https://adhost-adcontent.example/creative/c1/ad.js",
+	}
+	for i := range v.Requests {
+		v.Requests[i].TrueParentURL = truth[v.Requests[i].URL]
+	}
+	rep, err := (&Builder{}).EvaluateAttribution(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attributable != 11 {
+		t.Fatalf("attributable = %d, want 11", rep.Attributable)
+	}
+	if rep.Accuracy() != 1 {
+		t.Fatalf("fixture attribution must be perfect: %+v", rep)
+	}
+
+	// A second occurrence of an existing URL under a different true parent
+	// is a merge artifact.
+	v.Requests = append(v.Requests, measurement.Request{
+		URL:           "https://news.example/api/v1/data?sid=999",
+		Type:          measurement.TypeXHR,
+		CallStack:     []measurement.StackFrame{{URL: "https://adnet-ads.example/js/adtag.js"}},
+		TrueParentURL: "https://adnet-ads.example/js/adtag.js",
+	})
+	rep, err = (&Builder{}).EvaluateAttribution(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MergeArtifacts != 1 {
+		t.Errorf("merge artifacts = %d, want 1: %+v", rep.MergeArtifacts, rep)
+	}
+	if rep.Accuracy() >= 1 {
+		t.Error("accuracy must drop below 1 with a merge artifact")
+	}
+}

@@ -1,0 +1,328 @@
+// Package tree builds the paper's dependency trees (§3.2): each node is a
+// loaded resource identified by its query-value-stripped URL, each edge the
+// HTTP communication that caused the load. Parent attribution uses, in
+// order, HTTP redirect provenance, the last entry of the JavaScript/CSS
+// call stack, and the (nested) iframe structure; resources with no
+// assignable branch attach to the root — the visited page itself.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/urlutil"
+)
+
+// Party is the loading context of a node relative to the visited site.
+type Party uint8
+
+// Party values.
+const (
+	FirstParty Party = iota
+	ThirdParty
+)
+
+// String names the party.
+func (p Party) String() string {
+	if p == FirstParty {
+		return "first-party"
+	}
+	return "third-party"
+}
+
+// Node is one resource in a dependency tree.
+type Node struct {
+	// Key is the node identity: the normalized URL (§3.2).
+	Key string
+	// RawURL is the first observed un-normalized URL.
+	RawURL string
+	Type   measurement.ResourceType
+	Party  Party
+	// Tracking is true when the URL matches the tracking filter list.
+	Tracking bool
+
+	// Response metadata of the first observed request (static facets the
+	// takeaway-3 analysis compares against dynamic presence).
+	Status      int
+	ContentType string
+	BodySize    int
+
+	Parent   *Node
+	Children []*Node
+	Depth    int
+}
+
+// IsRoot reports whether the node is the visited page.
+func (n *Node) IsRoot() bool { return n.Parent == nil }
+
+// Chain returns the node's dependency chain: the keys from the root down
+// to the node itself.
+func (n *Node) Chain() []string {
+	var rev []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur.Key)
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// ChainKey returns the chain as a single comparable string.
+func (n *Node) ChainKey() string {
+	key := ""
+	for cur := n; cur != nil; cur = cur.Parent {
+		key = cur.Key + "\x00" + key
+	}
+	return key
+}
+
+// Tree is one page visit's dependency tree.
+type Tree struct {
+	Site    string
+	PageURL string
+	Profile string
+
+	Root  *Node
+	nodes map[string]*Node
+
+	// StrippedURLs counts requests whose URL lost query values during
+	// normalization (the paper's "40% of observed URLs" statistic).
+	StrippedURLs int
+	// TotalRequests is the number of requests consumed, including merged
+	// duplicates.
+	TotalRequests int
+}
+
+// Node returns the node with the given normalized-URL key, or nil.
+func (t *Tree) Node(key string) *Node { return t.nodes[key] }
+
+// Contains reports whether a key is present.
+func (t *Tree) Contains(key string) bool { return t.nodes[key] != nil }
+
+// NodeCount returns the number of nodes including the root.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Nodes returns all nodes sorted by (depth, key) for deterministic
+// iteration.
+func (t *Tree) Nodes() []*Node {
+	out := make([]*Node, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Depth != out[b].Depth {
+			return out[a].Depth < out[b].Depth
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// MaxDepth returns the deepest node's depth (root = 0).
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for _, n := range t.nodes {
+		if n.Depth > max {
+			max = n.Depth
+		}
+	}
+	return max
+}
+
+// Breadth returns the maximum number of nodes at any single depth.
+func (t *Tree) Breadth() int {
+	counts := map[int]int{}
+	best := 0
+	for _, n := range t.nodes {
+		counts[n.Depth]++
+		if counts[n.Depth] > best {
+			best = counts[n.Depth]
+		}
+	}
+	return best
+}
+
+// AtDepth returns the nodes at the given depth, sorted by key.
+func (t *Tree) AtDepth(d int) []*Node {
+	var out []*Node
+	for _, n := range t.nodes {
+		if n.Depth == d {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// KeysAtDepth returns the node keys at a depth as a set.
+func (t *Tree) KeysAtDepth(d int) map[string]bool {
+	out := map[string]bool{}
+	for _, n := range t.nodes {
+		if n.Depth == d {
+			out[n.Key] = true
+		}
+	}
+	return out
+}
+
+// ChildKeys returns a node's children keys as a set.
+func (n *Node) ChildKeys() map[string]bool {
+	out := make(map[string]bool, len(n.Children))
+	for _, c := range n.Children {
+		out[c.Key] = true
+	}
+	return out
+}
+
+// Builder constructs trees from visits. Filter may be nil (no tracking
+// classification). The two ablation switches alter the paper's method for
+// sensitivity analysis:
+//
+//   - RawURLIdentity keeps query values in node identities, so session IDs
+//     make equal resources look different (§3.2 argues against this);
+//   - IgnoreCallStacks drops the JavaScript/CSS attribution signal, leaving
+//     only redirects and frames (everything else collapses to the root).
+type Builder struct {
+	Filter           *filterlist.List
+	RawURLIdentity   bool
+	IgnoreCallStacks bool
+}
+
+// key computes a node identity under the builder's identity mode.
+func (b *Builder) key(rawURL string) (string, bool) {
+	if b.RawURLIdentity {
+		return rawURL, false
+	}
+	return urlutil.Normalize(rawURL)
+}
+
+// Build constructs the dependency tree of a successful visit. It returns
+// an error for failed or empty visits.
+func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
+	if !v.Success {
+		return nil, fmt.Errorf("tree: visit of %s by %s failed: %s", v.PageURL, v.Profile, v.Failure)
+	}
+	if len(v.Requests) == 0 {
+		return nil, fmt.Errorf("tree: visit of %s by %s has no requests", v.PageURL, v.Profile)
+	}
+
+	t := &Tree{
+		Site:    v.Site,
+		PageURL: v.PageURL,
+		Profile: v.Profile,
+		nodes:   make(map[string]*Node, len(v.Requests)),
+	}
+	rootKey, stripped := b.key(v.PageURL)
+	if stripped {
+		t.StrippedURLs++
+	}
+	t.Root = &Node{
+		Key:    rootKey,
+		RawURL: v.PageURL,
+		Type:   measurement.TypeMainFrame,
+		Party:  FirstParty,
+	}
+	t.nodes[rootKey] = t.Root
+
+	for _, req := range v.Requests {
+		t.TotalRequests++
+		key, wasStripped := b.key(req.URL)
+		if wasStripped {
+			t.StrippedURLs++
+		}
+		if key == rootKey {
+			continue // the navigation request is the root itself
+		}
+		if t.nodes[key] != nil {
+			// Equal or near-equal resources loaded via different URLs (or
+			// repeatedly) merge into one node; the first observed branch
+			// wins (§3.2, limitations §6).
+			continue
+		}
+		parent := b.resolveParent(t, req, rootKey)
+		node := &Node{
+			Key:         key,
+			RawURL:      req.URL,
+			Type:        req.Type,
+			Party:       partyOf(req.URL, v.PageURL),
+			Status:      req.Status,
+			ContentType: req.ContentType,
+			BodySize:    req.BodySize,
+			Parent:      parent,
+			Depth:       parent.Depth + 1,
+		}
+		if b.Filter != nil {
+			node.Tracking = b.Filter.Matches(filterlist.Request{
+				URL:     req.URL,
+				PageURL: v.PageURL,
+				Type:    filterType(req.Type),
+			})
+		}
+		parent.Children = append(parent.Children, node)
+		t.nodes[key] = node
+	}
+	return t, nil
+}
+
+// resolveParent implements §3.2's attribution order: redirects, then the
+// latest call-stack entry, then the parent frame, then the root.
+func (b *Builder) resolveParent(t *Tree, req measurement.Request, rootKey string) *Node {
+	if req.RedirectFrom != "" {
+		if key, _ := b.key(req.RedirectFrom); t.nodes[key] != nil {
+			return t.nodes[key]
+		}
+	}
+	if len(req.CallStack) > 0 && !b.IgnoreCallStacks {
+		last := req.CallStack[len(req.CallStack)-1]
+		if key, _ := b.key(last.URL); t.nodes[key] != nil {
+			return t.nodes[key]
+		}
+	}
+	if req.FrameID != measurement.TopFrameID && req.FrameURL != "" {
+		if key, _ := b.key(req.FrameURL); t.nodes[key] != nil {
+			return t.nodes[key]
+		}
+	}
+	return t.nodes[rootKey]
+}
+
+func partyOf(resourceURL, pageURL string) Party {
+	if urlutil.IsThirdParty(resourceURL, pageURL) {
+		return ThirdParty
+	}
+	return FirstParty
+}
+
+// filterType maps measurement resource types onto ABP option types.
+func filterType(t measurement.ResourceType) filterlist.RequestType {
+	switch t {
+	case measurement.TypeScript:
+		return filterlist.TypeScript
+	case measurement.TypeImage, measurement.TypeImageset:
+		return filterlist.TypeImage
+	case measurement.TypeStylesheet:
+		return filterlist.TypeStylesheet
+	case measurement.TypeSubFrame:
+		return filterlist.TypeSubdocument
+	case measurement.TypeXHR:
+		return filterlist.TypeXMLHTTPRequest
+	case measurement.TypeWebSocket:
+		return filterlist.TypeWebSocket
+	case measurement.TypeFont:
+		return filterlist.TypeFont
+	case measurement.TypeMedia:
+		return filterlist.TypeMedia
+	case measurement.TypeBeacon:
+		return filterlist.TypePing
+	case measurement.TypeMainFrame:
+		return filterlist.TypeDocument
+	case measurement.TypeCSPReport:
+		return filterlist.TypeCSPReport
+	default:
+		return filterlist.TypeOther
+	}
+}

@@ -1,0 +1,113 @@
+package treediff
+
+import (
+	"sort"
+
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/tree"
+)
+
+// ConsensusNode is one node of the consensus view: the stable skeleton of a
+// page across repeated measurements. §4.3 recommends multiple measurements
+// "to capture a complete view" of a page; the consensus is the part of
+// that view a study can rely on.
+type ConsensusNode struct {
+	Key  string
+	Type measurement.ResourceType
+	// Presence is the number of trees containing the node.
+	Presence int
+	// Parent is the majority parent among the trees containing the node
+	// ("" when no parent reaches the quorum share of its observations).
+	Parent string
+	// ParentAgreement is the majority parent's share of observations.
+	ParentAgreement float64
+	Tracking        bool
+	ThirdParty      bool
+}
+
+// Consensus computes the stable skeleton: nodes present in at least quorum
+// of the trees, each with its majority parent. Nodes are returned sorted
+// by key. quorum values below 1 default to a strict majority of the trees.
+func Consensus(trees []*tree.Tree, quorum int) []ConsensusNode {
+	if len(trees) == 0 {
+		return nil
+	}
+	if quorum < 1 {
+		quorum = len(trees)/2 + 1
+	}
+
+	type acc struct {
+		presence int
+		parents  map[string]int
+		ty       measurement.ResourceType
+		tracking bool
+		tp       bool
+	}
+	nodes := map[string]*acc{}
+	for _, t := range trees {
+		for _, n := range t.Nodes() {
+			if n.IsRoot() {
+				continue
+			}
+			a := nodes[n.Key]
+			if a == nil {
+				a = &acc{parents: map[string]int{}, ty: n.Type, tracking: n.Tracking, tp: n.Party == tree.ThirdParty}
+				nodes[n.Key] = a
+			}
+			a.presence++
+			if n.Parent != nil {
+				a.parents[n.Parent.Key]++
+			}
+		}
+	}
+
+	var out []ConsensusNode
+	for key, a := range nodes {
+		if a.presence < quorum {
+			continue
+		}
+		best, bestCount := "", 0
+		for p, c := range a.parents {
+			if c > bestCount || (c == bestCount && p < best) {
+				best, bestCount = p, c
+			}
+		}
+		cn := ConsensusNode{
+			Key:        key,
+			Type:       a.ty,
+			Presence:   a.presence,
+			Tracking:   a.tracking,
+			ThirdParty: a.tp,
+		}
+		if a.presence > 0 {
+			share := float64(bestCount) / float64(a.presence)
+			cn.ParentAgreement = share
+			// The majority parent must itself be a consensus member (or
+			// the root) and command a strict majority.
+			if share > 0.5 {
+				cn.Parent = best
+			}
+		}
+		out = append(out, cn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ConsensusShare returns the fraction of the union of node keys that the
+// consensus at the given quorum retains — a one-number answer to "how much
+// of this page is measurable reliably?".
+func ConsensusShare(trees []*tree.Tree, quorum int) float64 {
+	union := map[string]bool{}
+	for _, t := range trees {
+		for _, n := range t.Nodes() {
+			if !n.IsRoot() {
+				union[n.Key] = true
+			}
+		}
+	}
+	if len(union) == 0 {
+		return 1
+	}
+	return float64(len(Consensus(trees, quorum))) / float64(len(union))
+}

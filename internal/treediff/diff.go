@@ -1,0 +1,128 @@
+package treediff
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"webmeasure/internal/tree"
+)
+
+// Diff is the operational pairwise comparison a researcher eyeballs when
+// two setups disagree: which nodes one tree has and the other lacks, which
+// nodes moved (same identity, different parent or depth), and which kept
+// everything. It complements the aggregate Comparison with per-node
+// attribution.
+type Diff struct {
+	A, B *tree.Tree
+
+	// OnlyA / OnlyB hold node keys exclusive to one tree, sorted.
+	OnlyA, OnlyB []string
+	// Moved holds nodes present in both trees whose parent differs.
+	Moved []MovedNode
+	// DepthChanged holds nodes with equal parents but different depth
+	// (an ancestor moved).
+	DepthChanged []MovedNode
+	// Stable counts nodes with identical parent and depth in both trees.
+	Stable int
+}
+
+// MovedNode records one re-attributed node.
+type MovedNode struct {
+	Key            string
+	ParentA        string
+	ParentB        string
+	DepthA, DepthB int
+}
+
+// ComputeDiff compares two trees node by node.
+func ComputeDiff(a, b *tree.Tree) *Diff {
+	d := &Diff{A: a, B: b}
+	seen := map[string]bool{}
+	for _, n := range a.Nodes() {
+		if n.IsRoot() {
+			continue
+		}
+		seen[n.Key] = true
+		m := b.Node(n.Key)
+		if m == nil {
+			d.OnlyA = append(d.OnlyA, n.Key)
+			continue
+		}
+		pa, pb := parentKey(n), parentKey(m)
+		switch {
+		case pa != pb:
+			d.Moved = append(d.Moved, MovedNode{
+				Key: n.Key, ParentA: pa, ParentB: pb, DepthA: n.Depth, DepthB: m.Depth,
+			})
+		case n.Depth != m.Depth:
+			d.DepthChanged = append(d.DepthChanged, MovedNode{
+				Key: n.Key, ParentA: pa, ParentB: pb, DepthA: n.Depth, DepthB: m.Depth,
+			})
+		default:
+			d.Stable++
+		}
+	}
+	for _, m := range b.Nodes() {
+		if !m.IsRoot() && !seen[m.Key] {
+			d.OnlyB = append(d.OnlyB, m.Key)
+		}
+	}
+	sort.Strings(d.OnlyA)
+	sort.Strings(d.OnlyB)
+	sort.Slice(d.Moved, func(i, j int) bool { return d.Moved[i].Key < d.Moved[j].Key })
+	sort.Slice(d.DepthChanged, func(i, j int) bool { return d.DepthChanged[i].Key < d.DepthChanged[j].Key })
+	return d
+}
+
+func parentKey(n *tree.Node) string {
+	if n.Parent == nil {
+		return ""
+	}
+	return n.Parent.Key
+}
+
+// Identical reports whether the trees agree on every node and edge.
+func (d *Diff) Identical() bool {
+	return len(d.OnlyA) == 0 && len(d.OnlyB) == 0 &&
+		len(d.Moved) == 0 && len(d.DepthChanged) == 0
+}
+
+// Summary returns the one-line accounting.
+func (d *Diff) Summary() string {
+	return fmt.Sprintf("stable %d, moved %d, depth-changed %d, only-%s %d, only-%s %d",
+		d.Stable, len(d.Moved), len(d.DepthChanged),
+		d.A.Profile, len(d.OnlyA), d.B.Profile, len(d.OnlyB))
+}
+
+// Write renders the diff as text, truncating long sections to limit lines
+// each (0 = unlimited).
+func (d *Diff) Write(w io.Writer, limit int) {
+	fmt.Fprintf(w, "diff %s vs %s for %s\n", d.A.Profile, d.B.Profile, d.A.PageURL)
+	fmt.Fprintf(w, "  %s\n", d.Summary())
+	section := func(title string, keys []string) {
+		if len(keys) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %s:\n", title)
+		for i, k := range keys {
+			if limit > 0 && i >= limit {
+				fmt.Fprintf(w, "    … %d more\n", len(keys)-limit)
+				return
+			}
+			fmt.Fprintf(w, "    %s\n", k)
+		}
+	}
+	section("only in "+d.A.Profile, d.OnlyA)
+	section("only in "+d.B.Profile, d.OnlyB)
+	if len(d.Moved) > 0 {
+		fmt.Fprintf(w, "  moved:\n")
+		for i, m := range d.Moved {
+			if limit > 0 && i >= limit {
+				fmt.Fprintf(w, "    … %d more\n", len(d.Moved)-limit)
+				break
+			}
+			fmt.Fprintf(w, "    %s\n      %s (d%d) → %s (d%d)\n", m.Key, m.ParentA, m.DepthA, m.ParentB, m.DepthB)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package treediff implements the paper's cross-comparison of the
+// dependency trees different profiles observed for the same page (§3.2,
+// Appendix D): the horizontal analysis (which siblings/children appear,
+// recursively from depth one), the vertical analysis (dependency chains
+// and the parents of a node), per-depth node-set similarity, and the
+// supporting per-node bookkeeping the result tables aggregate.
+package treediff
+
+import (
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/stats"
+	"webmeasure/internal/tree"
+)
+
+// NodeInfo aggregates one node key's appearance across the compared trees.
+type NodeInfo struct {
+	Key  string
+	Type measurement.ResourceType
+	// Party/Tracking as first observed (stable across trees in practice:
+	// both derive from the URL).
+	Party    tree.Party
+	Tracking bool
+
+	// Presence is the number of trees containing the node.
+	Presence int
+	// Depths is the node's depth per tree, -1 where absent.
+	Depths []int
+	// SameDepth is true when the node sits at the same depth in every tree
+	// that contains it.
+	SameDepth bool
+
+	// ChildSim is the mean pairwise Jaccard of the node's child sets over
+	// the trees containing it (horizontal analysis).
+	ChildSim float64
+	// ParentSim is the mean pairwise Jaccard of the node's parent sets
+	// over *all* trees (absent trees contribute the empty set), matching
+	// the Appendix D worked example.
+	ParentSim float64
+	// SameParentEverywhere is true when the node is loaded by the same
+	// parent in every tree containing it.
+	SameParentEverywhere bool
+
+	// NumChildren is the per-tree child count (-1 where absent).
+	NumChildren []int
+	// MaxChildren is the largest per-tree child count.
+	MaxChildren int
+	// HasChildAnywhere is true when the node has ≥1 child in some tree.
+	HasChildAnywhere bool
+
+	// ChainEqualAll is true when the node appears in all trees with an
+	// identical dependency chain.
+	ChainEqualAll bool
+	// UniqueChains counts the trees whose chain for this node appears in
+	// no other tree (the "unique dependency chain" population of §4.2).
+	UniqueChains int
+}
+
+// MeanDepth returns the node's average depth over the trees containing it.
+func (ni *NodeInfo) MeanDepth() float64 {
+	sum, n := 0, 0
+	for _, d := range ni.Depths {
+		if d >= 0 {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Comparison is the cross-comparison of one page's trees.
+type Comparison struct {
+	Trees []*tree.Tree
+	// Nodes maps every key observed in any tree (including the root) to
+	// its aggregate.
+	Nodes map[string]*NodeInfo
+}
+
+// Compare cross-compares the trees of one page. At least two trees are
+// required for the similarities to be meaningful; with fewer, similarities
+// default to 1 (self-consistency).
+func Compare(trees []*tree.Tree) *Comparison {
+	c := &Comparison{Trees: trees, Nodes: make(map[string]*NodeInfo)}
+
+	// Collect the union of keys with per-tree lookups.
+	for ti, t := range trees {
+		for _, n := range t.Nodes() {
+			ni := c.Nodes[n.Key]
+			if ni == nil {
+				ni = &NodeInfo{
+					Key:         n.Key,
+					Type:        n.Type,
+					Party:       n.Party,
+					Tracking:    n.Tracking,
+					Depths:      filled(len(trees), -1),
+					NumChildren: filled(len(trees), -1),
+				}
+				c.Nodes[n.Key] = ni
+			}
+			ni.Presence++
+			ni.Depths[ti] = n.Depth
+			ni.NumChildren[ti] = len(n.Children)
+			if len(n.Children) > ni.MaxChildren {
+				ni.MaxChildren = len(n.Children)
+			}
+			if len(n.Children) > 0 {
+				ni.HasChildAnywhere = true
+			}
+		}
+	}
+
+	for _, ni := range c.Nodes {
+		c.fill(ni)
+	}
+	return c
+}
+
+func filled(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// fill computes the per-node similarity aggregates.
+func (c *Comparison) fill(ni *NodeInfo) {
+	// Same depth across containing trees?
+	ni.SameDepth = true
+	first := -1
+	for _, d := range ni.Depths {
+		if d < 0 {
+			continue
+		}
+		if first < 0 {
+			first = d
+		} else if d != first {
+			ni.SameDepth = false
+		}
+	}
+
+	// Child sets over containing trees (horizontal).
+	var childSets []map[string]bool
+	// Parent sets over all trees (vertical); empty set where absent.
+	parentSets := make([]map[string]bool, len(c.Trees))
+	// Chains per containing tree.
+	chainByTree := make([]string, len(c.Trees))
+	sameParent := true
+	var firstParent string
+	haveParent := false
+
+	for ti, t := range c.Trees {
+		n := t.Node(ni.Key)
+		if n == nil {
+			parentSets[ti] = nil
+			continue
+		}
+		childSets = append(childSets, n.ChildKeys())
+		ps := map[string]bool{}
+		if n.Parent != nil {
+			ps[n.Parent.Key] = true
+			if !haveParent {
+				firstParent, haveParent = n.Parent.Key, true
+			} else if n.Parent.Key != firstParent {
+				sameParent = false
+			}
+		}
+		parentSets[ti] = ps
+		chainByTree[ti] = n.ChainKey()
+	}
+
+	ni.ChildSim = stats.PairwiseMeanJaccard(childSets)
+	ni.ParentSim = stats.PairwiseMeanJaccard(parentSets)
+	ni.SameParentEverywhere = sameParent
+
+	// Chain bookkeeping.
+	counts := map[string]int{}
+	for _, ch := range chainByTree {
+		if ch != "" {
+			counts[ch]++
+		}
+	}
+	ni.ChainEqualAll = ni.Presence == len(c.Trees) && len(counts) == 1 && len(c.Trees) > 0
+	for _, ch := range chainByTree {
+		if ch != "" && counts[ch] == 1 {
+			ni.UniqueChains++
+		}
+	}
+}
+
+// DepthFilter selects the node population for per-depth similarity
+// (Table 3's rows).
+type DepthFilter struct {
+	// OnlyWithChildren keeps nodes that have ≥1 child in some tree,
+	// excluding depth-one content that cannot introduce dynamics (§3.2).
+	OnlyWithChildren bool
+	// OnlyInAllTrees keeps nodes present in every tree.
+	OnlyInAllTrees bool
+	// Party restricts to one loading context.
+	Party *tree.Party
+	// Unweighted averages the per-depth Jaccard values equally instead of
+	// weighting by each depth's population — the ablation for the
+	// weighting decision documented on DepthSimilarity.
+	Unweighted bool
+}
+
+func (f DepthFilter) admit(ni *NodeInfo, total int) bool {
+	if f.OnlyWithChildren && !ni.HasChildAnywhere {
+		return false
+	}
+	if f.OnlyInAllTrees && ni.Presence != total {
+		return false
+	}
+	if f.Party != nil && ni.Party != *f.Party {
+		return false
+	}
+	return true
+}
+
+// DepthSimilarity computes the paper's per-depth node-set similarity: for
+// every depth d ≥ 1 occupied in some tree, the pairwise mean Jaccard of the
+// admitted keys at d, averaged over depths weighted by each depth's node
+// population (the union of admitted keys), so a depth holding forty nodes
+// counts accordingly more than a sparse deep level. It returns
+// (similarity, number of depths compared); with no admissible depth the
+// similarity is 1.
+func (c *Comparison) DepthSimilarity(f DepthFilter) (float64, int) {
+	maxDepth := 0
+	for _, t := range c.Trees {
+		if d := t.MaxDepth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	var sum, weight float64
+	depths := 0
+	for d := 1; d <= maxDepth; d++ {
+		sets := make([]map[string]bool, len(c.Trees))
+		union := map[string]bool{}
+		for ti, t := range c.Trees {
+			set := map[string]bool{}
+			for key := range t.KeysAtDepth(d) {
+				ni := c.Nodes[key]
+				if ni != nil && f.admit(ni, len(c.Trees)) {
+					set[key] = true
+					union[key] = true
+				}
+			}
+			sets[ti] = set
+		}
+		if len(union) == 0 {
+			continue
+		}
+		w := float64(len(union))
+		if f.Unweighted {
+			w = 1
+		}
+		sum += stats.PairwiseMeanJaccard(sets) * w
+		weight += w
+		depths++
+	}
+	if depths == 0 {
+		return 1, 0
+	}
+	return sum / weight, depths
+}
+
+// AllNodesSimilarity is the whole-tree node-set pairwise mean Jaccard (the
+// Appendix D "all nodes in all trees" figure).
+func (c *Comparison) AllNodesSimilarity() float64 {
+	sets := make([]map[string]bool, len(c.Trees))
+	for ti, t := range c.Trees {
+		set := make(map[string]bool, t.NodeCount())
+		for _, n := range t.Nodes() {
+			if !n.IsRoot() {
+				set[n.Key] = true
+			}
+		}
+		sets[ti] = set
+	}
+	return stats.PairwiseMeanJaccard(sets)
+}
+
+// HorizontalSimilarities runs the paper's recursive horizontal pass: the
+// Jaccard of the depth-one children of the pages, then recursively of the
+// children of every node present in at least two trees with at least one
+// child. It returns the per-node similarities keyed by node; the root's
+// entry is the depth-one comparison.
+func (c *Comparison) HorizontalSimilarities() map[string]float64 {
+	out := make(map[string]float64)
+	for key, ni := range c.Nodes {
+		if ni.Presence >= 2 && (ni.HasChildAnywhere || isRootKey(c, key)) {
+			out[key] = ni.ChildSim
+		}
+	}
+	return out
+}
+
+func isRootKey(c *Comparison, key string) bool {
+	return len(c.Trees) > 0 && c.Trees[0].Root != nil && c.Trees[0].Root.Key == key
+}
+
+// PairwisePresence reports, for two tree indices, the share of the union
+// of their node keys present in both — the §4 "comparing two different
+// profiles, 48% of the underlying data varies" statistic is 1 minus this.
+func (c *Comparison) PairwisePresence(i, j int) float64 {
+	a, b := c.Trees[i], c.Trees[j]
+	setA, setB := map[string]bool{}, map[string]bool{}
+	for _, n := range a.Nodes() {
+		setA[n.Key] = true
+	}
+	for _, n := range b.Nodes() {
+		setB[n.Key] = true
+	}
+	return stats.Jaccard(setA, setB)
+}

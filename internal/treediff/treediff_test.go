@@ -1,0 +1,281 @@
+package treediff
+
+import (
+	"math"
+	"testing"
+
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/tree"
+)
+
+const rootURL = "https://fig6.example/"
+
+// buildTree constructs a tree from (child, parent) edges using synthetic
+// call stacks; parents must precede children.
+func buildTree(t *testing.T, profile string, edges [][2]string) *tree.Tree {
+	t.Helper()
+	v := &measurement.Visit{
+		Site: "fig6.example", PageURL: rootURL, Profile: profile, Success: true,
+		Requests: []measurement.Request{{URL: rootURL, Type: measurement.TypeMainFrame}},
+	}
+	for _, e := range edges {
+		req := measurement.Request{URL: e[0], Type: measurement.TypeScript}
+		if e[1] != rootURL {
+			req.CallStack = []measurement.StackFrame{{FuncName: "f", URL: e[1]}}
+		}
+		v.Requests = append(v.Requests, req)
+	}
+	tr, err := (&tree.Builder{}).Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func u(name string) string { return "https://fig6.example/" + name }
+
+// fig6Trees builds the Appendix D example:
+//
+//	T1: F→{a,b,c}, c→d, d→e, e→{x,y}
+//	T2: F→{a,c},   c→d, d→e, e→{x,y}
+//	T3: F→{a,b,c}, c→d, d→y        (e absent)
+func fig6Trees(t *testing.T) []*tree.Tree {
+	t1 := buildTree(t, "P1", [][2]string{
+		{u("a"), rootURL}, {u("b"), rootURL}, {u("c"), rootURL},
+		{u("d"), u("c")}, {u("e"), u("d")}, {u("x"), u("e")}, {u("y"), u("e")},
+	})
+	t2 := buildTree(t, "P2", [][2]string{
+		{u("a"), rootURL}, {u("c"), rootURL},
+		{u("d"), u("c")}, {u("e"), u("d")}, {u("x"), u("e")}, {u("y"), u("e")},
+	})
+	t3 := buildTree(t, "P3", [][2]string{
+		{u("a"), rootURL}, {u("b"), rootURL}, {u("c"), rootURL},
+		{u("d"), u("c")}, {u("y"), u("d")},
+	})
+	return []*tree.Tree{t1, t2, t3}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestFig6DepthOneSimilarity(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	// Horizontal, depth one: ({a,b,c},{a,c},{a,b,c}) → (2/3 + 1 + 2/3)/3 ≈ .77
+	root := c.Nodes[rootURL]
+	want := (2.0/3 + 1 + 2.0/3) / 3
+	if !almost(root.ChildSim, want) {
+		t.Errorf("depth-one similarity = %v, want %v", root.ChildSim, want)
+	}
+}
+
+func TestFig6ParentOfE(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	e := c.Nodes[u("e")]
+	if e == nil {
+		t.Fatal("node e missing")
+	}
+	// Parents: {d}, {d}, absent → (1 + 0 + 0)/3 ≈ .3 (Appendix D).
+	if !almost(e.ParentSim, 1.0/3) {
+		t.Errorf("parent similarity of e = %v, want 1/3", e.ParentSim)
+	}
+	if e.Presence != 2 || !e.SameDepth || !e.SameParentEverywhere {
+		t.Errorf("e aggregate wrong: %+v", e)
+	}
+}
+
+func TestFig6AllNodesSimilarity(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	// Sets: {a,b,c,d,e,x,y}, {a,c,d,e,x,y}, {a,b,c,d,y} →
+	// (6/7 + 5/7 + 4/7)/3 = 5/7.
+	if got := c.AllNodesSimilarity(); !almost(got, 5.0/7) {
+		t.Errorf("all-nodes similarity = %v, want 5/7", got)
+	}
+}
+
+func TestPresenceAndDepths(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	a := c.Nodes[u("a")]
+	if a.Presence != 3 || !a.SameDepth || a.Depths[0] != 1 {
+		t.Errorf("a: %+v", a)
+	}
+	b := c.Nodes[u("b")]
+	if b.Presence != 2 {
+		t.Errorf("b presence = %d", b.Presence)
+	}
+	y := c.Nodes[u("y")]
+	if y.Presence != 3 || y.SameDepth {
+		t.Errorf("y should differ in depth: %+v", y)
+	}
+	if got := y.MeanDepth(); !almost(got, (4.0+4+3)/3) {
+		t.Errorf("y mean depth = %v", got)
+	}
+	if c.Nodes[rootURL].Presence != 3 {
+		t.Error("root must be present everywhere")
+	}
+}
+
+func TestChains(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	d := c.Nodes[u("d")]
+	if !d.ChainEqualAll {
+		t.Errorf("d has identical chains in all trees: %+v", d)
+	}
+	if d.UniqueChains != 0 {
+		t.Errorf("d unique chains = %d", d.UniqueChains)
+	}
+	y := c.Nodes[u("y")]
+	if y.ChainEqualAll {
+		t.Error("y chains differ (T3 loads y from d)")
+	}
+	// y's chain F/c/d/e/y appears in T1 and T2 (shared); F/c/d/y only in
+	// T3 → one unique chain.
+	if y.UniqueChains != 1 {
+		t.Errorf("y unique chains = %d, want 1", y.UniqueChains)
+	}
+	e := c.Nodes[u("e")]
+	if e.ChainEqualAll {
+		t.Error("e absent from T3 cannot have ChainEqualAll")
+	}
+}
+
+func TestSameParentEverywhere(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	if !c.Nodes[u("d")].SameParentEverywhere {
+		t.Error("d always loaded by c")
+	}
+	if c.Nodes[u("y")].SameParentEverywhere {
+		t.Error("y loaded by e and d")
+	}
+}
+
+func TestChildCounts(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	e := c.Nodes[u("e")]
+	if e.MaxChildren != 2 || !e.HasChildAnywhere {
+		t.Errorf("e children: %+v", e)
+	}
+	if e.NumChildren[2] != -1 {
+		t.Errorf("absent tree must report -1: %v", e.NumChildren)
+	}
+	x := c.Nodes[u("x")]
+	if x.HasChildAnywhere || x.MaxChildren != 0 {
+		t.Errorf("x is a leaf: %+v", x)
+	}
+}
+
+func TestDepthSimilarityFilters(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	all, depths := c.DepthSimilarity(DepthFilter{})
+	if depths != 4 {
+		t.Fatalf("depths compared = %d, want 4", depths)
+	}
+	if all <= 0 || all > 1 {
+		t.Fatalf("similarity out of range: %v", all)
+	}
+	inAll, _ := c.DepthSimilarity(DepthFilter{OnlyInAllTrees: true})
+	if inAll < all {
+		t.Errorf("nodes-in-all-trees similarity (%v) should be ≥ all-nodes (%v)", inAll, all)
+	}
+	withChildren, _ := c.DepthSimilarity(DepthFilter{OnlyWithChildren: true})
+	if withChildren <= 0 || withChildren > 1 {
+		t.Errorf("with-children similarity out of range: %v", withChildren)
+	}
+	fp := tree.FirstParty
+	fpSim, fpDepths := c.DepthSimilarity(DepthFilter{Party: &fp})
+	if fpDepths == 0 || fpSim <= 0 {
+		t.Errorf("first-party similarity degenerate: %v %d", fpSim, fpDepths)
+	}
+	// Degenerate: filter admitting nothing yields (1, 0).
+	tp := tree.ThirdParty
+	tpSim, tpDepths := c.DepthSimilarity(DepthFilter{Party: &tp})
+	if tpDepths != 0 || tpSim != 1 {
+		t.Errorf("no third-party nodes here: got %v %d", tpSim, tpDepths)
+	}
+}
+
+func TestHorizontalSimilarities(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	h := c.HorizontalSimilarities()
+	if _, ok := h[rootURL]; !ok {
+		t.Error("root must appear in the horizontal pass")
+	}
+	if _, ok := h[u("x")]; ok {
+		t.Error("leaf without children must not appear")
+	}
+	if _, ok := h[u("e")]; !ok {
+		t.Error("e (present twice, has children) must appear")
+	}
+}
+
+func TestPairwisePresence(t *testing.T) {
+	c := Compare(fig6Trees(t))
+	// T1 vs T2 (non-root nodes + root? PairwisePresence uses all keys incl.
+	// root): T1 has 8 keys, T2 7, shared 7 → 7/8.
+	if got := c.PairwisePresence(0, 1); !almost(got, 7.0/8) {
+		t.Errorf("pairwise presence T1,T2 = %v, want 7/8", got)
+	}
+	if got := c.PairwisePresence(0, 0); got != 1 {
+		t.Errorf("self presence = %v", got)
+	}
+}
+
+func TestSingleTreeDegenerate(t *testing.T) {
+	trees := fig6Trees(t)[:1]
+	c := Compare(trees)
+	for _, ni := range c.Nodes {
+		if ni.ChildSim != 1 || ni.ParentSim != 1 {
+			t.Errorf("single-tree similarities must be 1: %+v", ni)
+		}
+		if !ni.ChainEqualAll {
+			t.Errorf("single tree: all chains trivially equal: %+v", ni)
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	// Five medium trees with overlapping structure.
+	var trees []*tree.Tree
+	for p := 0; p < 5; p++ {
+		var edges [][2]string
+		for i := 0; i < 60; i++ {
+			if (i+p)%13 == 0 {
+				continue // profile-specific gaps
+			}
+			parent := rootURL
+			if i >= 10 {
+				parent = u(name(i / 3))
+			}
+			edges = append(edges, [2]string{u(name(i)), parent})
+		}
+		tb := testing.TB(b)
+		_ = tb
+		tr, err := (&tree.Builder{}).Build(visitFor(edges, p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(trees)
+	}
+}
+
+func name(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func visitFor(edges [][2]string, p int) *measurement.Visit {
+	v := &measurement.Visit{
+		Site: "fig6.example", PageURL: rootURL, Profile: name(p), Success: true,
+		Requests: []measurement.Request{{URL: rootURL, Type: measurement.TypeMainFrame}},
+	}
+	for _, e := range edges {
+		req := measurement.Request{URL: e[0], Type: measurement.TypeScript}
+		if e[1] != rootURL {
+			req.CallStack = []measurement.StackFrame{{FuncName: "f", URL: e[1]}}
+		}
+		v.Requests = append(v.Requests, req)
+	}
+	return v
+}

@@ -1,0 +1,60 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNormalize guards the node-identity normalization against arbitrary
+// input: it must never panic, must be idempotent, and must never leave a
+// non-empty query value behind.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"https://foo.com/scriptA.js?s_id=1234",
+		"https://foo.com/a.js?x=&y=",
+		"http://[::1",
+		"//proto-relative.example/x?a=b",
+		"https://h.example/p?a=1&a=2&b&c=",
+		"https://h.example/%zz?bad=escape",
+		"?only=query",
+		strings.Repeat("a", 300) + "?k=v",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		norm, _ := Normalize(raw)
+		again, stripped := Normalize(norm)
+		if again != norm {
+			t.Fatalf("not idempotent: %q → %q → %q", raw, norm, again)
+		}
+		if stripped {
+			t.Fatalf("second pass stripped values: %q → %q", raw, norm)
+		}
+	})
+}
+
+// FuzzSite guards eTLD+1 extraction: never panic; the result, when
+// non-empty, must be a suffix of the host.
+func FuzzSite(f *testing.F) {
+	for _, s := range []string{
+		"https://a.b.example.co.uk/x",
+		"https://com/",
+		"https://127.0.0.1:8080/",
+		"garbage",
+		"https://.leading.dot.example/",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		site := Site(raw)
+		if site == "" {
+			return
+		}
+		// The PSL layer canonicalizes FQDN trailing dots away.
+		host := strings.TrimSuffix(Host(raw), ".")
+		if host != site && !strings.HasSuffix(host, "."+site) {
+			t.Fatalf("Site(%q) = %q not a suffix of host %q", raw, site, host)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeStripsQueryValues(t *testing.T) {
+	cases := []struct {
+		in, want string
+		stripped bool
+	}{
+		{"https://foo.com/scriptA.js?s_id=1234", "https://foo.com/scriptA.js?s_id=", true},
+		{"https://foo.com/scriptA.js?s_id=abcd", "https://foo.com/scriptA.js?s_id=", true},
+		{"https://foo.com/a.js", "https://foo.com/a.js", false},
+		{"https://foo.com/a.js?x=&y=", "https://foo.com/a.js?x=&y=", false},
+		{"https://foo.com/a.js?x=1&y=2", "https://foo.com/a.js?x=&y=", true},
+		{"https://foo.com/a.js?b=2&a=1", "https://foo.com/a.js?b=&a=", true},
+		{"https://foo.com/a#frag", "https://foo.com/a", false},
+		{"HTTPS://FOO.com/Path?Q=1", "https://foo.com/Path?Q=", true},
+		{"https://foo.com/a?flag", "https://foo.com/a?flag=", false},
+		{"https://foo.com/a?x=1&x=2", "https://foo.com/a?x=", true},
+		{"https://foo.com/a?&&x=9", "https://foo.com/a?x=", true},
+	}
+	for _, c := range cases {
+		got, stripped := Normalize(c.in)
+		if got != c.want || stripped != c.stripped {
+			t.Errorf("Normalize(%q) = (%q, %v), want (%q, %v)", c.in, got, stripped, c.want, c.stripped)
+		}
+	}
+}
+
+func TestNormalizeCollapsesSessionVariants(t *testing.T) {
+	a, _ := Normalize("https://cdn.example.com/lib.js?v=1.2.3&session=aaa")
+	b, _ := Normalize("https://cdn.example.com/lib.js?v=2.0.0&session=bbb")
+	if a != b {
+		t.Errorf("session variants did not collapse: %q vs %q", a, b)
+	}
+}
+
+func TestNormalizeUnparseable(t *testing.T) {
+	bad := "http://[::1"
+	got, stripped := Normalize(bad)
+	if got != bad || stripped {
+		t.Errorf("Normalize(%q) = (%q, %v), want identity", bad, got, stripped)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(path, q1, q2 string) bool {
+		raw := "https://site.example/" + sanitize(path) + "?a=" + sanitize(q1) + "&b=" + sanitize(q2)
+		once, _ := Normalize(raw)
+		twice, again := Normalize(once)
+		return once == twice && !again
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestHostAndSite(t *testing.T) {
+	cases := []struct {
+		in, host, site string
+	}{
+		{"https://www.example.com:8443/x", "www.example.com", "example.com"},
+		{"https://a.b.example.co.uk/", "a.b.example.co.uk", "example.co.uk"},
+		{"https://site-0001.example/page", "site-0001.example", "site-0001.example"},
+		{"not a url at all ://", "", ""},
+		{"https://com/", "com", ""},
+	}
+	for _, c := range cases {
+		if got := Host(c.in); got != c.host {
+			t.Errorf("Host(%q) = %q, want %q", c.in, got, c.host)
+		}
+		if got := Site(c.in); got != c.site {
+			t.Errorf("Site(%q) = %q, want %q", c.in, got, c.site)
+		}
+	}
+}
+
+func TestIsThirdParty(t *testing.T) {
+	page := "https://www.shop.example.com/checkout"
+	cases := []struct {
+		res  string
+		want bool
+	}{
+		{"https://cdn.example.com/app.js", false},
+		{"https://static.example.com/logo.png", false},
+		{"https://tracker.ads-example.net/pixel.gif", true},
+		{"https://example.org/widget.js", true},
+		{"", true},
+	}
+	for _, c := range cases {
+		if got := IsThirdParty(c.res, page); got != c.want {
+			t.Errorf("IsThirdParty(%q, page) = %v, want %v", c.res, got, c.want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	if !SameSite("https://a.example.com/x", "https://b.example.com/y") {
+		t.Error("subdomains of the same registrable domain should be same-site")
+	}
+	if SameSite("https://example.com/", "https://example.org/") {
+		t.Error("different registrable domains must not be same-site")
+	}
+	if SameSite("::bad::", "::bad::") {
+		t.Error("unparseable URLs must not be same-site")
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	if got := PathOf("https://x.example/a/b.js?q=1"); got != "/a/b.js" {
+		t.Errorf("PathOf = %q", got)
+	}
+	if got := PathOf("http://[::1"); got != "" {
+		t.Errorf("PathOf(bad) = %q, want empty", got)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Normalize("https://cdn.site-0042.example/assets/lib.js?v=1.8.2&session=f00ba4&ab=exp7")
+	}
+}

@@ -1,0 +1,179 @@
+package webgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/tranco"
+)
+
+// UniverseProfile describes the statistical shape of a generated web —
+// the calibration dashboard behind DESIGN.md §5. It is computed from spec
+// trees (no visits), so it characterizes what the web *can* serve rather
+// than what one measurement observed.
+type UniverseProfile struct {
+	Sites       int
+	Unreachable int
+	Pages       int
+
+	// SpecNodesPerPage summarizes spec-tree sizes (larger than observed
+	// trees: variants and probabilistic inclusion prune at render time).
+	SpecNodesPerPage MinMeanMax
+	// PagesPerSite summarizes subpage counts.
+	PagesPerSite MinMeanMax
+
+	// TypeCounts tallies spec nodes per resource type.
+	TypeCounts map[string]int
+	// Knobs tallies volatility mechanisms.
+	LazyNodes, VolatileParamNodes, VolatilePathNodes int
+	VariantFrames, RedirectChains, CookieSetters     int
+	VersionGated, GUIGated                           int
+
+	// ThirdPartyRefs counts distinct third-party service domains
+	// referenced by the sampled sites.
+	ThirdPartyRefs int
+}
+
+// MinMeanMax is a compact distribution summary for integer counts.
+type MinMeanMax struct {
+	Min  int
+	Mean float64
+	Max  int
+}
+
+func (m *MinMeanMax) add(v int, first bool) {
+	if first || v < m.Min {
+		m.Min = v
+	}
+	if v > m.Max {
+		m.Max = v
+	}
+	m.Mean += float64(v) // normalized by the caller
+}
+
+// Describe profiles the universe over the given site entries.
+func (u *Universe) Describe(entries []tranco.Entry) UniverseProfile {
+	p := UniverseProfile{TypeCounts: map[string]int{}}
+	serviceDomains := map[string]bool{}
+	for _, s := range u.AllServices() {
+		serviceDomains[s.Domain] = true
+	}
+	referenced := map[string]bool{}
+
+	pageCount := 0
+	for si, entry := range entries {
+		site := u.GenerateSite(entry)
+		p.Sites++
+		if site.Unreachable {
+			p.Unreachable++
+			continue
+		}
+		p.PagesPerSite.add(len(site.Pages), si == 0)
+		for _, page := range site.AllPages() {
+			p.Pages++
+			n := 0
+			var walk func(r *Resource)
+			walk = func(r *Resource) {
+				n++
+				p.TypeCounts[r.Type.String()]++
+				if r.Lazy {
+					p.LazyNodes++
+				}
+				if len(r.VolatileParams) > 0 {
+					p.VolatileParamNodes++
+				}
+				if r.VolatilePath {
+					p.VolatilePathNodes++
+				}
+				if len(r.Variants) > 0 {
+					p.VariantFrames++
+				}
+				if len(r.RedirectVia) > 0 {
+					p.RedirectChains++
+				}
+				if len(r.SetCookies) > 0 {
+					p.CookieSetters++
+				}
+				if r.MinVersion > 0 || r.MaxVersion > 0 {
+					p.VersionGated++
+				}
+				if r.GUIOnly {
+					p.GUIGated++
+				}
+				if r.Type == measurement.TypeSubFrame || r.Type == measurement.TypeScript ||
+					r.Type == measurement.TypeImage || r.Type == measurement.TypeBeacon {
+					if d := hostDomainOf(r.URL); serviceDomains[d] {
+						referenced[d] = true
+					}
+				}
+				for _, c := range r.Children {
+					walk(c)
+				}
+				for _, v := range r.Variants {
+					for _, c := range v {
+						walk(c)
+					}
+				}
+			}
+			walk(page.Root)
+			p.SpecNodesPerPage.add(n, pageCount == 0)
+			pageCount++
+		}
+	}
+	if pageCount > 0 {
+		p.SpecNodesPerPage.Mean /= float64(pageCount)
+	}
+	if reachable := p.Sites - p.Unreachable; reachable > 0 {
+		p.PagesPerSite.Mean /= float64(reachable)
+	}
+	p.ThirdPartyRefs = len(referenced)
+	return p
+}
+
+// hostDomainOf extracts "host" from "scheme://host/..." without a full URL
+// parse (spec URLs are generator-controlled).
+func hostDomainOf(url string) string {
+	i := 0
+	for ; i+2 < len(url); i++ {
+		if url[i] == ':' && url[i+1] == '/' && url[i+2] == '/' {
+			i += 3
+			break
+		}
+	}
+	start := i
+	for ; i < len(url); i++ {
+		if c := url[i]; c == '/' || c == '?' || c == ':' {
+			break
+		}
+	}
+	host := url[start:i]
+	// Strip one subdomain layer at a time until a known pattern: the
+	// generator's service domains are registrable as-is; site asset hosts
+	// carry one prefix label.
+	return host
+}
+
+// Write renders the profile as text.
+func (p UniverseProfile) Write(w io.Writer) {
+	fmt.Fprintf(w, "universe profile over %d sites (%d unreachable), %d pages\n",
+		p.Sites, p.Unreachable, p.Pages)
+	fmt.Fprintf(w, "spec nodes/page: min %d, mean %.1f, max %d; pages/site: min %d, mean %.1f, max %d\n",
+		p.SpecNodesPerPage.Min, p.SpecNodesPerPage.Mean, p.SpecNodesPerPage.Max,
+		p.PagesPerSite.Min, p.PagesPerSite.Mean, p.PagesPerSite.Max)
+	fmt.Fprintf(w, "volatility: lazy %d, volatile-param %d, volatile-path %d, variant frames %d, redirect chains %d\n",
+		p.LazyNodes, p.VolatileParamNodes, p.VolatilePathNodes, p.VariantFrames, p.RedirectChains)
+	fmt.Fprintf(w, "gates: version %d, gui %d; cookie setters %d; third-party services referenced: %d\n",
+		p.VersionGated, p.GUIGated, p.CookieSetters, p.ThirdPartyRefs)
+	var types []string
+	for ty := range p.TypeCounts {
+		types = append(types, ty)
+	}
+	sort.Strings(types)
+	fmt.Fprintf(w, "type mix:")
+	for _, ty := range types {
+		fmt.Fprintf(w, " %s=%d", ty, p.TypeCounts[ty])
+	}
+	fmt.Fprintln(w)
+}

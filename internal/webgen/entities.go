@@ -1,0 +1,66 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Real ad-tech organizations operate many domains (an ad exchange, a
+// metrics host, a CDN). Studies that count *domains* therefore overstate
+// ecosystem churn compared to studies that count *entities* — an analysis
+// axis related work (e.g. tracker-radar-style entity maps) relies on.
+// The universe groups its services into organizations deterministically.
+
+// Organization is one company owning one or more service domains.
+type Organization struct {
+	Name    string
+	Domains []string
+}
+
+// Organizations returns the universe's entity map, sorted by name. Built
+// lazily and cached; safe for concurrent use after the first call from a
+// single goroutine (New pre-builds it).
+func (u *Universe) Organizations() []*Organization {
+	return u.orgs
+}
+
+// OrganizationOf returns the organization name owning a service domain,
+// or "" when the domain belongs to no known organization (first parties,
+// unknown hosts).
+func (u *Universe) OrganizationOf(domain string) string {
+	return u.orgByDomain[domain]
+}
+
+// buildEntities groups services into organizations: a third of the
+// organizations are conglomerates owning several domains across service
+// kinds (the GAFA-like tail), the rest are single-domain outfits.
+func (u *Universe) buildEntities(rng *rand.Rand) {
+	services := u.AllServices()
+	// Shuffle deterministically, then carve into organizations.
+	perm := rng.Perm(len(services))
+	u.orgByDomain = make(map[string]string, len(services))
+
+	i := 0
+	orgIdx := 0
+	for i < len(services) {
+		size := 1
+		if rng.Float64() < 0.3 {
+			size = 2 + rng.Intn(4) // conglomerate: 2–5 domains
+		}
+		if size > len(services)-i {
+			size = len(services) - i
+		}
+		org := &Organization{Name: fmt.Sprintf("org-%03d", orgIdx)}
+		for j := 0; j < size; j++ {
+			d := services[perm[i+j]].Domain
+			org.Domains = append(org.Domains, d)
+			u.orgByDomain[d] = org.Name
+		}
+		sort.Strings(org.Domains)
+		u.orgs = append(u.orgs, org)
+		orgIdx++
+		i += size
+	}
+	sort.Slice(u.orgs, func(a, b int) bool { return u.orgs[a].Name < u.orgs[b].Name })
+}

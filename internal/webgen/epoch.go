@@ -1,0 +1,129 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webmeasure/internal/tranco"
+)
+
+// The paper compares a ten-month-old browser against a current one to
+// "simulate differences one would face when comparing current results to
+// ones from previous studies" (§3.1.1) — but notes the web itself changes
+// over time. GenerateSiteAt models that second axis: the same site at a
+// later epoch keeps its identity (domain, rough structure, third-party
+// relationships) while churning the parts that change in the wild —
+// editorial content turns over, a tracker gets swapped, pages are added
+// and retired. Epoch 0 is identical to GenerateSite.
+
+// epochChurn tunes how much a site changes per epoch step.
+const (
+	// pageUpdateProb is the chance a given page's content was re-edited
+	// in a given epoch (new images/articles under the same URL).
+	pageUpdateProb = 0.45
+	// trackerSwapProb is the chance a site swapped one tracker per epoch.
+	trackerSwapProb = 0.3
+	// pageTurnoverProb is the chance the site added/removed a page.
+	pageTurnoverProb = 0.5
+)
+
+// GenerateSiteAt builds the site as it exists at the given epoch ≥ 0.
+// Deterministic in (seed, entry, epoch); epoch 0 equals GenerateSite.
+func (u *Universe) GenerateSiteAt(entry tranco.Entry, epoch int) *Site {
+	if epoch <= 0 {
+		return u.GenerateSite(entry)
+	}
+	base := u.GenerateSite(entry)
+	if base.Unreachable {
+		return base
+	}
+
+	seed := mix(uint64(u.cfg.Seed), hash64("site", entry.Site))
+	rng := rand.New(rand.NewSource(int64(seed)))
+	_ = rng.Float64() // consume the unreachable roll, as GenerateSite does
+	profile := buildSiteProfile(u, rng, entry.Site, entry.Rank)
+
+	// Accumulate churn per epoch step so drift grows with distance.
+	updated := map[int]int{} // page index → latest epoch it was edited
+	removed := map[int]bool{}
+	extraPages := 0
+	for e := 1; e <= epoch; e++ {
+		erng := rand.New(rand.NewSource(int64(mix(seed, uint64(e)))))
+		// Swap one tracker for a different one.
+		if len(profile.trackers) > 0 && erng.Float64() < trackerSwapProb {
+			profile.trackers[erng.Intn(len(profile.trackers))] =
+				u.trackers[erng.Intn(len(u.trackers))]
+		}
+		// Content updates.
+		for i := range base.Pages {
+			if erng.Float64() < pageUpdateProb {
+				updated[i] = e
+			}
+		}
+		if erng.Float64() < pageUpdateProb {
+			updated[-1] = e // landing page
+		}
+		// Page turnover.
+		if erng.Float64() < pageTurnoverProb {
+			if erng.Float64() < 0.5 && len(base.Pages) > len(removed)+1 {
+				// Retire a random page.
+				for {
+					i := erng.Intn(len(base.Pages))
+					if !removed[i] {
+						removed[i] = true
+						break
+					}
+				}
+			} else {
+				extraPages++
+			}
+		}
+	}
+
+	s := &Site{Domain: base.Domain, Rank: base.Rank}
+	var links []string
+	regen := func(url, id string, e int, pageLinks []string) *Page {
+		pid := id
+		if e > 0 {
+			pid = fmt.Sprintf("%s@e%d", id, e)
+		}
+		return u.generatePage(profile, url, pid, pageLinks)
+	}
+	for i := range base.Pages {
+		if removed[i] {
+			continue
+		}
+		links = append(links, base.Pages[i].URL)
+	}
+	for j := 0; j < extraPages; j++ {
+		links = append(links, fmt.Sprintf("https://%s/page-%02d", s.Domain, len(base.Pages)+j+1))
+	}
+	s.Landing = regen(fmt.Sprintf("https://%s/", s.Domain), "landing", updated[-1], links)
+
+	idx := 0
+	for i := range base.Pages {
+		if removed[i] {
+			continue
+		}
+		s.Pages = append(s.Pages, regen(base.Pages[i].URL, fmt.Sprintf("p%02d", i+1), updated[i], crossLinks(links, idx)))
+		idx++
+	}
+	for j := 0; j < extraPages; j++ {
+		url := fmt.Sprintf("https://%s/page-%02d", s.Domain, len(base.Pages)+j+1)
+		s.Pages = append(s.Pages, regen(url, fmt.Sprintf("p%02d", len(base.Pages)+j+1), epoch, crossLinks(links, idx)))
+		idx++
+	}
+	return s
+}
+
+// crossLinks gives a subpage a few sibling links, as GenerateSite does.
+func crossLinks(links []string, i int) []string {
+	if len(links) < 2 {
+		return nil
+	}
+	var out []string
+	for j := 1; j <= 2; j++ {
+		out = append(out, links[(i+j)%len(links)])
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+
+	"webmeasure/internal/measurement"
+)
+
+// RenderHTML materializes a page's document: the markup a crawler's link
+// discovery pass actually parses (§3.1.2). The document references the
+// page's depth-one resources with the appropriate tags and carries the
+// first-party links to the site's subpages as anchors. Rendering is
+// deterministic — the document reflects the page's *stable* structure; the
+// per-visit volatile behaviour only exists in the traffic, exactly like a
+// saved HTML file versus a live page load.
+func RenderHTML(p *Page) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n")
+	fmt.Fprintf(&b, "<meta charset=\"utf-8\">\n<title>%s</title>\n", htmlEscape(p.URL))
+
+	var bodyParts []string
+	for _, r := range p.Root.Children {
+		switch r.Type {
+		case measurement.TypeStylesheet:
+			fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"%s\">\n", htmlEscape(r.URL))
+		case measurement.TypeScript:
+			fmt.Fprintf(&b, "<script src=\"%s\" async></script>\n", htmlEscape(r.URL))
+		case measurement.TypeImage:
+			attr := ""
+			if r.Lazy {
+				attr = " loading=\"lazy\""
+			}
+			bodyParts = append(bodyParts,
+				fmt.Sprintf("<img src=\"%s\"%s alt=\"\">", htmlEscape(r.URL), attr))
+		case measurement.TypeMedia:
+			bodyParts = append(bodyParts,
+				fmt.Sprintf("<video src=\"%s\" preload=\"none\"></video>", htmlEscape(r.URL)))
+		case measurement.TypeText:
+			bodyParts = append(bodyParts,
+				fmt.Sprintf("<section data-src=\"%s\"><p>Lorem ipsum dolor sit amet.</p></section>", htmlEscape(r.URL)))
+		}
+	}
+	b.WriteString("</head>\n<body>\n")
+	b.WriteString("<nav>\n")
+	for _, link := range p.Links {
+		fmt.Fprintf(&b, "  <a href=\"%s\">%s</a>\n", htmlEscape(link), htmlEscape(linkLabel(link)))
+	}
+	b.WriteString("</nav>\n<main>\n")
+	for _, part := range bodyParts {
+		b.WriteString("  ")
+		b.WriteString(part)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</main>\n</body>\n</html>\n")
+	return b.String()
+}
+
+func linkLabel(link string) string {
+	if i := strings.LastIndexByte(link, '/'); i >= 0 && i+1 < len(link) {
+		return link[i+1:]
+	}
+	return link
+}
+
+var htmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func htmlEscape(s string) string { return htmlEscaper.Replace(s) }

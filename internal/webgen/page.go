@@ -1,0 +1,69 @@
+package webgen
+
+import "math/rand"
+
+// siteProfile captures the site-stable choices shared by every page of a
+// site: which third parties it embeds and how ad-heavy it is.
+type siteProfile struct {
+	u      *Universe
+	domain string
+	seed   uint64
+
+	cdns       []*Service
+	imageCDN   *Service // nil = images served first-party
+	tagManager *Service
+	trackers   []*Service
+	adNetworks []*Service
+	social     *Service
+	cmp        *Service
+
+	adSlotsBase  int     // base ad slots per page
+	imageRich    float64 // multiplier on image counts
+	portal       bool    // heavy-tail page factory (news portals)
+	fpAnalytics  bool    // first-party /track/ analytics endpoint
+	pageVariance float64 // how much pages differ from each other
+}
+
+// buildSiteProfile derives the per-site embedding profile.
+func buildSiteProfile(u *Universe, rng *rand.Rand, domain string, rank int) *siteProfile {
+	p := &siteProfile{
+		u:      u,
+		domain: domain,
+		seed:   mix(uint64(u.cfg.Seed), hash64("siteprofile", domain)),
+	}
+	p.cdns = pick(rng, u.cdns, 1+rng.Intn(3))
+	// Half the sites serve their static assets from a third-party CDN:
+	// stable content in a third-party context.
+	if rng.Float64() < 0.5 {
+		p.imageCDN = p.cdns[rng.Intn(len(p.cdns))]
+	}
+	if rng.Float64() < 0.7 {
+		p.tagManager = u.tagManagers[rng.Intn(len(u.tagManagers))]
+	}
+	// ~12% of sites embed no analytics at all; the rest use 2–5 trackers.
+	if rng.Float64() < 0.12 {
+		p.tagManager = nil
+	} else {
+		p.trackers = pick(rng, u.trackers, 2+rng.Intn(3))
+	}
+	if rng.Float64() < 0.6 {
+		p.adNetworks = pick(rng, u.adNetworks, 1+rng.Intn(2))
+	}
+	if rng.Float64() < 0.35 {
+		p.social = u.social[rng.Intn(len(u.social))]
+	}
+	if rng.Float64() < 0.5 {
+		p.cmp = u.cmps[rng.Intn(len(u.cmps))]
+	}
+	p.adSlotsBase = rng.Intn(3)
+	// Popular sites skew larger (Appendix F: higher-ranked sites have more
+	// nodes), with substantial overlap between buckets.
+	p.imageRich = 0.8 + rng.Float64()
+	if rank <= 50 {
+		p.imageRich += 0.4
+	}
+	p.portal = rng.Float64() < 0.04
+	p.fpAnalytics = rng.Float64() < 0.3
+	p.pageVariance = rng.Float64()
+	return p
+}

@@ -1,0 +1,78 @@
+// Package webgen generates the synthetic web the experiment crawls: a
+// ranked population of sites whose pages embed first-party content and a
+// shared third-party ecosystem (ad networks, trackers, CDNs, tag managers,
+// social widgets, consent platforms). Pages are *generative programs*: a
+// spec tree of resources with stable structure (decided at generation time
+// from the page seed) and volatile behaviour (probabilistic inclusion, ad
+// rotation, session identifiers, lazy loading) resolved per visit by the
+// browser simulator. This separation is what lets identical measurement
+// setups observe different trees — the paper's central phenomenon.
+package webgen
+
+import "hash/fnv"
+
+// hash64 mixes the given parts into a 64-bit value with FNV-1a. It is the
+// single source of derived randomness so that every structure is a pure
+// function of the master seed.
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// mix folds extra 64-bit state into a hash (used to combine page seeds with
+// visit nonces).
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	// SplitMix64 finalizer for avalanche.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unitFloat maps a 64-bit hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// RollProb returns a deterministic pseudo-random value in [0,1) for a node
+// identified by id within a visit identified by (pageSeed, nonce) and a
+// purpose label. The browser simulator uses it for inclusion rolls so that
+// decisions are order-independent.
+func RollProb(pageSeed uint64, nonce uint64, id, purpose string) float64 {
+	return unitFloat(mix(mix(pageSeed, nonce), hash64(id, purpose)))
+}
+
+// RollChoice returns a deterministic choice in [0, n) under the same scheme.
+func RollChoice(pageSeed uint64, nonce uint64, id, purpose string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(mix(mix(pageSeed, nonce), hash64(id, purpose)) % uint64(n))
+}
+
+// NonceFor derives a visit nonce from a crawl seed, a profile name, and a
+// page URL. Distinct profiles always receive distinct nonces: they are
+// distinct browser sessions observing distinct server-side state.
+func NonceFor(seed uint64, profile, pageURL string) uint64 {
+	return mix(seed, hash64("nonce", profile, pageURL))
+}
+
+// RollToken returns a short deterministic hex-like token for session
+// identifiers and volatile path segments.
+func RollToken(pageSeed uint64, nonce uint64, id, purpose string) string {
+	h := mix(mix(pageSeed, nonce), hash64(id, purpose))
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 8)
+	for i := range buf {
+		buf[i] = digits[h&0xf]
+		h >>= 4
+	}
+	return string(buf)
+}

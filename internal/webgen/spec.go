@@ -1,0 +1,146 @@
+package webgen
+
+import "webmeasure/internal/measurement"
+
+// Resource is one node of a page's generative spec. Structure that is
+// stable across visits (which resources a page *can* load, their URLs and
+// nesting) is fixed here at generation time; the fields below parameterize
+// the per-visit volatility the browser simulator resolves.
+type Resource struct {
+	// ID uniquely identifies the node within its page and seeds all
+	// per-visit rolls for it.
+	ID string
+	// URL is the resource URL template. It may contain the VolatilePath
+	// marker (substituted per visit) and receives VolatileParams appended
+	// as query parameters with per-visit values.
+	URL string
+	// Type is the resource's content-policy type.
+	Type measurement.ResourceType
+
+	// IncludeProb is the per-visit probability the resource loads given its
+	// parent loaded (1 = always). This models ad fill rates, A/B tests, and
+	// flaky third parties.
+	IncludeProb float64
+	// Lazy marks content loaded only after user interaction (Page
+	// Down/Tab/End), e.g. below-the-fold ad slots and lazy images.
+	Lazy bool
+	// MinVersion/MaxVersion gate the resource on the browser version
+	// (0 = unbounded). Models feature detection and legacy code paths.
+	MinVersion int
+	MaxVersion int
+	// GUIOnly marks resources served only to browsers with a GUI
+	// (bot-detection-gated content); kept rare, matching the paper's
+	// finding that headless mode has no significant effect.
+	GUIOnly bool
+
+	// VolatileParams lists query parameter names that receive a fresh
+	// value each visit (session IDs, cache busters). Normalization strips
+	// the values, so these do not change node identity — they feed the
+	// "40% of URLs" statistic.
+	VolatileParams []string
+	// VolatilePath, when true, substitutes a per-visit token for the
+	// VolatilePathMarker in URL: the node is a different node in every
+	// tree (unique-node population, §5.1).
+	VolatilePath bool
+
+	// RedirectVia lists intermediate URLs: the request for the first entry
+	// HTTP-redirects along the chain and ends at URL. Each hop becomes a
+	// tree node (cookie-sync chains).
+	RedirectVia []string
+
+	// SetCookies are cookies the response sets.
+	SetCookies []CookieSpec
+
+	// LatencyMS is the nominal load latency; the simulator adds jitter and
+	// enforces the page timeout against the accumulated total.
+	LatencyMS int
+	// StallProb is the per-visit probability the resource stalls for
+	// StallMS instead (slow ads; drives timeout divergence).
+	StallProb float64
+	StallMS   int
+
+	// Children load after (and because of) this resource.
+	Children []*Resource
+	// Variants, when non-empty, is a set of alternative child bundles of
+	// which exactly one is chosen per visit (ad auctions / rotation).
+	Variants [][]*Resource
+}
+
+// VolatilePathMarker is the placeholder substituted per visit when
+// VolatilePath is set.
+const VolatilePathMarker = "{vtok}"
+
+// CookieSpec describes a cookie a resource's response sets.
+type CookieSpec struct {
+	Name     string
+	Domain   string // empty = host-only on the resource's host
+	Path     string // empty = "/"
+	Secure   bool
+	HTTPOnly bool
+	SameSite string
+	MaxAge   int // seconds; 0 = session cookie
+	// VolatileName appends a per-visit token to the cookie name (the
+	// "_ga_<measurement-id>"-style cookies), so the cookie's (name,
+	// domain, path) identity differs in every visit — the §5.2 finding
+	// that only 32% of cookies appear in all profiles.
+	VolatileName bool
+	// VolatileAttrs flips the Secure/SameSite attributes with a small
+	// per-visit probability, producing the paper's surprising observation
+	// that even "hard-coded" attributes differ (§5.2, 0.2% of cookies).
+	VolatileAttrs bool
+}
+
+// Page is one generated webpage.
+type Page struct {
+	Site string // registrable domain of the site
+	URL  string
+	// Seed drives all volatile rolls for visits to this page.
+	Seed uint64
+	// Root is the main document; its children are the page's depth-one
+	// resources. Root.URL equals the page URL.
+	Root *Resource
+	// Links are same-site subpage URLs found on this page (crawler
+	// discovery, §3.1.2).
+	Links []string
+}
+
+// Site is one generated website.
+type Site struct {
+	Domain string
+	Rank   int
+	// Unreachable marks sites no human is meant to visit (CDN/ad-network
+	// landing pages); every profile fails on them (§4 "Success of Crawling
+	// Method").
+	Unreachable bool
+	// Landing is the landing page; Pages are the subpages reachable from
+	// it (including none for link-poor sites).
+	Landing *Page
+	Pages   []*Page
+}
+
+// AllPages returns the landing page plus subpages.
+func (s *Site) AllPages() []*Page {
+	out := make([]*Page, 0, len(s.Pages)+1)
+	out = append(out, s.Landing)
+	out = append(out, s.Pages...)
+	return out
+}
+
+// CountResources returns the total number of spec nodes in the page
+// including the root, counting each variant bundle (diagnostic helper).
+func (p *Page) CountResources() int {
+	var walk func(r *Resource) int
+	walk = func(r *Resource) int {
+		n := 1
+		for _, c := range r.Children {
+			n += walk(c)
+		}
+		for _, v := range r.Variants {
+			for _, c := range v {
+				n += walk(c)
+			}
+		}
+		return n
+	}
+	return walk(p.Root)
+}

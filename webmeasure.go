@@ -1,0 +1,303 @@
+// Package webmeasure reproduces the experiment of "On the Similarity of Web
+// Measurements Under Different Experimental Setups" (Demir et al., IMC '23)
+// end to end: it crawls a synthetic web with the paper's five browser
+// profiles, builds a dependency tree per page visit, cross-compares the
+// trees, and regenerates every table and figure of the evaluation.
+//
+// The package is a facade over the internal substrates (web generator,
+// browser simulator, crawler, tree builder, comparison engine, statistics):
+//
+//	res, err := webmeasure.Run(ctx, webmeasure.Config{Seed: 42, Sites: 200})
+//	if err != nil { ... }
+//	res.WriteReport(os.Stdout)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package webmeasure
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"webmeasure/internal/browser"
+	"webmeasure/internal/core"
+	"webmeasure/internal/crawler"
+	"webmeasure/internal/dataset"
+	"webmeasure/internal/filterlist"
+	"webmeasure/internal/report"
+	"webmeasure/internal/tranco"
+	"webmeasure/internal/webgen"
+)
+
+// Config parameterizes an experiment. The zero value is completed with
+// laptop-scale defaults by Run.
+type Config struct {
+	// Seed makes the whole experiment reproducible (default 1).
+	Seed int64
+	// Sites is the number of sites sampled from the ranked list across
+	// the paper's five popularity buckets (default 100; the paper uses
+	// 25,000).
+	Sites int
+	// TrancoSize is the size of the full ranked list sampled from
+	// (default 10× Sites, mirroring the paper's 25k-of-500k sampling).
+	TrancoSize int
+	// PagesPerSite bounds the subpages visited per site in addition to
+	// the landing page (default 10; the paper collects 25).
+	PagesPerSite int
+	// Instances is the number of parallel browser instances per profile
+	// client (default 15, the paper's value).
+	Instances int
+	// Epoch selects the synthetic web's point in time (0 = base
+	// snapshot); run the same seed at two epochs for a longitudinal
+	// comparison.
+	Epoch int
+	// Stateful preserves cookies across a site's pages within each client
+	// (Appendix C's alternative design choice; default stateless).
+	Stateful bool
+	// Progress, if non-nil, receives crawl progress (sites done, total).
+	Progress func(done, total int)
+	// ResumeJSONL, if non-nil, streams a previously written dataset
+	// (WriteDataset output); successful visits found there are reused so
+	// an interrupted crawl continues where it stopped.
+	ResumeJSONL io.Reader
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sites <= 0 {
+		c.Sites = 100
+	}
+	if c.TrancoSize <= 0 {
+		c.TrancoSize = c.Sites * 10
+	}
+	if c.TrancoSize < c.Sites {
+		c.TrancoSize = c.Sites
+	}
+	if c.PagesPerSite <= 0 {
+		c.PagesPerSite = 10
+	}
+	return c
+}
+
+// Results is a completed experiment: the collected dataset plus the full
+// analysis.
+type Results struct {
+	cfg        Config
+	universe   *webgen.Universe
+	dataset    *dataset.Dataset
+	analysis   *core.Analysis
+	boundaries []int
+	stats      crawler.Stats
+}
+
+// Run executes the experiment: generate the universe, sample the ranked
+// site list, crawl with the five profiles of Table 1, vet, and analyze.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	u := webgen.New(webgenConfig(cfg))
+	list := tranco.Generate(cfg.TrancoSize, cfg.Seed)
+	boundaries := tranco.ScaledBoundaries(cfg.TrancoSize)
+	perBucket := cfg.Sites / len(boundaries)
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	sample := list.Sample(boundaries, perBucket, cfg.Seed)
+
+	var resume *dataset.Dataset
+	if cfg.ResumeJSONL != nil {
+		var err error
+		resume, err = dataset.ReadJSONL(cfg.ResumeJSONL)
+		if err != nil {
+			return nil, fmt.Errorf("webmeasure: resume dataset: %w", err)
+		}
+	}
+	ds, crawlStats, err := crawler.Run(ctx, crawler.Config{
+		Universe:  u,
+		Sites:     sample,
+		MaxPages:  cfg.PagesPerSite,
+		Instances: cfg.Instances,
+		Seed:      cfg.Seed,
+		Epoch:     cfg.Epoch,
+		Stateful:  cfg.Stateful,
+		Progress:  cfg.Progress,
+		Resume:    resume,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: crawl: %w", err)
+	}
+	res, err := Analyze(ds, u, sample, boundaries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.stats = crawlStats
+	return res, nil
+}
+
+// Analyze runs the analysis over an existing dataset (e.g. one loaded with
+// LoadDataset). sample and boundaries supply the rank information for the
+// popularity analysis and may be nil.
+func Analyze(ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, boundaries []int, cfg Config) (*Results, error) {
+	filter, skipped := filterlist.Parse(u.FilterListText())
+	if skipped != 0 {
+		return nil, fmt.Errorf("webmeasure: generated filter list has %d bad rules", skipped)
+	}
+	ranks := make(map[string]int, len(sample))
+	for _, e := range sample {
+		ranks[e.Site] = e.Rank
+	}
+	analysis, err := core.New(ds, filter, core.Options{
+		Profiles: profileNames(),
+		SiteRank: ranks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
+	}
+	return &Results{
+		cfg:        cfg,
+		universe:   u,
+		dataset:    ds,
+		analysis:   analysis,
+		boundaries: boundaries,
+	}, nil
+}
+
+func webgenConfig(cfg Config) webgen.Config {
+	wc := webgen.DefaultConfig(cfg.Seed)
+	wc.PagesPerSite = cfg.PagesPerSite
+	return wc
+}
+
+func profileNames() []string {
+	ps := browser.DefaultProfiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// WriteReport renders every table and figure of the paper to w.
+func (r *Results) WriteReport(w io.Writer) {
+	exp := &report.Experiment{
+		Analysis:       r.analysis,
+		RankBoundaries: r.boundaries,
+	}
+	exp.WriteAll(w)
+}
+
+// WriteDataset streams the raw visit records as JSON Lines (the released
+// raw-data artifact of Appendix A).
+func (r *Results) WriteDataset(w io.Writer) error {
+	return r.dataset.WriteJSONL(w)
+}
+
+// WriteJSON exports every analysis result as one machine-readable JSON
+// bundle (deterministic for a fixed seed — diffable in CI).
+func (r *Results) WriteJSON(w io.Writer) error {
+	return r.analysis.Export(core.ExportOptions{RankBoundaries: r.boundaries}).WriteJSON(w)
+}
+
+// WriteCSVFiles exports every table and figure as CSV files into dir for
+// external plotting.
+func (r *Results) WriteCSVFiles(dir string) error {
+	exp := &report.Experiment{
+		Analysis:       r.analysis,
+		RankBoundaries: r.boundaries,
+	}
+	return exp.WriteCSVFiles(dir)
+}
+
+// Summary is the headline outcome of an experiment.
+type Summary struct {
+	Sites       int
+	Pages       int
+	Visits      int
+	VettedPages int
+	VettedShare float64
+
+	MeanNodesPerTree   float64
+	MeanTreeDepth      float64
+	MeanNodePresence   float64 // of 5 profiles
+	ShareInAllProfiles float64
+	ShareInOneProfile  float64
+
+	FirstPartyDepthSimilarity float64
+	ThirdPartyDepthSimilarity float64
+	TrackingShare             float64
+	UniqueNodeShare           float64
+}
+
+// Summary computes the headline numbers.
+func (r *Results) Summary() Summary {
+	cs := r.analysis.CrawlSummary()
+	ov := r.analysis.TreeOverview()
+	pa := r.analysis.PartyAppearance()
+	tr := r.analysis.TrackingStudy()
+	un := r.analysis.UniqueNodes()
+	var fpSim, tpSim float64
+	for _, row := range r.analysis.DepthSimilarityTable() {
+		switch row.Label {
+		case "first-party nodes":
+			fpSim = row.Sim
+		case "third-party nodes":
+			tpSim = row.Sim
+		}
+	}
+	_ = pa
+	return Summary{
+		Sites:       cs.Sites,
+		Pages:       cs.Pages,
+		Visits:      cs.Visits,
+		VettedPages: cs.VettedPages,
+		VettedShare: cs.VettedShare,
+
+		MeanNodesPerTree:   ov.Nodes.Mean,
+		MeanTreeDepth:      ov.Depth.Mean,
+		MeanNodePresence:   ov.MeanPresence,
+		ShareInAllProfiles: ov.ShareInAll,
+		ShareInOneProfile:  ov.ShareInOne,
+
+		FirstPartyDepthSimilarity: fpSim,
+		ThirdPartyDepthSimilarity: tpSim,
+		TrackingShare:             tr.TrackingShare,
+		UniqueNodeShare:           un.UniqueShare,
+	}
+}
+
+// Analysis exposes the full analysis for advanced consumers (examples, the
+// benchmark harness).
+func (r *Results) Analysis() *core.Analysis { return r.analysis }
+
+// Universe exposes the generated web universe.
+func (r *Results) Universe() *webgen.Universe { return r.universe }
+
+// RankBoundaries returns the rank-bucket boundaries used for sampling.
+func (r *Results) RankBoundaries() []int { return r.boundaries }
+
+// CrawlStats returns the crawler's bookkeeping (zero when the dataset was
+// loaded rather than crawled).
+func (r *Results) CrawlStats() crawler.Stats { return r.stats }
+
+// LoadAndAnalyze reads a dataset written by WriteDataset and analyzes it.
+// cfg must carry the same Seed/Sites/TrancoSize/PagesPerSite the crawl
+// used, so the universe (and with it the filter list and rank sample) can
+// be regenerated deterministically.
+func LoadAndAnalyze(datasetJSONL io.Reader, cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset.ReadJSONL(datasetJSONL)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	u := webgen.New(webgenConfig(cfg))
+	list := tranco.Generate(cfg.TrancoSize, cfg.Seed)
+	boundaries := tranco.ScaledBoundaries(cfg.TrancoSize)
+	perBucket := cfg.Sites / len(boundaries)
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	sample := list.Sample(boundaries, perBucket, cfg.Seed)
+	return Analyze(ds, u, sample, boundaries, cfg)
+}

@@ -1,0 +1,140 @@
+package webmeasure
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func runSmall(t testing.TB) *Results {
+	t.Helper()
+	res, err := Run(context.Background(), Config{Seed: 11, Sites: 25, PagesPerSite: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDefaults(t *testing.T) {
+	res := runSmall(t)
+	s := res.Summary()
+	if s.Sites == 0 || s.Pages == 0 || s.VettedPages == 0 {
+		t.Fatalf("summary degenerate: %+v", s)
+	}
+	if s.MeanNodesPerTree <= 0 || s.MeanNodePresence < 1 || s.MeanNodePresence > 5 {
+		t.Errorf("tree stats: %+v", s)
+	}
+	if s.FirstPartyDepthSimilarity <= s.ThirdPartyDepthSimilarity {
+		t.Errorf("party ordering violated: fp=%v tp=%v",
+			s.FirstPartyDepthSimilarity, s.ThirdPartyDepthSimilarity)
+	}
+	if res.Analysis() == nil || res.Universe() == nil || len(res.RankBoundaries()) == 0 {
+		t.Error("accessors broken")
+	}
+	if res.CrawlStats().VisitsTotal == 0 {
+		t.Error("crawl stats missing")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	for _, section := range []string{"Table 2", "Table 5", "Figure 3", "§5.3"} {
+		if !strings.Contains(buf.String(), section) {
+			t.Errorf("report missing %q", section)
+		}
+	}
+}
+
+func TestDatasetRoundTripThroughFacade(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	if err := res.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAndAnalyze(&buf, Config{Seed: 11, Sites: 25, PagesPerSite: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Summary(), loaded.Summary()
+	if a != b {
+		t.Errorf("summaries differ after round trip:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLoadAndAnalyzeBadInput(t *testing.T) {
+	if _, err := LoadAndAnalyze(strings.NewReader("{broken"), Config{}); err == nil {
+		t.Error("broken dataset should error")
+	}
+	if _, err := LoadAndAnalyze(strings.NewReader(""), Config{}); err == nil {
+		t.Error("empty dataset should error (no vetted pages)")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Seed: 1, Sites: 10}); err == nil {
+		t.Error("cancelled run should error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.Sites != 100 || c.TrancoSize != 1000 || c.PagesPerSite != 10 {
+		t.Errorf("defaults: %+v", c)
+	}
+	c = Config{Sites: 3000, TrancoSize: 5}.withDefaults()
+	if c.TrancoSize < c.Sites {
+		t.Errorf("TrancoSize must cover Sites: %+v", c)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runSmall(t).Summary()
+	b := runSmall(t).Summary()
+	if a != b {
+		t.Errorf("same seed produced different summaries:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestResumeThroughFacade(t *testing.T) {
+	cfg := Config{Seed: 13, Sites: 15, PagesPerSite: 4}
+	first, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := first.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResumeJSONL = &buf
+	resumed, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.CrawlStats().VisitsReused == 0 {
+		t.Error("resume must reuse visits")
+	}
+	if first.Summary() != resumed.Summary() {
+		t.Error("resumed run must equal the original")
+	}
+	// A broken resume stream errors out.
+	cfg.ResumeJSONL = strings.NewReader("{nope")
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Error("broken resume stream should error")
+	}
+}
+
+func TestWriteJSONBundle(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"tree_overview\"") {
+		t.Error("JSON bundle missing sections")
+	}
+}
