@@ -1,0 +1,27 @@
+# Build/verify targets. tier1 is the seed gate every PR must keep green;
+# tier2 adds static vetting and the race detector over the concurrent
+# pipeline (crawler clients, analysis worker pool, metrics).
+
+GO ?= go
+
+.PHONY: all tier1 tier2 bench bench-workers clean
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The parallel-analysis speedup trajectory (workers 1/4/8).
+bench-workers:
+	$(GO) test -run '^$$' -bench BenchmarkAnalysisWorkers -benchmem .
+
+clean:
+	$(GO) clean ./...

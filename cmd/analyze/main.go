@@ -1,64 +1,86 @@
 // Command analyze loads a dataset written by cmd/crawl and regenerates the
 // paper's tables and figures from it. The -sites/-pages/-seed flags must
 // match the crawl so the universe (filter list, rank sample) is rebuilt
-// identically.
+// identically. The analysis fans out over -workers goroutines; its output
+// is byte-identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"webmeasure"
+	"webmeasure/internal/metrics"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: parse args, analyze, export.
+// It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in      = flag.String("i", "dataset.jsonl", "input JSONL dataset")
-		sites   = flag.Int("sites", 100, "sites used for the crawl")
-		pages   = flag.Int("pages", 10, "pages per site used for the crawl")
-		seed    = flag.Int64("seed", 1, "seed used for the crawl")
-		csvDir  = flag.String("csv", "", "also export tables/figures as CSV files into this directory")
-		jsonOut = flag.String("json", "", "also export all results as one JSON bundle to this file")
+		in       = fs.String("i", "dataset.jsonl", "input JSONL dataset")
+		sites    = fs.Int("sites", 100, "sites used for the crawl")
+		pages    = fs.Int("pages", 10, "pages per site used for the crawl")
+		seed     = fs.Int64("seed", 1, "seed used for the crawl")
+		workers  = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
+		progress = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
+		csvDir   = fs.String("csv", "", "also export tables/figures as CSV files into this directory")
+		jsonOut  = fs.String("json", "", "also export all results as one JSON bundle to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 
+	reg := metrics.New()
+	stopProgress := metrics.StartProgress(stderr, reg, *progress)
 	res, err := webmeasure.LoadAndAnalyze(f, webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
+		Workers: *workers, Metrics: reg,
 	})
+	stopProgress()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		return 1
 	}
-	res.WriteReport(os.Stdout)
+	res.WriteReport(stdout)
+	fmt.Fprintf(stderr, "metrics: %s\n", reg.Snapshot())
 	if *jsonOut != "" {
 		jf, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "analyze: %v\n", err)
+			return 1
 		}
 		if err := res.WriteJSON(jf); err != nil {
-			fmt.Fprintf(os.Stderr, "analyze: json export: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "analyze: json export: %v\n", err)
+			return 1
 		}
 		if err := jf.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "analyze: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "JSON bundle written to %s\n", *jsonOut)
+		fmt.Fprintf(stderr, "JSON bundle written to %s\n", *jsonOut)
 	}
 	if *csvDir != "" {
 		if err := res.WriteCSVFiles(*csvDir); err != nil {
-			fmt.Fprintf(os.Stderr, "analyze: csv export: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "analyze: csv export: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "CSV files written to %s\n", *csvDir)
+		fmt.Fprintf(stderr, "CSV files written to %s\n", *csvDir)
 	}
+	return 0
 }

@@ -1,66 +1,88 @@
 // Command crawl runs only the measurement (no analysis) and writes the raw
 // visit records as JSON Lines — the commander/clients half of the paper's
 // framework (Appendix C). Feed the output to cmd/analyze with the same
-// -sites/-pages/-seed flags.
+// -sites/-pages/-seed flags. While the crawl runs, -progress prints live
+// counter/timing snapshots (sites done, visit latency percentiles).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"webmeasure"
+	"webmeasure/internal/metrics"
 )
 
 func main() {
-	var (
-		sites  = flag.Int("sites", 100, "number of sites to sample")
-		pages  = flag.Int("pages", 10, "max subpages per site")
-		seed   = flag.Int64("seed", 1, "master seed")
-		out    = flag.String("o", "dataset.jsonl", "output path for the JSONL dataset")
-		resume = flag.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
-	)
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable body of the command: parse args, crawl, write the
+// dataset. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sites    = fs.Int("sites", 100, "number of sites to sample")
+		pages    = fs.Int("pages", 10, "max subpages per site")
+		seed     = fs.Int64("seed", 1, "master seed")
+		workers  = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
+		progress = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
+		out      = fs.String("o", "dataset.jsonl", "output path for the JSONL dataset")
+		resume   = fs.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	reg := metrics.New()
 	cfg := webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
+		Workers: *workers, Metrics: reg,
 		Progress: func(done, total int) {
 			if done%50 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "crawled %d/%d sites\n", done, total)
+				fmt.Fprintf(stderr, "crawled %d/%d sites\n", done, total)
 			}
 		},
 	}
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "crawl: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		cfg.ResumeJSONL = f
 	}
-	res, err := webmeasure.Run(context.Background(), cfg)
+	stopProgress := metrics.StartProgress(stderr, reg, *progress)
+	res, err := webmeasure.Run(ctx, cfg)
+	stopProgress()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		return 1
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		return 1
 	}
 	if err := res.WriteDataset(f); err != nil {
-		fmt.Fprintf(os.Stderr, "crawl: write: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "crawl: write: %v\n", err)
+		return 1
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "crawl: close: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		return 1
 	}
 	st := res.CrawlStats()
-	fmt.Fprintf(os.Stderr, "done: %d sites, %d pages discovered, %d visits (%d failed, %d reused) → %s\n",
+	fmt.Fprintf(stderr, "metrics: %s\n", reg.Snapshot())
+	fmt.Fprintf(stderr, "done: %d sites, %d pages discovered, %d visits (%d failed, %d reused) → %s\n",
 		st.SitesVisited, st.PagesDiscovered, st.VisitsTotal, st.VisitsFailed, st.VisitsReused, *out)
-	fmt.Fprintf(os.Stderr, "analyze with: analyze -i %s -sites %d -pages %d -seed %d\n",
+	fmt.Fprintf(stderr, "analyze with: analyze -i %s -sites %d -pages %d -seed %d\n",
 		*out, *sites, *pages, *seed)
+	return 0
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestCrawlSmoke runs a tiny end-to-end crawl through the command's run
+// function and checks the written dataset is valid JSONL.
+func TestCrawlSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-sites", "5", "-pages", "3", "-seed", "7", "-o", out, "-progress", "0"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if rec["site"] == "" {
+			t.Fatalf("line %d has no site: %s", lines, sc.Text())
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if lines == 0 {
+		t.Fatal("crawl wrote an empty dataset")
+	}
+	for _, want := range []string{"metrics:", "crawl.sites=5", "done: 5 sites"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestCrawlResume re-crawls with the first run's dataset as checkpoint and
+// expects reused visits.
+func TestCrawlResume(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.jsonl")
+	second := filepath.Join(dir, "second.jsonl")
+	var buf bytes.Buffer
+	if code := run(context.Background(),
+		[]string{"-sites", "5", "-pages", "3", "-seed", "7", "-o", first, "-progress", "0"},
+		&buf, &buf); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, buf.String())
+	}
+	var stderr bytes.Buffer
+	if code := run(context.Background(),
+		[]string{"-sites", "5", "-pages", "3", "-seed", "7", "-o", second, "-resume", first, "-progress", "0"},
+		&bytes.Buffer{}, &stderr); code != 0 {
+		t.Fatalf("resume run exited %d: %s", code, stderr.String())
+	}
+	reused := regexp.MustCompile(`, ([0-9]+) reused\)`).FindStringSubmatch(stderr.String())
+	if reused == nil || reused[1] == "0" {
+		t.Errorf("resume run should reuse checkpointed visits:\n%s", stderr.String())
+	}
+}
+
+// TestCrawlBadFlags checks flag errors surface as exit code 2 and missing
+// resume files as exit code 1.
+func TestCrawlBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(context.Background(), []string{"-definitely-not-a-flag"}, &buf, &buf); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+	if code := run(context.Background(),
+		[]string{"-sites", "2", "-resume", filepath.Join(t.TempDir(), "missing.jsonl")},
+		&buf, &buf); code != 1 {
+		t.Errorf("missing resume file should exit 1, got %d", code)
+	}
+}

@@ -7,36 +7,47 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"webmeasure"
 )
 
 func main() {
-	res, err := webmeasure.Run(context.Background(), webmeasure.Config{
+	cfg := webmeasure.Config{
 		Seed:         2023,
 		Sites:        50,
 		PagesPerSite: 8,
-	})
-	if err != nil {
+	}
+	if err := quickstart(context.Background(), cfg, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// quickstart runs the experiment and prints the headline findings to w.
+func quickstart(ctx context.Context, cfg webmeasure.Config, w io.Writer) error {
+	res, err := webmeasure.Run(ctx, cfg)
+	if err != nil {
+		return err
 	}
 
 	s := res.Summary()
-	fmt.Println("Quickstart: similarity of web measurements under different setups")
-	fmt.Println("------------------------------------------------------------------")
-	fmt.Printf("crawled %d sites / %d pages with 5 profiles (%d visits)\n", s.Sites, s.Pages, s.Visits)
-	fmt.Printf("pages comparable across all profiles: %d (%.0f%%)\n", s.VettedPages, s.VettedShare*100)
-	fmt.Println()
-	fmt.Printf("a dependency tree has %.0f nodes on average (depth %.1f)\n", s.MeanNodesPerTree, s.MeanTreeDepth)
-	fmt.Printf("a node appears in %.1f of 5 profiles on average\n", s.MeanNodePresence)
-	fmt.Printf("  … in all five: %.0f%%    … in only one: %.0f%%\n",
+	fmt.Fprintln(w, "Quickstart: similarity of web measurements under different setups")
+	fmt.Fprintln(w, "------------------------------------------------------------------")
+	fmt.Fprintf(w, "crawled %d sites / %d pages with 5 profiles (%d visits)\n", s.Sites, s.Pages, s.Visits)
+	fmt.Fprintf(w, "pages comparable across all profiles: %d (%.0f%%)\n", s.VettedPages, s.VettedShare*100)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "a dependency tree has %.0f nodes on average (depth %.1f)\n", s.MeanNodesPerTree, s.MeanTreeDepth)
+	fmt.Fprintf(w, "a node appears in %.1f of 5 profiles on average\n", s.MeanNodePresence)
+	fmt.Fprintf(w, "  … in all five: %.0f%%    … in only one: %.0f%%\n",
 		s.ShareInAllProfiles*100, s.ShareInOneProfile*100)
-	fmt.Println()
-	fmt.Printf("first-party content is stable  (depth similarity %.2f)\n", s.FirstPartyDepthSimilarity)
-	fmt.Printf("third-party content is not     (depth similarity %.2f)\n", s.ThirdPartyDepthSimilarity)
-	fmt.Printf("%.0f%% of nodes are tracking requests; %.0f%% of all nodes are unique to one tree\n",
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "first-party content is stable  (depth similarity %.2f)\n", s.FirstPartyDepthSimilarity)
+	fmt.Fprintf(w, "third-party content is not     (depth similarity %.2f)\n", s.ThirdPartyDepthSimilarity)
+	fmt.Fprintf(w, "%.0f%% of nodes are tracking requests; %.0f%% of all nodes are unique to one tree\n",
 		s.TrackingShare*100, s.UniqueNodeShare*100)
-	fmt.Println()
-	fmt.Println("run `go run ./cmd/webmeasure` for the full set of tables and figures.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "run `go run ./cmd/webmeasure` for the full set of tables and figures.")
+	return nil
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+
+	"webmeasure"
+)
+
+// TestQuickstartTinyUniverse executes the example end-to-end on a tiny
+// universe and checks the headline lines render with real numbers.
+func TestQuickstartTinyUniverse(t *testing.T) {
+	var buf bytes.Buffer
+	err := quickstart(context.Background(), webmeasure.Config{
+		Seed: 11, Sites: 5, PagesPerSite: 3, Workers: 2,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Quickstart: similarity of web measurements",
+		"pages comparable across all profiles",
+		"tracking requests",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The crawl line must report a non-zero number of visits.
+	m := regexp.MustCompile(`crawled (\d+) sites / (\d+) pages with 5 profiles \((\d+) visits\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("crawl line missing:\n%s", out)
+	}
+	if m[1] == "0" || m[3] == "0" {
+		t.Errorf("quickstart crawled nothing: %v", m)
+	}
+}
+
+// TestQuickstartCancelledContext checks the error path surfaces instead of
+// printing a partial report.
+func TestQuickstartCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := quickstart(ctx, webmeasure.Config{Seed: 11, Sites: 5, PagesPerSite: 3}, &buf); err == nil {
+		t.Fatal("cancelled context should error")
+	}
+	if strings.Contains(buf.String(), "Quickstart") {
+		t.Error("no output should be written on error")
+	}
+}

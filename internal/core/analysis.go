@@ -6,9 +6,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"webmeasure/internal/dataset"
 	"webmeasure/internal/filterlist"
+	"webmeasure/internal/metrics"
 	"webmeasure/internal/tree"
 	"webmeasure/internal/treediff"
 )
@@ -43,6 +47,14 @@ type Analysis struct {
 	// siteRank maps site → Tranco rank for the Appendix F bucket analysis
 	// (may be empty when unknown).
 	siteRank map[string]int
+	// metrics times the derived analysis phases (nil-safe).
+	metrics *metrics.Registry
+}
+
+// phaseTimer times one derived analysis phase (case studies, stability)
+// under "analysis.<name>_ms"; usage: defer a.phaseTimer("stability")().
+func (a *Analysis) phaseTimer(name string) func() {
+	return a.metrics.Histogram("analysis." + name + "_ms").Time()
 }
 
 // Options configures New.
@@ -61,10 +73,23 @@ type Options struct {
 	// identity and attribution signals). The Filter option is applied on
 	// top of it.
 	TreeBuilder *tree.Builder
+	// Workers bounds the worker pool that fans the per-page work —
+	// vetting, tree building, cross-comparison — out over CPUs; the
+	// pages are independent, so the pipeline is embarrassingly parallel.
+	// Results are merged back in page-key order, making the analysis
+	// byte-identical for every worker count. 0 or negative =
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Metrics, if non-nil, receives progress counters and phase timings
+	// (metric names are listed in the internal/metrics package comment).
+	Metrics *metrics.Registry
 }
 
 // New builds the analysis: vetting, tree construction, cross-comparison.
-// filter may be nil (no tracking classification).
+// filter may be nil (no tracking classification). The per-page work runs
+// on Options.Workers goroutines; because pages are analyzed independently
+// and merged in page-key order, the result is identical (byte for byte in
+// every export) regardless of worker count.
 func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis, error) {
 	profiles := opts.Profiles
 	if len(profiles) == 0 {
@@ -78,6 +103,7 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 		filter:   filter,
 		profiles: profiles,
 		siteRank: opts.SiteRank,
+		metrics:  opts.Metrics,
 	}
 	builder := opts.TreeBuilder
 	if builder == nil {
@@ -88,31 +114,101 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	if minSuccess <= 0 || minSuccess > len(profiles) {
 		minSuccess = len(profiles)
 	}
-	for _, pv := range ds.Pages() {
-		pa := &PageAnalysis{Key: pv.Key}
-		for _, prof := range profiles {
-			v := pv.ByProfile[prof]
-			if v == nil || !v.Success {
-				continue
-			}
-			t, err := builder.Build(v)
-			if err != nil {
-				// Success flags guarantee requests; a build failure means
-				// a malformed record — skip the visit rather than abort.
-				continue
-			}
-			pa.Trees = append(pa.Trees, t)
+
+	// ds.Pages() is sorted by (site, page URL); each worker claims the
+	// next unclaimed index and writes its result into the matching slot,
+	// so the merge below preserves that deterministic order.
+	pages := ds.Pages()
+	results := make([]*PageAnalysis, len(pages))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	w := pageWorker{
+		profiles:   profiles,
+		builder:    builder,
+		minSuccess: minSuccess,
+		pagesSeen:  opts.Metrics.Counter("analysis.pages"),
+		pagesOK:    opts.Metrics.Counter("analysis.pages.vetted"),
+		trees:      opts.Metrics.Counter("analysis.trees"),
+		treesFail:  opts.Metrics.Counter("analysis.trees.failed"),
+		pageMS:     opts.Metrics.Histogram("analysis.page_ms"),
+	}
+	if workers <= 1 {
+		for i, pv := range pages {
+			results[i] = w.analyze(pv)
 		}
-		if len(pa.Trees) < minSuccess {
-			continue
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pages) {
+						return
+					}
+					results[i] = w.analyze(pages[i])
+				}
+			}()
 		}
-		pa.Cmp = treediff.Compare(pa.Trees)
-		a.pages = append(a.pages, pa)
+		wg.Wait()
+	}
+	for _, pa := range results {
+		if pa != nil {
+			a.pages = append(a.pages, pa)
+		}
 	}
 	if len(a.pages) == 0 {
 		return nil, fmt.Errorf("core: no page was crawled successfully by all %d profiles", len(profiles))
 	}
 	return a, nil
+}
+
+// pageWorker carries the read-only inputs and metric instruments of the
+// per-page analysis; a single value is shared by all pool goroutines
+// (the builder, filter list, and instruments are concurrency-safe).
+type pageWorker struct {
+	profiles   []string
+	builder    *tree.Builder
+	minSuccess int
+
+	pagesSeen, pagesOK, trees, treesFail *metrics.Counter
+	pageMS                               *metrics.Histogram
+}
+
+// analyze vets one page group, builds its trees, and cross-compares them.
+// It returns nil when the page fails vetting.
+func (w *pageWorker) analyze(pv *dataset.PageVisits) *PageAnalysis {
+	defer w.pageMS.Time()()
+	w.pagesSeen.Inc()
+	pa := &PageAnalysis{Key: pv.Key}
+	for _, prof := range w.profiles {
+		v := pv.ByProfile[prof]
+		if v == nil || !v.Success {
+			continue
+		}
+		t, err := w.builder.Build(v)
+		if err != nil {
+			// Success flags guarantee requests; a build failure means
+			// a malformed record — skip the visit rather than abort.
+			w.treesFail.Inc()
+			continue
+		}
+		w.trees.Inc()
+		pa.Trees = append(pa.Trees, t)
+	}
+	if len(pa.Trees) < w.minSuccess {
+		return nil
+	}
+	pa.Cmp = treediff.Compare(pa.Trees)
+	w.pagesOK.Inc()
+	return pa
 }
 
 // Profiles returns the profile order used for tree indexing.

@@ -48,6 +48,7 @@ type HostShare struct {
 // "the URL corresponding to this node is only present once in our
 // dataset").
 func (a *Analysis) UniqueNodes() UniqueNodesResult {
+	defer a.phaseTimer("casestudy.uniquenodes")()
 	globalCount := map[string]int{}
 	a.eachNonRootNode(func(pa *PageAnalysis, ni *treediff.NodeInfo) {
 		globalCount[ni.Key] += ni.Presence
@@ -151,6 +152,7 @@ type CookieStudyResult struct {
 
 // CookieStudy computes the cookie case study over vetted pages.
 func (a *Analysis) CookieStudy(noActionProfile string) CookieStudyResult {
+	defer a.phaseTimer("casestudy.cookies")()
 	res := CookieStudyResult{PerProfile: map[string]int{}}
 	noIdx := a.profileIndex(noActionProfile)
 
@@ -254,6 +256,7 @@ type TrackingStudyResult struct {
 
 // TrackingStudy computes the tracking-request case study.
 func (a *Analysis) TrackingStudy() TrackingStudyResult {
+	defer a.phaseTimer("casestudy.tracking")()
 	var res TrackingStudyResult
 	var total, tracking int
 	var trChild, ntChild, trParent, ntParent, trNodeSim []float64

@@ -52,6 +52,7 @@ type CategoryStability struct {
 
 // Stability computes the fluctuation metric over the vetted pages.
 func (a *Analysis) Stability() StabilityReport {
+	defer a.phaseTimer("stability")()
 	var rep StabilityReport
 	var pageScores []float64
 

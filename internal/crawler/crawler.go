@@ -16,6 +16,7 @@ import (
 	"webmeasure/internal/cookies"
 	"webmeasure/internal/dataset"
 	"webmeasure/internal/measurement"
+	"webmeasure/internal/metrics"
 	"webmeasure/internal/tranco"
 	"webmeasure/internal/webgen"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	// Called concurrently from the clients; the callback must be
 	// goroutine-safe.
 	OnVisit func(*measurement.Visit)
+	// Metrics, if non-nil, receives live crawl counters and timings
+	// (crawl.sites, crawl.visits, crawl.visit_ms, …; the full name list
+	// is in the internal/metrics package comment). Snapshot it from
+	// another goroutine for progress lines while the crawl runs.
+	Metrics *metrics.Registry
 }
 
 // Stats summarizes a crawl.
@@ -103,15 +109,24 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	ds := dataset.New()
 	var stats Stats
 	var statsMu sync.Mutex
+	mSites := cfg.Metrics.Counter("crawl.sites")
+	mPages := cfg.Metrics.Counter("crawl.pages")
+	mVisits := cfg.Metrics.Counter("crawl.visits")
+	mFailed := cfg.Metrics.Counter("crawl.visits.failed")
+	mReused := cfg.Metrics.Counter("crawl.visits.reused")
+	mVisitMS := cfg.Metrics.Histogram("crawl.visit_ms")
+	mSiteMS := cfg.Metrics.Histogram("crawl.site_ms")
 
 	for si, entry := range cfg.Sites {
 		if err := ctx.Err(); err != nil {
 			return ds, stats, err
 		}
+		siteDone := mSiteMS.Time()
 		site := cfg.Universe.GenerateSiteAt(entry, cfg.Epoch)
 		pages := discoverPages(site, cfg.MaxPages)
 		stats.SitesVisited++
 		stats.PagesDiscovered += len(pages)
+		mPages.Add(int64(len(pages)))
 
 		// Checkpoint reuse: split each profile's work into pages already
 		// covered by the resume dataset and pages still to visit.
@@ -144,6 +159,8 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 						if cfg.OnVisit != nil {
 							cfg.OnVisit(v)
 						}
+						mVisits.Inc()
+						mReused.Inc()
 						statsMu.Lock()
 						stats.VisitsTotal++
 						stats.VisitsReused++
@@ -156,6 +173,12 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 					if cfg.OnVisit != nil {
 						cfg.OnVisit(v)
 					}
+					mVisits.Inc()
+					if !v.Success {
+						mFailed.Inc()
+					} else {
+						mVisitMS.Observe(float64(v.DurationMS))
+					}
 					statsMu.Lock()
 					stats.VisitsTotal++
 					if !v.Success {
@@ -166,6 +189,8 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 			}(prof)
 		}
 		wg.Wait()
+		mSites.Inc()
+		siteDone()
 		if cfg.Progress != nil {
 			cfg.Progress(si+1, len(cfg.Sites))
 		}

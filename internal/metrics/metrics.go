@@ -1,0 +1,332 @@
+// Package metrics instruments the long-running halves of the system — the
+// crawl and the analysis pipeline — with concurrency-safe progress
+// counters and timing histograms, the observability layer a multi-day
+// measurement needs (the paper's commander UI monitors its clients the
+// same way, Appendix C).
+//
+// The design goals are the ones a hot path dictates: counters are single
+// atomic adds, histograms are lock-free log-bucketed arrays (no sample
+// retention, ~15% relative quantile error, O(1) memory regardless of how
+// many of the ~387k pages stream through), and Snapshot() can be called
+// from any goroutine while work is in flight to render a progress line.
+//
+// All types tolerate nil receivers: a nil *Registry hands out nil
+// *Counter/*Histogram whose methods are no-ops, so instrumented code
+// never branches on "is monitoring enabled".
+//
+// Metric names used by the pipeline:
+//
+//	crawl.sites            sites completed
+//	crawl.pages            pages discovered
+//	crawl.visits           visits performed (incl. reused)
+//	crawl.visits.failed    failed visits
+//	crawl.visits.reused    visits reused from a resume checkpoint
+//	crawl.visit_ms         simulated page-load duration histogram
+//	crawl.site_ms          wall-clock per completed site batch
+//	analysis.pages         page groups examined
+//	analysis.pages.vetted  pages passing the vetting rule
+//	analysis.trees         trees built
+//	analysis.trees.failed  malformed visits skipped by the tree builder
+//	analysis.page_ms       wall-clock per page (build + cross-compare)
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter ignores writes and reads as zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram bucket layout: geometric buckets growing by histGrowth per
+// step starting at histMin. 320 buckets at 15% growth cover histMin up to
+// ~histMin·1.15^318 ≈ 2e16, far beyond any duration in milliseconds.
+const (
+	histBuckets = 320
+	histGrowth  = 1.15
+	histMin     = 0.001
+)
+
+// logGrowth is precomputed for bucket index math.
+var logGrowth = math.Log(histGrowth)
+
+// Histogram is a lock-free log-bucketed histogram for non-negative
+// samples (typically durations in milliseconds). Quantiles are estimated
+// from the bucket boundaries with at most one bucket (~15%) of relative
+// error. The zero value is ready to use; a nil Histogram ignores writes.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the running max
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a sample to its bucket.
+func bucketIndex(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	idx := int(math.Log(v/histMin)/logGrowth) + 1
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns the representative value of a bucket (its geometric
+// midpoint), the value quantile estimates report.
+func bucketValue(i int) float64 {
+	if i <= 0 {
+		return histMin
+	}
+	return histMin * math.Pow(histGrowth, float64(i)-0.5)
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Time starts a wall-clock timer; the returned func records the elapsed
+// time in milliseconds. Usage: defer h.Time()().
+func (h *Histogram) Time() func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Stats summarizes a histogram at one point in time.
+type Stats struct {
+	Count         int64
+	Mean          float64
+	P50, P95, P99 float64
+	Max           float64
+}
+
+// Stats computes the histogram's summary. Safe to call while Observe is
+// running in other goroutines; the result is a consistent-enough snapshot
+// for progress reporting.
+func (h *Histogram) Stats() Stats {
+	if h == nil {
+		return Stats{}
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	st := Stats{Count: total, Max: math.Float64frombits(h.maxBits.Load())}
+	if total == 0 {
+		return st
+	}
+	st.Mean = math.Float64frombits(h.sumBits.Load()) / float64(h.count.Load())
+	// Bucket representatives are geometric midpoints and can overshoot
+	// the true maximum; a quantile is never allowed to exceed it.
+	clamp := func(v float64) float64 {
+		if st.Max > 0 && v > st.Max {
+			return st.Max
+		}
+		return v
+	}
+	st.P50 = clamp(quantileFrom(counts[:], total, 0.50))
+	st.P95 = clamp(quantileFrom(counts[:], total, 0.95))
+	st.P99 = clamp(quantileFrom(counts[:], total, 0.99))
+	return st
+}
+
+// quantileFrom walks the cumulative bucket counts to the bucket holding
+// the q-th sample and returns its representative value.
+func quantileFrom(counts []int64, total int64, q float64) float64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(len(counts) - 1)
+}
+
+// Registry is a named collection of counters and histograms. The zero
+// value is not usable; create with New. A nil Registry hands out nil
+// instruments, so callers can thread an optional registry without checks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterStat is one counter's value in a snapshot.
+type CounterStat struct {
+	Name  string
+	Value int64
+}
+
+// HistogramStat is one histogram's summary in a snapshot.
+type HistogramStat struct {
+	Name string
+	Stats
+}
+
+// Snapshot is a point-in-time view of every instrument, sorted by name
+// for deterministic rendering.
+type Snapshot struct {
+	Counters   []CounterStat
+	Histograms []HistogramStat
+}
+
+// Snapshot captures every instrument. Safe to call concurrently with
+// metric updates.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterStat{Name: name, Value: c.Value()})
+	}
+	for name, h := range hists {
+		s.Histograms = append(s.Histograms, HistogramStat{Name: name, Stats: h.Stats()})
+	}
+	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
+	return s
+}
+
+// String renders the snapshot as one progress line:
+//
+//	crawl.sites=12 crawl.visits=480 | crawl.visit_ms n=480 mean=91.2 p50=80.1 p95=210.4 p99=390.8 max=412.0
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for i, c := range s.Counters {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c.Name, c.Value)
+	}
+	for i, h := range s.Histograms {
+		if i == 0 && len(s.Counters) > 0 {
+			b.WriteString(" | ")
+		} else if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+			h.Name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter reads %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read zero")
+	}
+	h := r.Histogram("y")
+	h.Observe(1)
+	h.Time()()
+	if h.Count() != 0 || h.Stats().Count != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+	stop := StartProgress(&bytes.Buffer{}, r, time.Millisecond)
+	stop()
+	stop() // double-stop must be safe
+}
+
+// TestConcurrentCounter is the satellite's concurrency requirement:
+// increments from N goroutines sum correctly.
+func TestConcurrentCounter(t *testing.T) {
+	const goroutines, perG = 16, 10_000
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != goroutines*perG {
+		t.Fatalf("concurrent counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentHistogram(t *testing.T) {
+	const goroutines, perG = 8, 5_000
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := r.Histogram("lat")
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Histogram("lat").Stats()
+	if st.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", st.Count, goroutines*perG)
+	}
+	// Sum of g+1 for g in [0,8) is 36; mean = 36/8 = 4.5 exactly (the
+	// sum is tracked outside the buckets, so no bucketing error).
+	if math.Abs(st.Mean-4.5) > 1e-9 {
+		t.Fatalf("histogram mean = %v, want 4.5", st.Mean)
+	}
+	if math.Abs(st.Max-8) > 1e-9 {
+		t.Fatalf("histogram max = %v, want 8", st.Max)
+	}
+}
+
+// TestHistogramQuantilesMatchReference compares bucket-estimated
+// percentiles against exact order statistics on a fixed deterministic
+// sample; the log-bucket layout guarantees ≤ one growth factor (15%) of
+// relative error.
+func TestHistogramQuantilesMatchReference(t *testing.T) {
+	var h Histogram
+	var samples []float64
+	// Deterministic skewed sample: a quadratic ramp (most mass low, long
+	// tail), the shape page-visit latencies take.
+	for i := 1; i <= 10_000; i++ {
+		v := float64(i) * float64(i) / 1000.0 // 0.001 .. 100_000
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	ref := func(q float64) float64 {
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		return samples[rank]
+	}
+	st := h.Stats()
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", st.P50, ref(0.50)},
+		{"p95", st.P95, ref(0.95)},
+		{"p99", st.P99, ref(0.99)},
+	} {
+		relErr := math.Abs(tc.got-tc.want) / tc.want
+		if relErr > histGrowth-1 {
+			t.Errorf("%s = %v, reference %v (relative error %.3f > %.2f)",
+				tc.name, tc.got, tc.want, relErr, histGrowth-1)
+		}
+	}
+	if st.Max != samples[len(samples)-1] {
+		t.Errorf("max = %v, want %v", st.Max, samples[len(samples)-1])
+	}
+}
+
+func TestHistogramEdgeSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)          // clamped to 0
+	h.Observe(math.NaN())  // clamped to 0
+	h.Observe(0)           // bucket 0
+	h.Observe(1e30)        // clamped to last bucket
+	st := h.Stats()
+	if st.Count != 4 {
+		t.Fatalf("count = %d, want 4", st.Count)
+	}
+	if st.P50 != histMin {
+		t.Fatalf("p50 of mostly-zero sample = %v, want %v", st.P50, histMin)
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []float64{0, histMin, 0.01, 0.1, 1, 10, 100, 1e3, 1e6, 1e12, 1e18} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %v: %d < %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%v) = %d out of range", v, idx)
+		}
+		prev = idx
+	}
+}
+
+func TestSnapshotDeterministicOrderAndFormat(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Histogram("z.ms").Observe(10)
+	r.Histogram("m.ms").Observe(5)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.count" || s.Counters[1].Name != "b.count" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "m.ms" || s.Histograms[1].Name != "z.ms" {
+		t.Fatalf("histograms not sorted: %+v", s.Histograms)
+	}
+	line := s.String()
+	for _, want := range []string{"a.count=1", "b.count=2", "m.ms n=1", "z.ms n=1", "p95="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("snapshot line missing %q: %s", want, line)
+		}
+	}
+	// Two snapshots of an idle registry render identically.
+	if again := r.Snapshot().String(); again != line {
+		t.Fatalf("snapshot not deterministic:\n%s\n%s", line, again)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter should return the same instance per name")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("Histogram should return the same instance per name")
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	var h Histogram
+	done := h.Time()
+	time.Sleep(2 * time.Millisecond)
+	done()
+	st := h.Stats()
+	if st.Count != 1 {
+		t.Fatalf("Time() recorded %d samples, want 1", st.Count)
+	}
+	if st.Max <= 0 {
+		t.Fatalf("Time() recorded non-positive duration %v", st.Max)
+	}
+}
+
+func TestStartProgressWritesLines(t *testing.T) {
+	r := New()
+	r.Counter("work").Add(7)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := StartProgress(w, r, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := buf.Len()
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "progress: work=7") {
+		t.Fatalf("progress output missing snapshot line: %q", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress spawns a goroutine that writes one snapshot line to w
+// every interval until the returned stop func is called — the periodic
+// progress output a long crawl or analysis prints while running. A
+// non-positive interval or nil registry disables the ticker; stop is
+// always safe to call (and call twice).
+func StartProgress(w io.Writer, r *Registry, interval time.Duration) (stop func()) {
+	if r == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "progress: %s\n", r.Snapshot())
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-finished
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"webmeasure/internal/crawler"
 	"webmeasure/internal/dataset"
 	"webmeasure/internal/filterlist"
+	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
 	"webmeasure/internal/tranco"
 	"webmeasure/internal/webgen"
@@ -61,6 +62,15 @@ type Config struct {
 	// (WriteDataset output); successful visits found there are reused so
 	// an interrupted crawl continues where it stopped.
 	ResumeJSONL io.Reader
+	// Workers bounds the analysis worker pool that fans per-page work
+	// (vetting, tree building, cross-comparison) out over CPUs. The
+	// merge is deterministic, so every report/JSON/CSV export is
+	// byte-identical for any worker count. 0 = GOMAXPROCS.
+	Workers int
+	// Metrics, if non-nil, collects live crawl and analysis counters and
+	// timing histograms; snapshot it from another goroutine for progress
+	// lines (see metrics.StartProgress).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +134,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		Stateful:  cfg.Stateful,
 		Progress:  cfg.Progress,
 		Resume:    resume,
+		Metrics:   cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: crawl: %w", err)
@@ -151,6 +162,8 @@ func Analyze(ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, bou
 	analysis, err := core.New(ds, filter, core.Options{
 		Profiles: profileNames(),
 		SiteRank: ranks,
+		Workers:  cfg.Workers,
+		Metrics:  cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
