@@ -1,10 +1,12 @@
 # Build/verify targets. tier1 is the seed gate every PR must keep green;
-# tier2 adds static vetting and the race detector over the concurrent
-# pipeline (crawler clients, analysis worker pool, metrics).
+# tier2 adds static vetting (go vet over every package, the job-server
+# service included), the race detector over the concurrent pipeline
+# (crawler clients, analysis worker pool, metrics, service queue), and
+# the serve-smoke end-to-end boot of cmd/serve.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service serve-smoke clean
 
 all: tier1
 
@@ -12,9 +14,16 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2:
+tier2: serve-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# Boot the job server, submit a job over HTTP, assert the report artifact
+# comes back 200 + non-empty, and require a clean SIGINT drain.
+serve-smoke:
+	$(GO) build -o ./serve-smoke-bin ./cmd/serve
+	sh scripts/serve_smoke.sh ./serve-smoke-bin
+	rm -f ./serve-smoke-bin
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -22,6 +31,10 @@ bench:
 # The parallel-analysis speedup trajectory (workers 1/4/8).
 bench-workers:
 	$(GO) test -run '^$$' -bench BenchmarkAnalysisWorkers -benchmem .
+
+# Job-server throughput (workers 1/4/8 × cache off/on).
+bench-service:
+	$(GO) test -run '^$$' -bench BenchmarkServiceThroughput -benchmem .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,78 @@
+package webmeasure_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"webmeasure/internal/service"
+)
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec through the
+// measurement service (submit → queue → execute → render artifacts) at
+// several worker-pool sizes, with the result cache off and on. With the
+// cache off every iteration is a distinct experiment (seed varies per
+// job); with it on every iteration after the first is the same spec, so
+// the steady state is pure cache-hit serving — the amortization the
+// serving layer exists for.
+func BenchmarkServiceThroughput(b *testing.B) {
+	spec := func(seed int64) service.JobSpec {
+		return service.JobSpec{Seed: seed, Sites: 5, PagesPerSite: 2}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/cache=%v", workers, cached)
+			b.Run(name, func(b *testing.B) {
+				cacheSize := -1 // disabled
+				if cached {
+					cacheSize = 64
+				}
+				s := service.New(service.Config{
+					Workers:    workers,
+					QueueDepth: 2 * workers,
+					CacheSize:  cacheSize,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				inflight := make([]*service.Job, 0, b.N)
+				for i := 0; i < b.N; i++ {
+					seed := int64(i + 1)
+					if cached {
+						seed = 1
+					}
+					for {
+						j, err := s.Submit(spec(seed))
+						if err == service.ErrQueueFull {
+							// Backpressure: wait for the oldest job.
+							<-inflight[0].Done()
+							inflight = inflight[1:]
+							continue
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						inflight = append(inflight, j)
+						break
+					}
+				}
+				for _, j := range inflight {
+					<-j.Done()
+				}
+				b.StopTimer()
+				if err := s.Shutdown(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				hits := s.Metrics().Counter("service.cache.hits").Value()
+				// Identical jobs submitted while the first is still
+				// running all miss; hits are only guaranteed once the
+				// iteration count clears the concurrent window.
+				if cached && b.N > 4*workers && hits == 0 {
+					b.Fatal("cached run recorded no cache hits")
+				}
+				if !cached && hits != 0 {
+					b.Fatalf("uncached run recorded %d cache hits", hits)
+				}
+			})
+		}
+	}
+}

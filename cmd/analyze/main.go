@@ -6,10 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"webmeasure"
@@ -17,12 +20,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// A first Ctrl-C cancels the analysis context so the worker pool
+	// stops between pages and no half-written export is left behind; a
+	// second one kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable body of the command: parse args, analyze, export.
 // It returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -48,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	reg := metrics.New()
 	stopProgress := metrics.StartProgress(stderr, reg, *progress)
-	res, err := webmeasure.LoadAndAnalyze(f, webmeasure.Config{
+	res, err := webmeasure.LoadAndAnalyzeContext(ctx, f, webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
 		Workers: *workers, Metrics: reg,
 	})

@@ -43,7 +43,7 @@ func TestAnalyzeSmoke(t *testing.T) {
 	jsonOut := filepath.Join(dir, "bundle.json")
 	csvDir := filepath.Join(dir, "csv")
 	var stdout, stderr bytes.Buffer
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-i", path, "-sites", "5", "-pages", "3", "-seed", "7",
 		"-workers", "2", "-progress", "0",
 		"-json", jsonOut, "-csv", csvDir,
@@ -75,7 +75,7 @@ func TestAnalyzeWorkersAgree(t *testing.T) {
 	path := writeTinyDataset(t)
 	reportWith := func(workers string) string {
 		var stdout, stderr bytes.Buffer
-		code := run([]string{
+		code := run(context.Background(), []string{
 			"-i", path, "-sites", "5", "-pages", "3", "-seed", "7",
 			"-workers", workers, "-progress", "0",
 		}, &stdout, &stderr)
@@ -91,10 +91,10 @@ func TestAnalyzeWorkersAgree(t *testing.T) {
 
 func TestAnalyzeBadInput(t *testing.T) {
 	var buf bytes.Buffer
-	if code := run([]string{"-no-such-flag"}, &buf, &buf); code != 2 {
+	if code := run(context.Background(), []string{"-no-such-flag"}, &buf, &buf); code != 2 {
 		t.Errorf("bad flag should exit 2, got %d", code)
 	}
-	if code := run([]string{"-i", filepath.Join(t.TempDir(), "missing.jsonl")}, &buf, &buf); code != 1 {
+	if code := run(context.Background(), []string{"-i", filepath.Join(t.TempDir(), "missing.jsonl")}, &buf, &buf); code != 1 {
 		t.Errorf("missing dataset should exit 1, got %d", code)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"webmeasure"
@@ -18,7 +20,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+	// A first Ctrl-C cancels the crawl context so the run stops between
+	// site batches instead of dying mid-write; a second one kills the
+	// process (NotifyContext unregisters after the context fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable body of the command: parse args, crawl, write the

@@ -1,0 +1,96 @@
+// Command serve runs the measurement job server: a long-running HTTP
+// service that accepts experiment specs (POST /v1/jobs), executes them on
+// a bounded worker pool, deduplicates identical configurations through a
+// deterministic result cache, and exposes Prometheus metrics. See the
+// README's "Serving mode" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webmeasure/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable body of the command. ready, if non-nil, receives
+// the bound listen address once the server accepts connections (the smoke
+// test and -addr :0 callers use it to find the port).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers  = fs.Int("workers", 2, "concurrent job executors")
+		queue    = fs.Int("queue", 16, "queued-job bound before submissions get 429")
+		cache    = fs.Int("cache", 64, "LRU result cache entries (negative disables)")
+		maxSites = fs.Int("max-sites", 2000, "largest per-job site count accepted")
+		maxPages = fs.Int("max-pages", 100, "largest per-job pages-per-site accepted")
+		drain    = fs.Duration("drain", time.Minute, "shutdown grace period for running jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		Limits:     service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "serve: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "serving on http://%s (workers=%d queue=%d cache=%d)\n",
+		ln.Addr(), *workers, *queue, *cache)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "serve: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	// Graceful stop: close the listener and idle connections first, then
+	// drain the job pool so running measurements finish (or are cut off
+	// at the -drain deadline).
+	fmt.Fprintln(stderr, "serve: shutting down, draining jobs")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "serve: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "serve: drain incomplete: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "serve: drained cleanly")
+	return 0
+}

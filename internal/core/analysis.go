@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -83,6 +84,10 @@ type Options struct {
 	// Metrics, if non-nil, receives progress counters and phase timings
 	// (metric names are listed in the internal/metrics package comment).
 	Metrics *metrics.Registry
+	// Context, if non-nil, cancels the per-page analysis between pages —
+	// the hook a job server needs to abort a long analysis mid-flight.
+	// New returns the context's error when it fires.
+	Context context.Context
 }
 
 // New builds the analysis: vetting, tree construction, cross-comparison.
@@ -137,8 +142,15 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 		treesFail:  opts.Metrics.Counter("analysis.trees.failed"),
 		pageMS:     opts.Metrics.Histogram("analysis.page_ms"),
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 {
 		for i, pv := range pages {
+			if ctx.Err() != nil {
+				break
+			}
 			results[i] = w.analyze(pv)
 		}
 	} else {
@@ -148,7 +160,7 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= len(pages) {
 						return
@@ -158,6 +170,9 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analysis canceled: %w", err)
 	}
 	for _, pa := range results {
 		if pa != nil {

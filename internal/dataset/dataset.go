@@ -172,11 +172,33 @@ func (d *Dataset) SuccessRate(profile string) float64 {
 
 // WriteJSONL streams the dataset as one visit per line.
 func (d *Dataset) WriteJSONL(w io.Writer) error {
+	return d.StreamJSONL(w, 0)
+}
+
+// flusher is the push half of http.Flusher, matched structurally so this
+// package does not import net/http.
+type flusher interface{ Flush() }
+
+// StreamJSONL writes the dataset as one visit per line, flushing the
+// buffer — and, when w is an http.ResponseWriter that supports it, the
+// HTTP chunk — every flushEvery visits, so a client watching a large
+// download sees steady progress instead of one burst at the end.
+// flushEvery <= 0 flushes only once at the end (WriteJSONL's behavior).
+func (d *Dataset) StreamJSONL(w io.Writer, flushEvery int) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, v := range d.Visits() {
+	fl, _ := w.(flusher)
+	for i, v := range d.Visits() {
 		if err := enc.Encode(v); err != nil {
 			return fmt.Errorf("dataset: encode visit: %w", err)
+		}
+		if flushEvery > 0 && (i+1)%flushEvery == 0 {
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("dataset: flush: %w", err)
+			}
+			if fl != nil {
+				fl.Flush()
+			}
 		}
 	}
 	return bw.Flush()

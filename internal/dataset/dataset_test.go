@@ -229,3 +229,37 @@ func TestMergeDatasets(t *testing.T) {
 		t.Errorf("sites = %v", m.Sites())
 	}
 }
+
+// flushCountingWriter records how often Flush is called, standing in for
+// an http.ResponseWriter behind StreamJSONL.
+type flushCountingWriter struct {
+	bytes.Buffer
+	flushes int
+}
+
+func (w *flushCountingWriter) Flush() { w.flushes++ }
+
+func TestStreamJSONLFlushesAndMatchesWriteJSONL(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		d.Add(visit("a.example", "https://a.example/"+strings.Repeat("p", i+1), "Sim1", true))
+	}
+	var plain bytes.Buffer
+	if err := d.WriteJSONL(&plain); err != nil {
+		t.Fatal(err)
+	}
+	w := &flushCountingWriter{}
+	if err := d.StreamJSONL(w, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), w.Buffer.Bytes()) {
+		t.Fatal("StreamJSONL bytes differ from WriteJSONL")
+	}
+	// 10 visits, flush every 3 → pushes after visits 3, 6, 9.
+	if w.flushes != 3 {
+		t.Fatalf("flushes = %d, want 3", w.flushes)
+	}
+	if got := len(strings.Split(strings.TrimRight(w.String(), "\n"), "\n")); got != 10 {
+		t.Fatalf("lines = %d, want 10", got)
+	}
+}

@@ -100,6 +100,12 @@ func bucketIndex(v float64) int {
 	return idx
 }
 
+// bucketUpper returns a bucket's inclusive upper bound, the "le" value a
+// Prometheus exposition reports for it.
+func bucketUpper(i int) float64 {
+	return histMin * math.Pow(histGrowth, float64(i))
+}
+
 // bucketValue returns the representative value of a bucket (its geometric
 // midpoint), the value quantile estimates report.
 func bucketValue(i int) float64 {
@@ -156,12 +162,24 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// BucketCount is one non-empty histogram bucket in a Stats capture: the
+// cumulative number of samples ≤ Le (Prometheus "le" semantics).
+type BucketCount struct {
+	Le    float64
+	Count int64
+}
+
 // Stats summarizes a histogram at one point in time.
 type Stats struct {
 	Count         int64
+	Sum           float64
 	Mean          float64
 	P50, P95, P99 float64
 	Max           float64
+	// Buckets holds the cumulative counts of the non-empty buckets in
+	// ascending Le order (the sparse view a Prometheus exposition needs;
+	// empty buckets carry no information and are omitted).
+	Buckets []BucketCount
 }
 
 // Stats computes the histogram's summary. Safe to call while Observe is
@@ -181,7 +199,16 @@ func (h *Histogram) Stats() Stats {
 	if total == 0 {
 		return st
 	}
-	st.Mean = math.Float64frombits(h.sumBits.Load()) / float64(h.count.Load())
+	st.Sum = math.Float64frombits(h.sumBits.Load())
+	st.Mean = st.Sum / float64(h.count.Load())
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		st.Buckets = append(st.Buckets, BucketCount{Le: bucketUpper(i), Count: cum})
+	}
 	// Bucket representatives are geometric midpoints and can overshoot
 	// the true maximum; a quantile is never allowed to exceed it.
 	clamp := func(v float64) float64 {

@@ -137,10 +137,10 @@ func TestHistogramQuantilesMatchReference(t *testing.T) {
 
 func TestHistogramEdgeSamples(t *testing.T) {
 	var h Histogram
-	h.Observe(-5)          // clamped to 0
-	h.Observe(math.NaN())  // clamped to 0
-	h.Observe(0)           // bucket 0
-	h.Observe(1e30)        // clamped to last bucket
+	h.Observe(-5)         // clamped to 0
+	h.Observe(math.NaN()) // clamped to 0
+	h.Observe(0)          // bucket 0
+	h.Observe(1e30)       // clamped to last bucket
 	st := h.Stats()
 	if st.Count != 4 {
 		t.Fatalf("count = %d, want 4", st.Count)

@@ -1,0 +1,90 @@
+// Prometheus text exposition (version 0.0.4) for a metrics Snapshot — the
+// format every Prometheus-compatible scraper (Prometheus itself, Grafana
+// Agent, VictoriaMetrics) ingests from a /metrics endpoint. The encoder
+// renders only what the snapshot holds, so it is deterministic: same
+// snapshot, same bytes.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promName maps an internal dotted metric name ("crawl.visit_ms") to a
+// valid Prometheus metric name ("crawl_visit_ms"): every character
+// outside [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus parses it (shortest exact
+// representation; integral values without an exponent).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Counters become counter families; each histogram becomes a
+// histogram family (cumulative le-buckets over the non-empty log buckets,
+// plus _sum and _count) and a companion <name>_quantile gauge family
+// carrying the estimated p50/p95/p99 and the exact max, so dashboards get
+// both aggregatable buckets and ready-made latency quantiles. Output is
+// sorted by name and byte-deterministic for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.Le), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, h.Count, name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+		if h.Count == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			value float64
+		}{
+			{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}, {"max", h.Max},
+		} {
+			if _, err := fmt.Fprintf(w, "%s_quantile{q=%q} %s\n", name, q.label, promFloat(q.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"crawl.visit_ms":     "crawl_visit_ms",
+		"service.jobs.done":  "service_jobs_done",
+		"9lives":             "_9lives",
+		"a-b c":              "a_b_c",
+		"already_fine:total": "already_fine:total",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusDeterministic renders the same registry twice and
+// checks the exposition is byte-identical and structurally correct.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("service.jobs.submitted").Add(7)
+	r.Counter("service.cache.hits").Add(3)
+	h := r.Histogram("service.job_ms")
+	for _, v := range []float64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+
+	var a, b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE service_cache_hits counter\nservice_cache_hits 3\n",
+		"# TYPE service_jobs_submitted counter\nservice_jobs_submitted 7\n",
+		"# TYPE service_job_ms histogram\n",
+		"service_job_ms_bucket{le=\"+Inf\"} 5\n",
+		"service_job_ms_count 5\n",
+		"service_job_ms_sum 1015\n",
+		"# TYPE service_job_ms_quantile gauge\n",
+		"service_job_ms_quantile{q=\"max\"} 1000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Counters are sorted by name: cache.hits before jobs.submitted.
+	if strings.Index(out, "service_cache_hits") > strings.Index(out, "service_jobs_submitted") {
+		t.Errorf("counters not sorted by name:\n%s", out)
+	}
+}
+
+// TestWritePrometheusBucketsCumulative checks the le-bucket counts are
+// monotonically non-decreasing and end at the sample count.
+func TestWritePrometheusBucketsCumulative(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	st := h.Stats()
+	if len(st.Buckets) == 0 {
+		t.Fatal("no buckets captured")
+	}
+	var prevLe float64 = -1
+	var prevCount int64
+	for _, b := range st.Buckets {
+		if b.Le <= prevLe {
+			t.Fatalf("bucket le %v not ascending (prev %v)", b.Le, prevLe)
+		}
+		if b.Count < prevCount {
+			t.Fatalf("bucket count %d not cumulative (prev %d)", b.Count, prevCount)
+		}
+		prevLe, prevCount = b.Le, b.Count
+	}
+	if last := st.Buckets[len(st.Buckets)-1].Count; last != st.Count {
+		t.Fatalf("last cumulative bucket %d != count %d", last, st.Count)
+	}
+	if st.Sum != 4950 {
+		t.Fatalf("sum = %v, want 4950", st.Sum)
+	}
+}
+
+// TestWritePrometheusEmptyHistogram renders a histogram with no samples:
+// buckets collapse to the +Inf line and no quantile gauges appear.
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := New()
+	r.Histogram("idle_ms")
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "idle_ms_bucket{le=\"+Inf\"} 0\n") {
+		t.Errorf("missing +Inf bucket for empty histogram:\n%s", out)
+	}
+	if strings.Contains(out, "idle_ms_quantile") {
+		t.Errorf("empty histogram must not emit quantiles:\n%s", out)
+	}
+}

@@ -2,13 +2,21 @@ package report
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 )
 
-// WriteCSVFiles exports the analysis as CSV files into dir (created if
-// missing), one file per table/figure, for external plotting:
+// CSVTable is one exported table or figure in CSV form.
+type CSVTable struct {
+	Name    string // file name, e.g. "table2_tree_overview.csv"
+	Headers []string
+	Rows    [][]string
+}
+
+// CSVTables materializes the analysis as the full set of CSV tables and
+// figures, in a fixed order:
 //
 //	table2_tree_overview.csv     table3_depth_similarity.csv
 //	table4_resource_chains.csv   table5_profile_totals.csv
@@ -16,60 +24,57 @@ import (
 //	fig2_similarity_dist.csv     fig3_node_types.csv
 //	fig4_similarity_by_depth.csv fig7_type_depth.csv
 //	fig8_children_by_depth.csv
-func (e *Experiment) WriteCSVFiles(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("report: %w", err)
-	}
+//
+// (table7 is present only when RankBoundaries is set.) Both export paths —
+// one file per table (WriteCSVFiles) and one concatenated stream
+// (WriteCSV) — render exactly this inventory.
+func (e *Experiment) CSVTables() []CSVTable {
 	a := e.Analysis
-
-	writeFile := func(name string, headers []string, rows [][]string) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("report: %w", err)
-		}
-		CSV(f, headers, rows)
-		return f.Close()
-	}
 	ff := func(x float64) string { return strconv.FormatFloat(x, 'f', 4, 64) }
 	ii := strconv.Itoa
 
+	var tables []CSVTable
+
 	ov := a.TreeOverview()
-	if err := writeFile("table2_tree_overview.csv",
-		[]string{"metric", "avg", "sd", "min", "max"},
-		[][]string{
+	tables = append(tables, CSVTable{
+		Name:    "table2_tree_overview.csv",
+		Headers: []string{"metric", "avg", "sd", "min", "max"},
+		Rows: [][]string{
 			{"nodes", ff(ov.Nodes.Mean), ff(ov.Nodes.SD), ff(ov.Nodes.Min), ff(ov.Nodes.Max)},
 			{"depth", ff(ov.Depth.Mean), ff(ov.Depth.SD), ff(ov.Depth.Min), ff(ov.Depth.Max)},
 			{"breadth", ff(ov.Breadth.Mean), ff(ov.Breadth.SD), ff(ov.Breadth.Min), ff(ov.Breadth.Max)},
-		}); err != nil {
-		return err
-	}
+		},
+	})
 
 	var t3 [][]string
 	for _, r := range a.DepthSimilarityTable() {
 		t3 = append(t3, []string{r.Label, string(r.Category), ff(r.Sim), ff(r.SD), ff(r.Max), ff(r.Min)})
 	}
-	if err := writeFile("table3_depth_similarity.csv",
-		[]string{"test", "category", "sim", "sd", "max", "min"}, t3); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "table3_depth_similarity.csv",
+		Headers: []string{"test", "category", "sim", "sd", "max", "min"},
+		Rows:    t3,
+	})
 
 	var t4 [][]string
 	for _, r := range a.ResourceChainTable() {
 		t4 = append(t4, []string{r.Type.String(), ff(r.SameChainShare), ff(r.ParentSim), ii(r.N)})
 	}
-	if err := writeFile("table4_resource_chains.csv",
-		[]string{"type", "same_chain_share", "parent_sim", "n"}, t4); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "table4_resource_chains.csv",
+		Headers: []string{"type", "same_chain_share", "parent_sim", "n"},
+		Rows:    t4,
+	})
 
 	var t5 [][]string
 	for _, r := range a.ProfileTotals() {
 		t5 = append(t5, []string{r.Profile, ii(r.Nodes), ii(r.ThirdParty), ii(r.Tracker), ii(r.MaxDepth), ii(r.MaxBreadth)})
 	}
-	if err := writeFile("table5_profile_totals.csv",
-		[]string{"profile", "nodes", "third_party", "tracker", "max_depth", "max_breadth"}, t5); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "table5_profile_totals.csv",
+		Headers: []string{"profile", "nodes", "third_party", "tracker", "max_depth", "max_breadth"},
+		Rows:    t5,
+	})
 
 	var t6 [][]string
 	for _, r := range a.ProfilePairTable(e.reference()) {
@@ -81,14 +86,15 @@ func (e *Experiment) WriteCSVFiles(dir string) error {
 			ff(r.MeanParentSim), ff(r.MeanChildSim),
 		})
 	}
-	if err := writeFile("table6_profile_diffs.csv",
-		[]string{"profile", "fp_children_perfect", "fp_children_none",
+	tables = append(tables, CSVTable{
+		Name: "table6_profile_diffs.csv",
+		Headers: []string{"profile", "fp_children_perfect", "fp_children_none",
 			"tp_children_perfect", "tp_children_none",
 			"fp_parent_perfect", "fp_parent_none",
 			"tp_parent_perfect", "tp_parent_none",
-			"mean_parent_sim", "mean_child_sim"}, t6); err != nil {
-		return err
-	}
+			"mean_parent_sim", "mean_child_sim"},
+		Rows: t6,
+	})
 
 	if len(e.RankBoundaries) > 0 {
 		res := a.RankBuckets(e.RankBoundaries)
@@ -96,10 +102,11 @@ func (e *Experiment) WriteCSVFiles(dir string) error {
 		for _, r := range res.Rows {
 			t7 = append(t7, []string{r.Bucket, ff(r.MeanNodes), ff(r.ChildSim), ff(r.ParentSim), ii(r.Pages)})
 		}
-		if err := writeFile("table7_rank_buckets.csv",
-			[]string{"bucket", "mean_nodes", "child_sim", "parent_sim", "pages"}, t7); err != nil {
-			return err
-		}
+		tables = append(tables, CSVTable{
+			Name:    "table7_rank_buckets.csv",
+			Headers: []string{"bucket", "mean_nodes", "child_sim", "parent_sim", "pages"},
+			Rows:    t7,
+		})
 	}
 
 	d := a.SimilarityDistribution()
@@ -108,42 +115,89 @@ func (e *Experiment) WriteCSVFiles(dir string) error {
 	for i := range cf {
 		f2 = append(f2, []string{ff(d.Children.BinCenter(i)), ff(cf[i]), ff(pf[i])})
 	}
-	if err := writeFile("fig2_similarity_dist.csv",
-		[]string{"bin_center", "children_freq", "parent_freq"}, f2); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "fig2_similarity_dist.csv",
+		Headers: []string{"bin_center", "children_freq", "parent_freq"},
+		Rows:    f2,
+	})
 
 	var f3 [][]string
 	for _, r := range a.NodeTypeVolume() {
 		f3 = append(f3, []string{r.Depth, ff(r.FirstParty), ff(r.ThirdParty), ff(r.Tracking), ff(r.NonTracking), ii(r.Nodes)})
 	}
-	if err := writeFile("fig3_node_types.csv",
-		[]string{"depth", "first_party", "third_party", "tracking", "non_tracking", "nodes"}, f3); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "fig3_node_types.csv",
+		Headers: []string{"depth", "first_party", "third_party", "tracking", "non_tracking", "nodes"},
+		Rows:    f3,
+	})
 
 	var f4 [][]string
 	for _, r := range a.SimilarityByDepth() {
 		f4 = append(f4, []string{r.Depth, ff(r.ChildSim), ff(r.ParentSim), ii(r.Nodes)})
 	}
-	if err := writeFile("fig4_similarity_by_depth.csv",
-		[]string{"depth", "child_sim", "parent_sim", "nodes"}, f4); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "fig4_similarity_by_depth.csv",
+		Headers: []string{"depth", "child_sim", "parent_sim", "nodes"},
+		Rows:    f4,
+	})
 
 	var f7 [][]string
 	for _, r := range a.TypeDepthSimilarity(8) {
 		f7 = append(f7, []string{r.Type.String(), ii(r.Depth), ff(r.ChildSim), ff(r.ParentSim), ii(r.Nodes)})
 	}
-	if err := writeFile("fig7_type_depth.csv",
-		[]string{"type", "depth", "child_sim", "parent_sim", "nodes"}, f7); err != nil {
-		return err
-	}
+	tables = append(tables, CSVTable{
+		Name:    "fig7_type_depth.csv",
+		Headers: []string{"type", "depth", "child_sim", "parent_sim", "nodes"},
+		Rows:    f7,
+	})
 
 	var f8 [][]string
 	for _, r := range a.ChildrenByDepth(20, true) {
 		f8 = append(f8, []string{ii(r.Depth), ff(r.Mean), ff(r.Median), ff(r.Q1), ff(r.Q3), ff(r.Max), ii(r.Nodes)})
 	}
-	return writeFile("fig8_children_by_depth.csv",
-		[]string{"depth", "mean", "median", "q1", "q3", "max", "nodes"}, f8)
+	tables = append(tables, CSVTable{
+		Name:    "fig8_children_by_depth.csv",
+		Headers: []string{"depth", "mean", "median", "q1", "q3", "max", "nodes"},
+		Rows:    f8,
+	})
+
+	return tables
+}
+
+// WriteCSVFiles exports the analysis as CSV files into dir (created if
+// missing), one file per table/figure, for external plotting. See
+// CSVTables for the inventory.
+func (e *Experiment) WriteCSVFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	for _, t := range e.CSVTables() {
+		f, err := os.Create(filepath.Join(dir, t.Name))
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		CSV(f, t.Headers, t.Rows)
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV streams every table and figure into one writer, each section
+// introduced by a "# <name>" comment line and separated by a blank line —
+// the single-response form an HTTP result download needs.
+func (e *Experiment) WriteCSV(w io.Writer) error {
+	for i, t := range e.CSVTables() {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return fmt.Errorf("report: %w", err)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Name); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		CSV(w, t.Headers, t.Rows)
+	}
+	return nil
 }

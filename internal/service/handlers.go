@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// datasetFlushEvery is how many visits a streamed JSONL download writes
+// between flushes to the client.
+const datasetFlushEvery = 256
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs                  submit a JobSpec (JSON body)
+//	GET    /v1/jobs                  list jobs in submission order
+//	GET    /v1/jobs/{id}             job status
+//	DELETE /v1/jobs/{id}             cancel a queued/running job
+//	GET    /v1/jobs/{id}/report      rendered text report
+//	GET    /v1/jobs/{id}/result.json JSON result bundle
+//	GET    /v1/jobs/{id}/result.csv  concatenated CSV tables
+//	GET    /v1/jobs/{id}/dataset.jsonl streamed raw visits
+//	GET    /healthz                  liveness + queue stats
+//	GET    /metrics                  Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.artifact(func(r *result) ([]byte, string) {
+		return r.report, "text/plain; charset=utf-8"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/result.json", s.artifact(func(r *result) ([]byte, string) {
+		return r.json, "application/json"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/result.csv", s.artifact(func(r *result) ([]byte, string) {
+		return r.csv, "text/csv; charset=utf-8"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/dataset.jsonl", s.handleDataset)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	view := job.view()
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	code := http.StatusAccepted
+	if view.State == StateDone { // served straight from cache
+		code = http.StatusOK
+	}
+	writeJSON(w, code, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]jobJSON, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.mu.Lock()
+	view := job.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.mu.Lock()
+	view := job.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// artifact builds a handler serving one rendered artifact of a finished
+// job. Unfinished jobs answer 409 with the job state so pollers can tell
+// "not yet" from "never".
+func (s *Server) artifact(pick func(*result) ([]byte, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		res, ok := s.finishedResult(w, r)
+		if !ok {
+			return
+		}
+		body, contentType := pick(res)
+		w.Header().Set("Content-Type", contentType)
+		_, _ = w.Write(body)
+	}
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.finishedResult(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = res.dataset.StreamJSONL(w, datasetFlushEvery)
+}
+
+// finishedResult resolves the request's job and returns its result,
+// writing the error response itself when the job is missing or not done.
+func (s *Server) finishedResult(w http.ResponseWriter, r *http.Request) (*result, bool) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return nil, false
+	}
+	s.mu.Lock()
+	state, res, errMsg := job.state, job.res, job.err
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		return res, true
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: "+errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled: "+errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job not finished (state "+string(state)+")")
+	}
+	return nil, false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": s.Stats()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.Snapshot().WritePrometheus(w)
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"webmeasure"
+	"webmeasure/internal/browser"
+	"webmeasure/internal/dataset"
+	"webmeasure/internal/metrics"
+)
+
+// JobSpec is the wire form of a measurement job: which universe to
+// generate (seed/epoch), how much of it to crawl (sites/pages), with
+// which browser profiles, and how to analyze it. The zero value of every
+// field means "the experiment default", mirroring webmeasure.Config.
+type JobSpec struct {
+	Seed         int64    `json:"seed,omitempty"`
+	Sites        int      `json:"sites,omitempty"`
+	TrancoSize   int      `json:"tranco_size,omitempty"`
+	PagesPerSite int      `json:"pages_per_site,omitempty"`
+	Instances    int      `json:"instances,omitempty"`
+	Epoch        int      `json:"epoch,omitempty"`
+	Stateful     bool     `json:"stateful,omitempty"`
+	Profiles     []string `json:"profiles,omitempty"`
+	// Workers bounds the analysis worker pool. It is deliberately NOT
+	// part of the cache key: the analysis is byte-identical for every
+	// worker count (the repo's determinism golden test), so results may
+	// be shared across jobs that differ only here.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalize fills every defaulted field with its concrete value (the same
+// rules webmeasure.Config applies) and expands an empty profile set to
+// the explicit five, so two specs that mean the same experiment become
+// the same canonical value. It validates against limits and returns the
+// normalized copy.
+func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Sites <= 0 {
+		s.Sites = 100
+	}
+	if s.TrancoSize <= 0 {
+		s.TrancoSize = s.Sites * 10
+	}
+	if s.TrancoSize < s.Sites {
+		s.TrancoSize = s.Sites
+	}
+	if s.PagesPerSite <= 0 {
+		s.PagesPerSite = 10
+	}
+	if s.Instances <= 0 {
+		s.Instances = 15
+	}
+	if s.Workers < 0 {
+		s.Workers = 0
+	}
+	if s.Sites > limits.MaxSites {
+		return s, fmt.Errorf("sites %d exceeds the server limit %d", s.Sites, limits.MaxSites)
+	}
+	if s.PagesPerSite > limits.MaxPagesPerSite {
+		return s, fmt.Errorf("pages_per_site %d exceeds the server limit %d", s.PagesPerSite, limits.MaxPagesPerSite)
+	}
+	if s.Epoch < 0 {
+		return s, fmt.Errorf("epoch must be non-negative")
+	}
+	all := browser.DefaultProfiles()
+	if len(s.Profiles) == 0 {
+		names := make([]string, len(all))
+		for i, p := range all {
+			names[i] = p.Name
+		}
+		s.Profiles = names
+		return s, nil
+	}
+	// Validate and re-order to the canonical Table 1 order, dropping
+	// duplicates, so every spelling of the same set shares a cache key.
+	want := make(map[string]bool, len(s.Profiles))
+	for _, n := range s.Profiles {
+		found := false
+		for _, p := range all {
+			if p.Name == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return s, fmt.Errorf("unknown profile %q", n)
+		}
+		want[n] = true
+	}
+	ordered := make([]string, 0, len(want))
+	for _, p := range all {
+		if want[p.Name] {
+			ordered = append(ordered, p.Name)
+		}
+	}
+	s.Profiles = ordered
+	return s, nil
+}
+
+// cacheKey is the canonical identity of the measurement a spec describes:
+// the JSON encoding of the normalized spec with Workers zeroed (worker
+// count never changes the output bytes). Two submissions with equal keys
+// are the same deterministic experiment.
+func (s JobSpec) cacheKey() string {
+	s.Workers = 0
+	b, err := json.Marshal(s)
+	if err != nil {
+		// JobSpec is a plain struct of scalars and strings; Marshal
+		// cannot fail on it.
+		panic(fmt.Sprintf("service: marshal spec: %v", err))
+	}
+	return string(b)
+}
+
+// config maps the spec onto the facade config, attaching the server's
+// shared metrics registry.
+func (s JobSpec) config(reg *metrics.Registry) webmeasure.Config {
+	return webmeasure.Config{
+		Seed:         s.Seed,
+		Sites:        s.Sites,
+		TrancoSize:   s.TrancoSize,
+		PagesPerSite: s.PagesPerSite,
+		Instances:    s.Instances,
+		Epoch:        s.Epoch,
+		Stateful:     s.Stateful,
+		Profiles:     s.Profiles,
+		Workers:      s.Workers,
+		Metrics:      reg,
+	}
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state can no longer change.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// result holds a finished job's rendered artifacts. The text artifacts
+// are rendered once and held as bytes (a cache hit serves the exact same
+// bytes); the dataset stays structured so downloads can stream with
+// periodic flushes.
+type result struct {
+	report  []byte
+	json    []byte
+	csv     []byte
+	dataset *dataset.Dataset
+	summary webmeasure.Summary
+}
+
+// Job is one submitted measurement. All mutable fields are guarded by the
+// owning Server's mutex; Done is closed exactly once when the job reaches
+// a terminal state.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	key      string
+	state    State
+	err      string
+	cacheHit bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel func() // non-nil while running
+	res    *result
+
+	done chan struct{}
+}
+
+// Done returns a channel that closes when the job reaches a terminal
+// state (done, failed, or canceled).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// jobJSON is the API projection of a Job.
+type jobJSON struct {
+	ID          string              `json:"id"`
+	State       State               `json:"state"`
+	Spec        JobSpec             `json:"spec"`
+	CacheHit    bool                `json:"cache_hit"`
+	Error       string              `json:"error,omitempty"`
+	SubmittedAt time.Time           `json:"submitted_at"`
+	StartedAt   *time.Time          `json:"started_at,omitempty"`
+	FinishedAt  *time.Time          `json:"finished_at,omitempty"`
+	DurationMS  float64             `json:"duration_ms,omitempty"`
+	Summary     *webmeasure.Summary `json:"summary,omitempty"`
+	Artifacts   map[string]string   `json:"artifacts,omitempty"`
+}
+
+// view renders the job for the API. Callers must hold the server mutex.
+func (j *Job) view() jobJSON {
+	v := jobJSON{
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.Spec,
+		CacheHit:    j.cacheHit,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+		if !j.started.IsZero() {
+			v.DurationMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if j.state == StateDone && j.res != nil {
+		s := j.res.summary
+		v.Summary = &s
+		base := "/v1/jobs/" + j.ID + "/"
+		v.Artifacts = map[string]string{
+			"report":  base + "report",
+			"json":    base + "result.json",
+			"csv":     base + "result.csv",
+			"dataset": base + "dataset.jsonl",
+		}
+	}
+	return v
+}

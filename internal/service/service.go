@@ -1,0 +1,392 @@
+// Package service turns the one-shot measurement pipeline into
+// measurement-as-a-service: a long-running job server that accepts
+// experiment specs over HTTP, runs them on a bounded worker pool (each
+// job is a full crawl + analysis through the webmeasure facade), caches
+// results in an LRU keyed by the canonicalized spec, and serves the
+// rendered artifacts back. It is the serving layer the ROADMAP's
+// production system needs — the paper's pipeline is rerun continuously
+// with varying configurations (multi-vantage-point and longitudinal
+// studies), exactly the workload a queue with a deterministic result
+// cache amortizes.
+//
+// Lifecycle: POST /v1/jobs enqueues (or answers straight from cache),
+// workers drain the queue, GET /v1/jobs/{id} polls, the artifact routes
+// download results, DELETE cancels via per-job context. A full queue
+// pushes back with 429 + Retry-After instead of buffering unboundedly,
+// and Shutdown stops intake and drains accepted jobs before returning.
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"webmeasure"
+	"webmeasure/internal/metrics"
+)
+
+// Limits bounds what a single job may ask for, so one request cannot
+// exhaust the server.
+type Limits struct {
+	MaxSites        int
+	MaxPagesPerSite int
+}
+
+// Config parameterizes the server. The zero value is completed by New.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueDepth bounds the jobs waiting to run; submissions beyond it
+	// are rejected with 429 (default 16).
+	QueueDepth int
+	// CacheSize bounds the LRU result cache entries (default 64;
+	// negative disables caching).
+	CacheSize int
+	// Limits guards per-job resource demands (defaults: 2000 sites, 100
+	// pages per site).
+	Limits Limits
+	// Metrics receives service counters plus every job's crawl/analysis
+	// instruments (default: a fresh registry; exposed at /metrics).
+	Metrics *metrics.Registry
+	// Runner overrides the job executor — tests and benchmarks stub the
+	// pipeline here. nil runs webmeasure.Run.
+	Runner func(ctx context.Context, cfg webmeasure.Config) (*webmeasure.Results, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.Limits.MaxSites <= 0 {
+		c.Limits.MaxSites = 2000
+	}
+	if c.Limits.MaxPagesPerSite <= 0 {
+		c.Limits.MaxPagesPerSite = 100
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
+	return c
+}
+
+// Server runs measurement jobs. Create with New, serve its Handler, and
+// call Shutdown to drain.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	cache    *resultCache
+	queue    chan *Job
+	draining bool
+	seq      int64
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+
+	// counters, bound once so the hot paths skip registry lookups
+	mSubmitted, mCompleted, mFailed, mCanceled *metrics.Counter
+	mRejected, mCacheHits, mCacheMisses        *metrics.Counter
+	mJobMS, mQueueMS                           *metrics.Histogram
+}
+
+// New creates the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Metrics,
+		jobs:      make(map[string]*Job),
+		cache:     newResultCache(cfg.CacheSize),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+
+		mSubmitted:   cfg.Metrics.Counter("service.jobs.submitted"),
+		mCompleted:   cfg.Metrics.Counter("service.jobs.completed"),
+		mFailed:      cfg.Metrics.Counter("service.jobs.failed"),
+		mCanceled:    cfg.Metrics.Counter("service.jobs.canceled"),
+		mRejected:    cfg.Metrics.Counter("service.jobs.rejected"),
+		mCacheHits:   cfg.Metrics.Counter("service.cache.hits"),
+		mCacheMisses: cfg.Metrics.Counter("service.cache.misses"),
+		mJobMS:       cfg.Metrics.Histogram("service.job_ms"),
+		mQueueMS:     cfg.Metrics.Histogram("service.queue_wait_ms"),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's registry (the /metrics source).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// ErrQueueFull is returned by Submit when the queue has no room; HTTP
+// maps it to 429 + Retry-After.
+var ErrQueueFull = fmt.Errorf("service: job queue is full")
+
+// ErrDraining is returned by Submit after Shutdown began; HTTP maps it
+// to 503.
+var ErrDraining = fmt.Errorf("service: server is shutting down")
+
+// Submit validates and enqueues a job (or resolves it instantly from the
+// result cache) and returns it. The returned Job must only be inspected
+// through server methods; its Done channel closes when it finishes.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	norm, err := spec.normalize(s.cfg.Limits)
+	if err != nil {
+		return nil, fmt.Errorf("service: invalid spec: %w", err)
+	}
+	key := norm.cacheKey()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("j%06d", s.seq),
+		Spec:      norm,
+		key:       key,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mSubmitted.Inc()
+	if res, ok := s.cache.get(key); ok {
+		// Deterministic hit: finish the job immediately with the cached
+		// artifacts, never touching the queue.
+		s.mCacheHits.Inc()
+		job.state = StateDone
+		job.cacheHit = true
+		job.started = job.submitted
+		job.finished = time.Now()
+		job.res = res
+		close(job.done)
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		return job, nil
+	}
+	job.state = StateQueued
+	select {
+	case s.queue <- job:
+	default:
+		s.seq-- // job was never admitted
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: a queued job is marked canceled and skipped when
+// popped, a running job has its context canceled. Canceling a finished
+// job is a no-op. The second return is false when the ID is unknown.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled before start"
+		j.finished = time.Now()
+		s.mCanceled.Inc()
+		close(j.done)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		// runJob observes the context error and finishes the job.
+	}
+	return j, true
+}
+
+// Stats is a point-in-time view of the server for /healthz.
+type Stats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Finished  int `json:"finished"`
+	CacheSize int `json:"cache_size"`
+	Workers   int `json:"workers"`
+	QueueCap  int `json:"queue_capacity"`
+}
+
+// Stats summarizes the server state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{CacheSize: s.cache.len(), Workers: s.cfg.Workers, QueueCap: s.cfg.QueueDepth}
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		default:
+			st.Finished++
+		}
+	}
+	return st
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one queued job end to end: re-check the cache (an
+// identical job may have finished while this one waited), run the
+// measurement under a per-job context, render the artifacts, and publish
+// the terminal state.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.state != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	if res, ok := s.cache.get(job.key); ok {
+		s.mCacheHits.Inc()
+		job.state = StateDone
+		job.cacheHit = true
+		job.started = time.Now()
+		job.finished = job.started
+		job.res = res
+		close(job.done)
+		s.mu.Unlock()
+		return
+	}
+	s.mCacheMisses.Inc()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	s.mQueueMS.Observe(float64(job.started.Sub(job.submitted)) / float64(time.Millisecond))
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.execute(ctx, job.Spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.finished = time.Now()
+	job.cancel = nil
+	s.mJobMS.Observe(float64(job.finished.Sub(job.started)) / float64(time.Millisecond))
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.res = res
+		s.cache.put(job.key, res)
+		s.mCompleted.Inc()
+	case ctx.Err() != nil:
+		job.state = StateCanceled
+		job.err = ctx.Err().Error()
+		s.mCanceled.Inc()
+	default:
+		job.state = StateFailed
+		job.err = err.Error()
+		s.mFailed.Inc()
+	}
+	close(job.done)
+}
+
+// execute runs the measurement and renders every artifact to bytes.
+func (s *Server) execute(ctx context.Context, spec JobSpec) (*result, error) {
+	runner := s.cfg.Runner
+	if runner == nil {
+		runner = webmeasure.Run
+	}
+	r, err := runner(ctx, spec.config(s.reg))
+	if err != nil {
+		return nil, err
+	}
+	var rep, js, csv bytes.Buffer
+	r.WriteReport(&rep)
+	if err := r.WriteJSON(&js); err != nil {
+		return nil, fmt.Errorf("render json: %w", err)
+	}
+	if err := r.WriteCSV(&csv); err != nil {
+		return nil, fmt.Errorf("render csv: %w", err)
+	}
+	return &result{
+		report:  rep.Bytes(),
+		json:    js.Bytes(),
+		csv:     csv.Bytes(),
+		dataset: r.Dataset(),
+		summary: r.Summary(),
+	}, nil
+}
+
+// Shutdown stops intake, drains the queued and running jobs, and waits
+// for the workers to exit. If ctx expires first, every in-flight job's
+// context is canceled and Shutdown still waits for the (now fast) drain
+// before returning the ctx error — no goroutine outlives the call.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		// Queued jobs the workers never reached must still resolve.
+		s.failAbandoned()
+		return ctx.Err()
+	}
+}
+
+// failAbandoned marks jobs that were still queued when a forced shutdown
+// emptied the pool.
+func (s *Server) failAbandoned() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = "server shut down before the job ran"
+			j.finished = time.Now()
+			s.mCanceled.Inc()
+			close(j.done)
+		}
+	}
+}

@@ -1,0 +1,550 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"webmeasure"
+)
+
+// tinySpec is the spec every fast test submits: a five-site universe
+// crawled with two subpages per site.
+func tinySpec(seed int64) JobSpec {
+	return JobSpec{Seed: seed, Sites: 5, PagesPerSite: 2, Workers: 2}
+}
+
+// postJob submits a spec and decodes the job view.
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (jobJSON, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return v, resp.StatusCode
+}
+
+// pollDone polls the status endpoint until the job reaches a terminal
+// state (the way an HTTP client would; in-process tests use Job.Done).
+func pollDone(t *testing.T, ts *httptest.Server, id string) jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobJSON
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		resp.Body.Close()
+		if v.State.terminal() {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobJSON{}
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestSubmitPollFetchArtifacts is the happy path: submit → poll → fetch
+// every artifact, and cross-check the service's result.json against the
+// batch pipeline (cmd/analyze's LoadAndAnalyze) fed with the service's
+// own dataset download — the two paths must agree byte for byte.
+func TestSubmitPollFetchArtifacts(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := tinySpec(7)
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d, want 202", code)
+	}
+	if v.State != StateQueued && v.State != StateRunning {
+		t.Fatalf("fresh job state = %q", v.State)
+	}
+
+	v = pollDone(t, ts, v.ID)
+	if v.State != StateDone {
+		t.Fatalf("job ended %q (err %q)", v.State, v.Error)
+	}
+	if v.Summary == nil || v.Summary.Sites == 0 {
+		t.Fatalf("done job carries no summary: %+v", v)
+	}
+
+	code, rep := get(t, ts.URL+"/v1/jobs/"+v.ID+"/report")
+	if code != 200 || !bytes.Contains(rep, []byte("Table 2")) {
+		t.Fatalf("report fetch: code %d, %d bytes", code, len(rep))
+	}
+	code, csv := get(t, ts.URL+"/v1/jobs/"+v.ID+"/result.csv")
+	if code != 200 || !bytes.Contains(csv, []byte("# table2_tree_overview.csv")) {
+		t.Fatalf("csv fetch: code %d, missing section header", code)
+	}
+	code, js := get(t, ts.URL+"/v1/jobs/"+v.ID+"/result.json")
+	if code != 200 || len(js) == 0 {
+		t.Fatalf("json fetch: code %d, %d bytes", code, len(js))
+	}
+	code, jsonl := get(t, ts.URL+"/v1/jobs/"+v.ID+"/dataset.jsonl")
+	if code != 200 || len(jsonl) == 0 {
+		t.Fatalf("dataset fetch: code %d, %d bytes", code, len(jsonl))
+	}
+
+	// Batch-path cross-check: analyzing the downloaded dataset with the
+	// same flags must reproduce the served result.json exactly.
+	res, err := webmeasure.LoadAndAnalyze(bytes.NewReader(jsonl), webmeasure.Config{
+		Seed: spec.Seed, Sites: spec.Sites, PagesPerSite: spec.PagesPerSite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), js) {
+		t.Fatalf("service result.json (%d bytes) differs from batch analysis (%d bytes)",
+			len(js), want.Len())
+	}
+}
+
+// TestCacheHitServesSameBytes submits the same spec twice: the second
+// submission must resolve instantly from cache with identical artifact
+// bytes, and the hit must show on /metrics.
+func TestCacheHitServesSameBytes(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first, code := postJob(t, ts, tinySpec(11))
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit code = %d", code)
+	}
+	first = pollDone(t, ts, first.ID)
+	if first.State != StateDone {
+		t.Fatalf("first job: %q (%s)", first.State, first.Error)
+	}
+
+	// Different worker count, same experiment: must still hit the cache.
+	again := tinySpec(11)
+	again.Workers = 7
+	second, code := postJob(t, ts, again)
+	if code != http.StatusOK {
+		t.Fatalf("cache-hit submit code = %d, want 200", code)
+	}
+	if second.State != StateDone || !second.CacheHit {
+		t.Fatalf("second job not a cache hit: %+v", second)
+	}
+	_, a := get(t, ts.URL+"/v1/jobs/"+first.ID+"/result.json")
+	_, b := get(t, ts.URL+"/v1/jobs/"+second.ID+"/result.json")
+	if !bytes.Equal(a, b) {
+		t.Fatal("cache hit served different result.json bytes")
+	}
+	_, ra := get(t, ts.URL+"/v1/jobs/"+first.ID+"/report")
+	_, rb := get(t, ts.URL+"/v1/jobs/"+second.ID+"/report")
+	if !bytes.Equal(ra, rb) {
+		t.Fatal("cache hit served different report bytes")
+	}
+
+	if hits := s.Metrics().Counter("service.cache.hits").Value(); hits != 1 {
+		t.Fatalf("cache hit counter = %d, want 1", hits)
+	}
+	code, prom := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	for _, want := range []string{
+		"service_cache_hits 1",
+		"service_jobs_submitted 2",
+		"# TYPE service_job_ms histogram",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// blockingServer builds a server whose runner parks until release is
+// closed (or the job context fires), so tests can hold the worker busy
+// deterministically.
+func blockingServer(t *testing.T, cfg Config, release <-chan struct{}) *Server {
+	t.Helper()
+	cfg.Runner = func(ctx context.Context, wcfg webmeasure.Config) (*webmeasure.Results, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+		}
+		return webmeasure.Run(ctx, wcfg)
+	}
+	return New(cfg)
+}
+
+// TestQueueBackpressure fills the queue behind a parked worker and
+// expects 429 + Retry-After for the overflow submission.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	s := blockingServer(t, Config{Workers: 1, QueueDepth: 1}, release)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	running, code := postJob(t, ts, tinySpec(1)) // claimed by the worker
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1 code = %d", code)
+	}
+	waitState(t, s, running.ID, StateRunning)
+	if _, code = postJob(t, ts, tinySpec(2)); code != http.StatusAccepted { // fills the queue
+		t.Fatalf("submit 2 code = %d", code)
+	}
+
+	body, err := json.Marshal(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit code = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if rejected := s.Metrics().Counter("service.jobs.rejected").Value(); rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", rejected)
+	}
+	close(release)
+}
+
+// waitState spins until the job reaches the state (helper for tests that
+// need to observe intermediate states).
+func waitState(t *testing.T, s *Server, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		s.mu.Lock()
+		st := j.state
+		s.mu.Unlock()
+		if st == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+}
+
+// TestCancelRunningJob cancels a job mid-execution via DELETE and checks
+// the canceled state propagates to status and artifact routes.
+func TestCancelRunningJob(t *testing.T) {
+	release := make(chan struct{})
+	s := blockingServer(t, Config{Workers: 1}, release)
+	defer s.Shutdown(context.Background())
+	defer close(release) // LIFO: release the runner before the drain waits
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, tinySpec(1))
+	waitState(t, s, v.ID, StateRunning)
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel code = %d", resp.StatusCode)
+	}
+
+	final := pollDone(t, ts, v.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state after cancel = %q", final.State)
+	}
+	if canceled := s.Metrics().Counter("service.jobs.canceled").Value(); canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1", canceled)
+	}
+	code, _ := get(t, ts.URL+"/v1/jobs/"+v.ID+"/result.json")
+	if code != http.StatusGone {
+		t.Fatalf("artifact of canceled job = %d, want 410", code)
+	}
+}
+
+// TestCancelQueuedJob cancels a job that never started.
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s := blockingServer(t, Config{Workers: 1, QueueDepth: 4}, release)
+	defer s.Shutdown(context.Background())
+	defer close(release) // LIFO: release the runner before the drain waits
+
+	blocker, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(tinySpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, ok := s.Cancel(queued.ID); !ok || j != queued {
+		t.Fatal("cancel of queued job failed")
+	}
+	select {
+	case <-queued.Done():
+	case <-time.After(time.Second):
+		t.Fatal("canceled queued job did not resolve")
+	}
+	s.mu.Lock()
+	st := queued.state
+	s.mu.Unlock()
+	if st != StateCanceled {
+		t.Fatalf("queued job state = %q", st)
+	}
+	_ = blocker
+}
+
+// TestSubmitValidation rejects malformed and over-limit specs.
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{Workers: 1, Limits: Limits{MaxSites: 10, MaxPagesPerSite: 5}})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"unknown field":   `{"sitez": 5}`,
+		"over max sites":  `{"sites": 999}`,
+		"over max pages":  `{"pages_per_site": 50}`,
+		"unknown profile": `{"profiles": ["NoSuchBrowser"]}`,
+		"negative epoch":  `{"epoch": -1}`,
+		"not json":        `sites=5`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", code)
+	}
+}
+
+// TestSpecCanonicalization: different spellings of the same experiment
+// share one cache key; different experiments do not.
+func TestSpecCanonicalization(t *testing.T) {
+	limits := Limits{MaxSites: 2000, MaxPagesPerSite: 100}
+	key := func(s JobSpec) string {
+		t.Helper()
+		n, err := s.normalize(limits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.cacheKey()
+	}
+	base := key(JobSpec{})
+	if key(JobSpec{Seed: 1, Sites: 100, PagesPerSite: 10, Workers: 9}) != base {
+		t.Error("defaulted spec and explicit defaults should share a key")
+	}
+	if key(JobSpec{Seed: 2}) == base {
+		t.Error("different seed must change the key")
+	}
+	if key(JobSpec{Epoch: 1}) == base {
+		t.Error("different epoch must change the key")
+	}
+	if key(JobSpec{Stateful: true}) == base {
+		t.Error("stateful must change the key")
+	}
+	if key(JobSpec{Profiles: []string{"Old", "Sim1", "Sim2", "NoAction", "Headless"}}) != base {
+		t.Error("explicit full profile set must equal the empty default")
+	}
+	a := key(JobSpec{Profiles: []string{"Sim2", "Sim1", "Sim1"}})
+	b := key(JobSpec{Profiles: []string{"Sim1", "Sim2"}})
+	if a != b {
+		t.Error("profile order/duplicates must canonicalize away")
+	}
+	if a == base {
+		t.Error("a two-profile subset must not share the full-set key")
+	}
+}
+
+// TestHealthz reports queue stats.
+func TestHealthz(t *testing.T) {
+	s := New(Config{Workers: 3, QueueDepth: 5})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz code = %d", code)
+	}
+	var v struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != "ok" || v.Stats.Workers != 3 || v.Stats.QueueCap != 5 {
+		t.Fatalf("healthz = %+v", v)
+	}
+}
+
+// TestShutdownDrains submits work, shuts down, and verifies every
+// accepted job reached a terminal state and the workers exited.
+func TestShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	var ids []string
+	for seed := int64(1); seed <= 4; seed++ {
+		j, err := s.Submit(tinySpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range ids {
+		j, _ := s.Job(id)
+		s.mu.Lock()
+		st := j.state
+		s.mu.Unlock()
+		if st != StateDone {
+			t.Errorf("job %s ended %q after drain", id, st)
+		}
+	}
+	if _, err := s.Submit(tinySpec(9)); err != ErrDraining {
+		t.Errorf("submit after shutdown = %v, want ErrDraining", err)
+	}
+}
+
+// TestShutdownDeadlineCancelsRunning forces the drain deadline and
+// expects the running job to be canceled rather than leaked.
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := blockingServer(t, Config{Workers: 1}, release)
+	j, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, j.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("forced shutdown = %v, want deadline exceeded", err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(time.Second):
+		t.Fatal("running job did not resolve after forced shutdown")
+	}
+	s.mu.Lock()
+	st := j.state
+	s.mu.Unlock()
+	if st != StateCanceled {
+		t.Fatalf("job after forced shutdown = %q", st)
+	}
+}
+
+// TestJobListOrder lists jobs in submission order.
+func TestJobListOrder(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var want []string
+	for seed := int64(1); seed <= 3; seed++ {
+		j, err := s.Submit(tinySpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, j.ID)
+	}
+	code, body := get(t, ts.URL+"/v1/jobs")
+	if code != 200 {
+		t.Fatalf("list code = %d", code)
+	}
+	var v struct {
+		Jobs []jobJSON `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Jobs) != len(want) {
+		t.Fatalf("list has %d jobs, want %d", len(v.Jobs), len(want))
+	}
+	for i, j := range v.Jobs {
+		if j.ID != want[i] {
+			t.Fatalf("list order %v, want %v", v.Jobs, want)
+		}
+	}
+}
+
+// TestLRUEviction keeps the cache bounded.
+func TestLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &result{}, &result{}, &result{}
+	c.put("a", r1)
+	c.put("b", r2)
+	if _, ok := c.get("a"); !ok { // refresh a → b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	if got, _ := c.get("c"); got != r3 {
+		t.Fatal("c lookup wrong")
+	}
+}

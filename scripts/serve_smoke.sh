@@ -1,0 +1,64 @@
+#!/bin/sh
+# Smoke test for cmd/serve: boot the job server on an ephemeral port,
+# submit a tiny measurement job over HTTP, poll it to completion, assert
+# the report artifact is served with 200 and is non-empty, then shut the
+# server down with SIGINT and require a clean drain (exit 0).
+#
+# Usage: scripts/serve_smoke.sh [path-to-serve-binary]
+set -eu
+
+BIN=${1:-./serve}
+WORKDIR=$(mktemp -d)
+LOG="$WORKDIR/serve.log"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+"$BIN" -addr 127.0.0.1:0 -workers 2 >"$LOG" 2>&1 &
+PID=$!
+
+# The banner prints the bound address: "serving on http://127.0.0.1:PORT".
+BASE=""
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's/^serving on \(http:\/\/[^ ]*\).*/\1/p' "$LOG" | head -n1)
+    [ -n "$BASE" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "serve died at startup:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$BASE" ] || { echo "serve never printed its address:"; cat "$LOG"; exit 1; }
+
+curl -fsS "$BASE/healthz" >/dev/null
+
+SUBMIT=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"seed": 3, "sites": 5, "pages_per_site": 2}' "$BASE/v1/jobs")
+JOB=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "submit returned no job id: $SUBMIT"; exit 1; }
+
+STATE=""
+for _ in $(seq 1 300); do
+    STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB")
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+        done) break ;;
+        failed|canceled) echo "job ended $STATE: $STATUS"; exit 1 ;;
+    esac
+    sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "job never finished (state '$STATE')"; exit 1; }
+
+# The report must come back 200 and non-empty (-f fails on non-2xx).
+REPORT="$WORKDIR/report.txt"
+curl -fsS "$BASE/v1/jobs/$JOB/report" -o "$REPORT"
+[ -s "$REPORT" ] || { echo "report artifact is empty"; exit 1; }
+grep -q "Table 2" "$REPORT" || { echo "report artifact looks wrong"; exit 1; }
+
+# A resubmission of the identical spec must be a cache hit on /metrics.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"seed": 3, "sites": 5, "pages_per_site": 2}' "$BASE/v1/jobs" >/dev/null
+curl -fsS "$BASE/metrics" | grep -q '^service_cache_hits 1$' || {
+    echo "cache hit not visible on /metrics"; exit 1; }
+
+kill -INT "$PID"
+if ! wait "$PID"; then
+    echo "serve exited non-zero on shutdown:"; cat "$LOG"; exit 1
+fi
+grep -q "drained cleanly" "$LOG" || { echo "no clean drain:"; cat "$LOG"; exit 1; }
+echo "serve-smoke: OK ($BASE, job $JOB)"

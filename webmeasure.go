@@ -53,6 +53,10 @@ type Config struct {
 	// snapshot); run the same seed at two epochs for a longitudinal
 	// comparison.
 	Epoch int
+	// Profiles restricts the crawl and analysis to a named subset of the
+	// paper's five browser profiles (Table 1). Empty means all five;
+	// unknown names are an error.
+	Profiles []string
 	// Stateful preserves cookies across a site's pages within each client
 	// (Appendix C's alternative design choice; default stateless).
 	Stateful bool
@@ -124,11 +128,16 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 			return nil, fmt.Errorf("webmeasure: resume dataset: %w", err)
 		}
 	}
+	profs, err := selectProfiles(cfg.Profiles)
+	if err != nil {
+		return nil, err
+	}
 	ds, crawlStats, err := crawler.Run(ctx, crawler.Config{
 		Universe:  u,
 		Sites:     sample,
 		MaxPages:  cfg.PagesPerSite,
 		Instances: cfg.Instances,
+		Profiles:  profs,
 		Seed:      cfg.Seed,
 		Epoch:     cfg.Epoch,
 		Stateful:  cfg.Stateful,
@@ -139,7 +148,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: crawl: %w", err)
 	}
-	res, err := Analyze(ds, u, sample, boundaries, cfg)
+	res, err := AnalyzeContext(ctx, ds, u, sample, boundaries, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +160,13 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 // LoadDataset). sample and boundaries supply the rank information for the
 // popularity analysis and may be nil.
 func Analyze(ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, boundaries []int, cfg Config) (*Results, error) {
+	return AnalyzeContext(context.Background(), ds, u, sample, boundaries, cfg)
+}
+
+// AnalyzeContext is Analyze with cancellation: the context aborts the
+// per-page analysis pool between pages (a canceled job server request
+// stops burning CPU mid-analysis).
+func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, boundaries []int, cfg Config) (*Results, error) {
 	filter, skipped := filterlist.Parse(u.FilterListText())
 	if skipped != 0 {
 		return nil, fmt.Errorf("webmeasure: generated filter list has %d bad rules", skipped)
@@ -159,11 +175,20 @@ func Analyze(ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, bou
 	for _, e := range sample {
 		ranks[e.Site] = e.Rank
 	}
+	profs, err := selectProfiles(cfg.Profiles)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(profs))
+	for i, p := range profs {
+		names[i] = p.Name
+	}
 	analysis, err := core.New(ds, filter, core.Options{
-		Profiles: profileNames(),
+		Profiles: names,
 		SiteRank: ranks,
 		Workers:  cfg.Workers,
 		Metrics:  cfg.Metrics,
+		Context:  ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
@@ -183,13 +208,34 @@ func webgenConfig(cfg Config) webgen.Config {
 	return wc
 }
 
-func profileNames() []string {
-	ps := browser.DefaultProfiles()
-	names := make([]string, len(ps))
-	for i, p := range ps {
-		names[i] = p.Name
+// selectProfiles resolves Config.Profiles against the paper's five
+// default profiles, preserving the Table 1 order; empty selects all.
+func selectProfiles(names []string) ([]browser.Profile, error) {
+	all := browser.DefaultProfiles()
+	if len(names) == 0 {
+		return all, nil
 	}
-	return names
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		found := false
+		for _, p := range all {
+			if p.Name == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("webmeasure: unknown profile %q", n)
+		}
+		want[n] = true
+	}
+	out := make([]browser.Profile, 0, len(want))
+	for _, p := range all {
+		if want[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
 }
 
 // WriteReport renders every table and figure of the paper to w.
@@ -221,6 +267,17 @@ func (r *Results) WriteCSVFiles(dir string) error {
 		RankBoundaries: r.boundaries,
 	}
 	return exp.WriteCSVFiles(dir)
+}
+
+// WriteCSV streams every table and figure as one concatenated CSV
+// document ("# <name>" section headers), the single-response form served
+// over HTTP.
+func (r *Results) WriteCSV(w io.Writer) error {
+	exp := &report.Experiment{
+		Analysis:       r.analysis,
+		RankBoundaries: r.boundaries,
+	}
+	return exp.WriteCSV(w)
 }
 
 // Summary is the headline outcome of an experiment.
@@ -287,6 +344,10 @@ func (r *Results) Analysis() *core.Analysis { return r.analysis }
 // Universe exposes the generated web universe.
 func (r *Results) Universe() *webgen.Universe { return r.universe }
 
+// Dataset exposes the collected visits, e.g. for streaming JSONL
+// downloads (dataset.StreamJSONL) from a serving layer.
+func (r *Results) Dataset() *dataset.Dataset { return r.dataset }
+
 // RankBoundaries returns the rank-bucket boundaries used for sampling.
 func (r *Results) RankBoundaries() []int { return r.boundaries }
 
@@ -299,6 +360,12 @@ func (r *Results) CrawlStats() crawler.Stats { return r.stats }
 // used, so the universe (and with it the filter list and rank sample) can
 // be regenerated deterministically.
 func LoadAndAnalyze(datasetJSONL io.Reader, cfg Config) (*Results, error) {
+	return LoadAndAnalyzeContext(context.Background(), datasetJSONL, cfg)
+}
+
+// LoadAndAnalyzeContext is LoadAndAnalyze with cancellation (see
+// AnalyzeContext).
+func LoadAndAnalyzeContext(ctx context.Context, datasetJSONL io.Reader, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
 	ds, err := dataset.ReadJSONL(datasetJSONL)
 	if err != nil {
@@ -312,5 +379,5 @@ func LoadAndAnalyze(datasetJSONL io.Reader, cfg Config) (*Results, error) {
 		perBucket = 1
 	}
 	sample := list.Sample(boundaries, perBucket, cfg.Seed)
-	return Analyze(ds, u, sample, boundaries, cfg)
+	return AnalyzeContext(ctx, ds, u, sample, boundaries, cfg)
 }
