@@ -1,12 +1,13 @@
 # Build/verify targets. tier1 is the seed gate every PR must keep green;
 # tier2 adds static vetting (go vet over every package, the job-server
 # service included), the race detector over the concurrent pipeline
-# (crawler clients, analysis worker pool, metrics, service queue), and
-# the serve-smoke end-to-end boot of cmd/serve.
+# (crawler clients, analysis worker pool, metrics, service queue), the
+# serve-smoke end-to-end boot of cmd/serve, and the per-package coverage
+# floor (cover).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service serve-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service serve-smoke cover fuzz-smoke clean
 
 all: tier1
 
@@ -14,9 +15,24 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke
+tier2: serve-smoke cover
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# Per-package coverage floor (default 80%) over the packages the fault
+# injection and analysis correctness lean on; see scripts/cover_gate.sh.
+cover:
+	sh scripts/cover_gate.sh 80
+
+# Short native-fuzzing smoke over every fuzz target: a few seconds each of
+# coverage-guided input generation on top of the committed seeds.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzNormalize$$' -fuzztime $(FUZZTIME) ./internal/urlutil
+	$(GO) test -run '^$$' -fuzz '^FuzzSite$$' -fuzztime $(FUZZTIME) ./internal/urlutil
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLinks$$' -fuzztime $(FUZZTIME) ./internal/linkextract
+	$(GO) test -run '^$$' -fuzz '^FuzzRedirectChain$$' -fuzztime $(FUZZTIME) ./internal/faults
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/faults
 
 # Boot the job server, submit a job over HTTP, assert the report artifact
 # comes back 200 + non-empty, and require a clean SIGINT drain.

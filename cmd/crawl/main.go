@@ -41,6 +41,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		progress = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 		out      = fs.String("o", "dataset.jsonl", "output path for the JSONL dataset")
 		resume   = fs.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
+		faults   = fs.String("faults", "", "deterministic fault-injection profile: off, light, or heavy (default off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,7 +50,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	reg := metrics.New()
 	cfg := webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
-		Workers: *workers, Metrics: reg,
+		FaultProfile: *faults,
+		Workers:      *workers, Metrics: reg,
 		Progress: func(done, total int) {
 			if done%50 == 0 || done == total {
 				fmt.Fprintf(stderr, "crawled %d/%d sites\n", done, total)

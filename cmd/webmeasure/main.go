@@ -23,11 +23,12 @@ func main() {
 		seed   = flag.Int64("seed", 1, "master seed; the whole experiment is reproducible from it")
 		dsPath = flag.String("dataset", "", "also write the raw visit records (JSON Lines) to this file")
 		epoch  = flag.Int("epoch", 0, "web snapshot epoch (0 = base; higher = later in time)")
+		faults = flag.String("faults", "", "deterministic fault-injection profile: off, light, or heavy (default off)")
 		quiet  = flag.Bool("quiet", false, "suppress crawl progress")
 	)
 	flag.Parse()
 
-	cfg := webmeasure.Config{Seed: *seed, Sites: *sites, PagesPerSite: *pages, Epoch: *epoch}
+	cfg := webmeasure.Config{Seed: *seed, Sites: *sites, PagesPerSite: *pages, Epoch: *epoch, FaultProfile: *faults}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
 			if done%50 == 0 || done == total {

@@ -6,9 +6,18 @@ import (
 	"time"
 
 	"webmeasure/internal/cookies"
+	"webmeasure/internal/faults"
 	"webmeasure/internal/measurement"
 	"webmeasure/internal/webgen"
 )
+
+// Transport intercepts a page-load attempt before it renders — the
+// Transport-style hook the fault injector (internal/faults) plugs into.
+// Implementations must be pure functions of their arguments so the crawl
+// stays deterministic for any worker count.
+type Transport interface {
+	RoundTrip(profile, pageURL string, attempt int) faults.Outcome
+}
 
 // DefaultTimeoutMS is the per-page timeout the paper configures (30s,
 // Appendix C).
@@ -38,6 +47,10 @@ func Keystrokes() []keystroke {
 type Browser struct {
 	Profile   Profile
 	TimeoutMS int // 0 = DefaultTimeoutMS
+	// Transport, if non-nil, may disturb page-load attempts (injected
+	// errors, 5xx, latency, truncation, redirect loops). nil = the clean
+	// network of the seed pipeline.
+	Transport Transport
 }
 
 // New creates a browser for a profile with the default timeout.
@@ -61,7 +74,7 @@ const visitFailureProb = 0.03
 // sessions, so even identically configured profiles observe different
 // traffic.
 func (b *Browser) Visit(page *webgen.Page, nonce uint64) *measurement.Visit {
-	return b.VisitWithJar(page, nonce, NewJar())
+	return b.VisitAttempt(page, nonce, 0, NewJar())
 }
 
 // NewJar creates a cookie jar on the simulation clock, for stateful crawls
@@ -75,13 +88,59 @@ func NewJar() *cookies.Jar {
 // jar accumulates the visit's cookies; the visit's Cookies field snapshots
 // the jar afterwards.
 func (b *Browser) VisitWithJar(page *webgen.Page, nonce uint64, jar *cookies.Jar) *measurement.Visit {
+	return b.VisitAttempt(page, nonce, 0, jar)
+}
+
+// VisitAttempt renders one fetch attempt of a page. attempt counts from
+// zero and individualizes the Transport's fault rolls only — the page's
+// own volatile behaviour stays pinned to nonce, so a retried visit that
+// finally succeeds observes exactly what an undisturbed visit would have
+// (determinism across retry schedules and worker counts).
+func (b *Browser) VisitAttempt(page *webgen.Page, nonce uint64, attempt int, jar *cookies.Jar) *measurement.Visit {
 	v := &measurement.Visit{
-		Site:    page.Site,
-		PageURL: page.URL,
-		Profile: b.Profile.Name,
+		Site:     page.Site,
+		PageURL:  page.URL,
+		Profile:  b.Profile.Name,
+		Attempts: attempt + 1,
 	}
 	if webgen.RollProb(page.Seed, nonce, "visit", "browser-fail") < visitFailureProb {
+		// A browser-level crash is a property of the session, not the
+		// network: retrying the same session cannot clear it.
 		v.Failure = "navigation failed"
+		v.Status = measurement.VisitFailed
+		return v
+	}
+
+	var out faults.Outcome
+	if b.Transport != nil {
+		out = b.Transport.RoundTrip(b.Profile.Name, page.URL, attempt)
+	}
+	switch out.Kind {
+	case faults.Error, faults.ServerError:
+		v.Failure = out.Failure
+		v.Status = measurement.VisitFailed
+		v.Retryable = out.Retryable
+		return v
+	case faults.RedirectLoop:
+		// The navigation bounces between interstitials until the hop cap;
+		// the hop chain is recorded so the failure is diagnosable from
+		// the raw dataset.
+		v.Failure = out.Failure
+		v.Status = measurement.VisitFailed
+		v.Retryable = out.Retryable
+		chain := faults.RedirectChain(int64(page.Seed), b.Profile.Name, page.URL, out.Hops)
+		prev := ""
+		for i, hop := range chain {
+			v.Requests = append(v.Requests, measurement.Request{
+				URL:          hop,
+				Type:         measurement.TypeMainFrame,
+				RedirectFrom: prev,
+				Status:       302,
+				ContentType:  "text/html",
+				TimeOffsetMS: (i + 1) * 30,
+			})
+			prev = hop
+		}
 		return v
 	}
 
@@ -94,17 +153,34 @@ func (b *Browser) VisitWithJar(page *webgen.Page, nonce uint64, jar *cookies.Jar
 		jar:       jar,
 		nextFrame: measurement.TopFrameID,
 	}
+	r.cutoff = r.timeout
+	if out.Kind == faults.Truncate && out.TruncateAtMS < r.cutoff {
+		r.cutoff = out.TruncateAtMS
+	}
+	start := 0
+	if out.Kind == faults.Latency {
+		start = out.ExtraLatencyMS
+	}
 
 	rootLatency := r.latencyOf(page.Root)
 	rootURL := page.URL
 	r.emit(measurement.Request{
 		URL:  rootURL,
 		Type: measurement.TypeMainFrame,
-	}, page.Root, rootURL, 0)
+	}, page.Root, rootURL, start)
 	ctx := frameContext{frameID: measurement.TopFrameID, frameURL: rootURL}
-	r.walkChildren(page.Root, ctx, "", rootLatency)
+	r.walkChildren(page.Root, ctx, "", start+rootLatency)
 
 	v.Success = true
+	v.Status = measurement.VisitOK
+	switch {
+	case out.Kind == faults.Truncate:
+		v.Status = measurement.VisitDegraded
+	case out.Kind == faults.Latency && r.dropped > 0:
+		// The injected stall pushed resources past the page timeout: the
+		// tree was observed, but incompletely.
+		v.Status = measurement.VisitDegraded
+	}
 	v.Cookies = r.collectCookies()
 	if r.maxCompletion > r.timeout {
 		v.DurationMS = r.timeout
@@ -130,9 +206,11 @@ type renderer struct {
 	nonce         uint64
 	visit         *measurement.Visit
 	timeout       int
+	cutoff        int // ≤ timeout; a Truncate fault lowers it
 	jar           *cookies.Jar
 	nextFrame     int
 	maxCompletion int
+	dropped       int // resources lost past the cutoff (degradation signal)
 }
 
 // emit appends the request and applies its cookies.
@@ -334,7 +412,8 @@ func (r *renderer) renderResource(res *webgen.Resource, ctx frameContext, stackU
 	var redirectFrom string
 	for _, hop := range res.RedirectVia {
 		at += 10 + int(webgen.RollProb(r.page.Seed, r.nonce, res.ID+hop, "hoplat")*40)
-		if at > r.timeout {
+		if at > r.cutoff {
+			r.dropped++
 			return
 		}
 		req := measurement.Request{
@@ -361,9 +440,11 @@ func (r *renderer) renderResource(res *webgen.Resource, ctx frameContext, stackU
 	}
 
 	at += r.latencyOf(res)
-	if at > r.timeout {
-		// The page timed out before this resource finished; the
-		// measurement never records it (truncation divergence).
+	if at > r.cutoff {
+		// The page timed out (or the injected truncation cut the stream)
+		// before this resource finished; the measurement never records it
+		// (truncation divergence).
+		r.dropped++
 		return
 	}
 

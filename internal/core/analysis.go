@@ -44,7 +44,8 @@ type Analysis struct {
 	filter   *filterlist.List
 	profiles []string
 
-	pages []*PageAnalysis
+	pages   []*PageAnalysis
+	vetting Vetting
 	// siteRank maps site → Tranco rank for the Appendix F bucket analysis
 	// (may be empty when unknown).
 	siteRank map[string]int
@@ -70,6 +71,12 @@ type Options struct {
 	// ablation: pages succeed with at least this many profiles (0 = the
 	// paper's rule, all profiles must succeed).
 	MinSuccessProfiles int
+	// AllowDegraded admits visits that succeeded but were truncated by an
+	// injected fault (Visit.Clean() false). Off by default: the paper's
+	// vetting demands consistently *clean* loads, and a half-observed
+	// page would register as dissimilarity that is an artifact of the
+	// measurement, not the page.
+	AllowDegraded bool
 	// TreeBuilder overrides the default builder (ablations on node
 	// identity and attribution signals). The Filter option is applied on
 	// top of it.
@@ -124,7 +131,7 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	// next unclaimed index and writes its result into the matching slot,
 	// so the merge below preserves that deterministic order.
 	pages := ds.Pages()
-	results := make([]*PageAnalysis, len(pages))
+	results := make([]pageResult, len(pages))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -133,14 +140,15 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 		workers = len(pages)
 	}
 	w := pageWorker{
-		profiles:   profiles,
-		builder:    builder,
-		minSuccess: minSuccess,
-		pagesSeen:  opts.Metrics.Counter("analysis.pages"),
-		pagesOK:    opts.Metrics.Counter("analysis.pages.vetted"),
-		trees:      opts.Metrics.Counter("analysis.trees"),
-		treesFail:  opts.Metrics.Counter("analysis.trees.failed"),
-		pageMS:     opts.Metrics.Histogram("analysis.page_ms"),
+		profiles:      profiles,
+		builder:       builder,
+		minSuccess:    minSuccess,
+		allowDegraded: opts.AllowDegraded,
+		pagesSeen:     opts.Metrics.Counter("analysis.pages"),
+		pagesOK:       opts.Metrics.Counter("analysis.pages.vetted"),
+		trees:         opts.Metrics.Counter("analysis.trees"),
+		treesFail:     opts.Metrics.Counter("analysis.trees.failed"),
+		pageMS:        opts.Metrics.Histogram("analysis.page_ms"),
 	}
 	ctx := opts.Context
 	if ctx == nil {
@@ -174,13 +182,27 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analysis canceled: %w", err)
 	}
-	for _, pa := range results {
-		if pa != nil {
-			a.pages = append(a.pages, pa)
+	// Merge in slot order (= page-key order) and aggregate the vetting
+	// tally; doing both after the pool drains keeps the result — counts
+	// included — independent of worker scheduling.
+	for _, r := range results {
+		a.vetting.count(r.excluded)
+		if r.pa != nil {
+			a.pages = append(a.pages, r.pa)
 		}
 	}
+	for reason, n := range map[string]int{
+		ExcludeMissing:  a.vetting.ExcludedMissing,
+		ExcludeFailed:   a.vetting.ExcludedFailed,
+		ExcludeDegraded: a.vetting.ExcludedDegraded,
+		ExcludeBuild:    a.vetting.ExcludedBuild,
+	} {
+		opts.Metrics.Counter("analysis.pages.excluded." + reason).Add(int64(n))
+	}
 	if len(a.pages) == 0 {
-		return nil, fmt.Errorf("core: no page was crawled successfully by all %d profiles", len(profiles))
+		return nil, fmt.Errorf("core: no page was crawled cleanly by all %d profiles (%d excluded: %d missing, %d failed, %d degraded, %d build)",
+			len(profiles), a.vetting.Excluded(), a.vetting.ExcludedMissing,
+			a.vetting.ExcludedFailed, a.vetting.ExcludedDegraded, a.vetting.ExcludedBuild)
 	}
 	return a, nil
 }
@@ -189,23 +211,47 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 // per-page analysis; a single value is shared by all pool goroutines
 // (the builder, filter list, and instruments are concurrency-safe).
 type pageWorker struct {
-	profiles   []string
-	builder    *tree.Builder
-	minSuccess int
+	profiles      []string
+	builder       *tree.Builder
+	minSuccess    int
+	allowDegraded bool
 
 	pagesSeen, pagesOK, trees, treesFail *metrics.Counter
 	pageMS                               *metrics.Histogram
 }
 
+// pageResult is one slot of the merge: the page's analysis when it was
+// vetted, or the exclusion reason (one of the Exclude* constants) when
+// it was dropped.
+type pageResult struct {
+	pa       *PageAnalysis
+	excluded string
+}
+
 // analyze vets one page group, builds its trees, and cross-compares them.
-// It returns nil when the page fails vetting.
-func (w *pageWorker) analyze(pv *dataset.PageVisits) *PageAnalysis {
+// A page that fails vetting yields a nil analysis plus the most severe
+// exclusion reason among its visits.
+func (w *pageWorker) analyze(pv *dataset.PageVisits) pageResult {
 	defer w.pageMS.Time()()
 	w.pagesSeen.Inc()
 	pa := &PageAnalysis{Key: pv.Key}
+	worst := ""
+	flag := func(reason string) {
+		if exclusionRank(reason) > exclusionRank(worst) {
+			worst = reason
+		}
+	}
 	for _, prof := range w.profiles {
 		v := pv.ByProfile[prof]
-		if v == nil || !v.Success {
+		switch {
+		case v == nil:
+			flag(ExcludeMissing)
+			continue
+		case !v.Success:
+			flag(ExcludeFailed)
+			continue
+		case !v.Clean() && !w.allowDegraded:
+			flag(ExcludeDegraded)
 			continue
 		}
 		t, err := w.builder.Build(v)
@@ -213,17 +259,21 @@ func (w *pageWorker) analyze(pv *dataset.PageVisits) *PageAnalysis {
 			// Success flags guarantee requests; a build failure means
 			// a malformed record — skip the visit rather than abort.
 			w.treesFail.Inc()
+			flag(ExcludeBuild)
 			continue
 		}
 		w.trees.Inc()
 		pa.Trees = append(pa.Trees, t)
 	}
 	if len(pa.Trees) < w.minSuccess {
-		return nil
+		if worst == "" {
+			worst = ExcludeBuild
+		}
+		return pageResult{excluded: worst}
 	}
 	pa.Cmp = treediff.Compare(pa.Trees)
 	w.pagesOK.Inc()
-	return pa
+	return pageResult{pa: pa}
 }
 
 // Profiles returns the profile order used for tree indexing.
@@ -231,6 +281,10 @@ func (a *Analysis) Profiles() []string { return a.profiles }
 
 // Pages returns the vetted page analyses.
 func (a *Analysis) Pages() []*PageAnalysis { return a.pages }
+
+// Vetting returns the vetting-stage tally: pages seen, vetted, and
+// excluded by reason.
+func (a *Analysis) Vetting() Vetting { return a.vetting }
 
 // Dataset returns the underlying dataset.
 func (a *Analysis) Dataset() *dataset.Dataset { return a.ds }

@@ -15,6 +15,8 @@ type CrawlSummary struct {
 	VettedSites      int
 	VettedPages      int
 	VettedShare      float64
+	// Vetting breaks the excluded pages down by reason (§3.1).
+	Vetting Vetting
 	// PagesPerSite summarizes discovered pages per site.
 	PagesPerSite stats.Summary
 }
@@ -52,6 +54,7 @@ func (a *Analysis) CrawlSummary() CrawlSummary {
 	}
 	s.VettedSites = len(vettedSites)
 	s.VettedPages = len(a.pages)
+	s.Vetting = a.vetting
 	if s.Pages > 0 {
 		s.VettedShare = float64(s.VettedPages) / float64(s.Pages)
 	}

@@ -15,6 +15,7 @@ import (
 	"webmeasure/internal/browser"
 	"webmeasure/internal/cookies"
 	"webmeasure/internal/dataset"
+	"webmeasure/internal/faults"
 	"webmeasure/internal/measurement"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/tranco"
@@ -76,6 +77,60 @@ type Config struct {
 	// is in the internal/metrics package comment). Snapshot it from
 	// another goroutine for progress lines while the crawl runs.
 	Metrics *metrics.Registry
+	// Faults injects deterministic per-attempt failures (errors, 5xx,
+	// latency, truncation, redirect loops) into every page fetch. The
+	// zero value injects nothing — the seed pipeline's clean network.
+	Faults faults.Profile
+	// Retry bounds the per-visit attempt loop; zero fields take defaults
+	// (see RetryPolicy). Retries only run when Faults is enabled: the
+	// baseline failure modes are session-persistent and retrying them
+	// would only skew the paper's ~11% failure calibration.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds visitPage's attempt loop. Backoff is exponential
+// with deterministic jitter and accrues against a per-visit simulated
+// time budget — no wall clock is consulted, so the schedule is identical
+// for every worker count.
+type RetryPolicy struct {
+	// MaxAttempts caps fetch attempts per visit (default 3).
+	MaxAttempts int
+	// BaseBackoffMS is the first backoff step (default 500).
+	BaseBackoffMS int
+	// MaxBackoffMS caps a single backoff step (default 8000).
+	MaxBackoffMS int
+	// BudgetMS caps the visit's total simulated spend — render time plus
+	// backoff; when the next backoff would blow the budget, the loop
+	// stops and the visit keeps its last failure (default 60000).
+	BudgetMS int
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseBackoffMS <= 0 {
+		r.BaseBackoffMS = 500
+	}
+	if r.MaxBackoffMS <= 0 {
+		r.MaxBackoffMS = 8_000
+	}
+	if r.BudgetMS <= 0 {
+		r.BudgetMS = 60_000
+	}
+	return r
+}
+
+// backoffMS computes the simulated wait before retrying after the given
+// attempt (0-based): exponential growth, capped, plus up to 50%
+// deterministic jitter derived from the visit's entropy.
+func (r RetryPolicy) backoffMS(attempt int, pageSeed, nonce uint64) int {
+	step := r.BaseBackoffMS << uint(attempt)
+	if step > r.MaxBackoffMS || step <= 0 {
+		step = r.MaxBackoffMS
+	}
+	jitter := webgen.RollProb(pageSeed, nonce, "crawler", fmt.Sprintf("backoff%d", attempt))
+	return step + int(jitter*float64(step)/2)
 }
 
 // Stats summarizes a crawl.
@@ -84,6 +139,13 @@ type Stats struct {
 	PagesDiscovered int
 	VisitsTotal     int
 	VisitsFailed    int
+	// VisitsDegraded counts successful visits whose observation an
+	// injected fault truncated (partial loads).
+	VisitsDegraded int
+	// VisitsRetried counts visits that needed more than one attempt.
+	VisitsRetried int
+	// AttemptsTotal counts fetch attempts across all performed visits.
+	AttemptsTotal int
 	// VisitsReused counts visits taken from Config.Resume.
 	VisitsReused int
 }
@@ -105,6 +167,15 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	if instances <= 0 {
 		instances = 15
 	}
+	inj, err := faults.New(cfg.Seed, cfg.Faults)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var transport browser.Transport
+	if inj.Enabled() {
+		transport = inj
+	}
+	retry := cfg.Retry.withDefaults()
 
 	ds := dataset.New()
 	var stats Stats
@@ -113,6 +184,9 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	mPages := cfg.Metrics.Counter("crawl.pages")
 	mVisits := cfg.Metrics.Counter("crawl.visits")
 	mFailed := cfg.Metrics.Counter("crawl.visits.failed")
+	mDegraded := cfg.Metrics.Counter("crawl.visits.degraded")
+	mRetried := cfg.Metrics.Counter("crawl.visits.retried")
+	mAttempts := cfg.Metrics.Counter("crawl.attempts")
 	mReused := cfg.Metrics.Counter("crawl.visits.reused")
 	mVisitMS := cfg.Metrics.Histogram("crawl.visit_ms")
 	mSiteMS := cfg.Metrics.Histogram("crawl.site_ms")
@@ -138,7 +212,7 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 			if pv == nil {
 				return nil
 			}
-			if v := pv.ByProfile[prof.Name]; v != nil && v.Success {
+			if v := pv.ByProfile[prof.Name]; v != nil && v.Clean() {
 				return v
 			}
 			return nil
@@ -151,7 +225,7 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 			wg.Add(1)
 			go func(prof browser.Profile) {
 				defer wg.Done()
-				b := &browser.Browser{Profile: prof, TimeoutMS: cfg.TimeoutMS}
+				b := &browser.Browser{Profile: prof, TimeoutMS: cfg.TimeoutMS, Transport: transport}
 				var todo []*webgen.Page
 				for _, p := range pages {
 					if v := reuse(prof, p); v != nil {
@@ -169,11 +243,23 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 					}
 					todo = append(todo, p)
 				}
-				visitAll(b, site, todo, cfg.Seed, instances, cfg.Stateful, ds, func(v *measurement.Visit) {
+				visitAll(b, site, todo, cfg.Seed, instances, cfg.Stateful, retry, ds, func(v *measurement.Visit) {
 					if cfg.OnVisit != nil {
 						cfg.OnVisit(v)
 					}
 					mVisits.Inc()
+					attempts := v.Attempts
+					if attempts <= 0 {
+						attempts = 1
+					}
+					mAttempts.Add(int64(attempts))
+					if attempts > 1 {
+						mRetried.Inc()
+					}
+					degraded := v.EffectiveStatus() == measurement.VisitDegraded
+					if degraded {
+						mDegraded.Inc()
+					}
 					if !v.Success {
 						mFailed.Inc()
 					} else {
@@ -181,6 +267,13 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 					}
 					statsMu.Lock()
 					stats.VisitsTotal++
+					stats.AttemptsTotal += attempts
+					if attempts > 1 {
+						stats.VisitsRetried++
+					}
+					if degraded {
+						stats.VisitsDegraded++
+					}
 					if !v.Success {
 						stats.VisitsFailed++
 					}
@@ -207,12 +300,13 @@ func discoverPages(site *webgen.Site, maxPages int) []*webgen.Page {
 // site's pages, or — in stateful mode — one sequential session whose
 // cookie jar persists across the site's pages.
 func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
-	seed int64, instances int, stateful bool, ds *dataset.Dataset, record func(*measurement.Visit)) {
+	seed int64, instances int, stateful bool, retry RetryPolicy,
+	ds *dataset.Dataset, record func(*measurement.Visit)) {
 
 	if stateful {
 		jar := browser.NewJar()
 		for _, p := range pages {
-			v := visitPage(b, site, p, seed, jar)
+			v := visitPage(b, site, p, seed, jar, retry)
 			ds.Add(v)
 			record(v)
 		}
@@ -227,7 +321,7 @@ func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				v := visitPage(b, site, j.page, seed, nil)
+				v := visitPage(b, site, j.page, seed, nil, retry)
 				ds.Add(v)
 				record(v)
 			}
@@ -240,27 +334,47 @@ func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
 	wg.Wait()
 }
 
-// visitPage performs one page visit with failure injection and start-offset
-// bookkeeping.
-func visitPage(b *browser.Browser, site *webgen.Site, page *webgen.Page, seed int64, jar *cookies.Jar) *measurement.Visit {
+// visitPage performs one page visit with failure injection, bounded
+// retries, and start-offset bookkeeping. Baseline failures (unreachable
+// site, session-level network error, browser crash) are persistent —
+// retrying the same session cannot clear them — while injected transient
+// faults are retried with exponential backoff, deterministic jitter, and
+// a per-visit simulated-time budget. No wall clock is consulted, so the
+// retry schedule is a pure function of (seed, profile, page).
+func visitPage(b *browser.Browser, site *webgen.Site, page *webgen.Page,
+	seed int64, jar *cookies.Jar, retry RetryPolicy) *measurement.Visit {
+
 	nonce := visitNonce(seed, b.Profile.Name, page.URL)
 	if site.Unreachable {
 		return &measurement.Visit{
 			Site: site.Domain, PageURL: page.URL, Profile: b.Profile.Name,
-			Failure: "site unreachable",
+			Failure: "site unreachable", Status: measurement.VisitFailed,
 		}
 	}
 	if webgen.RollProb(page.Seed, nonce, "crawler", "netfail") < networkFailureProb {
 		return &measurement.Visit{
 			Site: site.Domain, PageURL: page.URL, Profile: b.Profile.Name,
-			Failure: "network error",
+			Failure: "network error", Status: measurement.VisitFailed,
 		}
 	}
 	var v *measurement.Visit
-	if jar != nil {
-		v = b.VisitWithJar(page, nonce, jar)
-	} else {
-		v = b.Visit(page, nonce)
+	spentMS := 0
+	for attempt := 0; ; attempt++ {
+		attemptJar := jar
+		if attemptJar == nil {
+			// Stateless mode: every attempt is a fresh session.
+			attemptJar = browser.NewJar()
+		}
+		v = b.VisitAttempt(page, nonce, attempt, attemptJar)
+		spentMS += v.DurationMS
+		if v.Success || !v.Retryable || attempt+1 >= retry.MaxAttempts {
+			break
+		}
+		wait := retry.backoffMS(attempt, page.Seed, nonce)
+		if spentMS+wait > retry.BudgetMS {
+			break
+		}
+		spentMS += wait
 	}
 	// Visits start near-simultaneously but drift page by page; the paper
 	// reports a 46s mean deviation with heavy tail (Appendix C). Model the

@@ -28,12 +28,12 @@ type PageVisits struct {
 }
 
 // AllSucceeded reports whether every one of the given profiles crawled the
-// page successfully — the paper's vetting criterion (§3.2 "Comparing
-// Request Trees").
+// page cleanly — the paper's vetting criterion (§3.2 "Comparing Request
+// Trees"). Degraded visits (fault-truncated observations) do not count.
 func (p *PageVisits) AllSucceeded(profiles []string) bool {
 	for _, name := range profiles {
 		v := p.ByProfile[name]
-		if v == nil || !v.Success {
+		if v == nil || !v.Clean() {
 			return false
 		}
 	}

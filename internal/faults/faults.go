@@ -1,0 +1,330 @@
+// Package faults injects deterministic failures into the crawler's fetch
+// path. The paper's data-vetting step (§3.2) silently absorbs the
+// timeouts, errors, and partial loads a real crawl produces — and "The
+// Blind Men and the Internet" shows those failures differ per vantage
+// point and bias similarity results. This package makes the synthetic web
+// exactly as messy as a configured fault profile demands while keeping
+// the whole experiment reproducible: every decision is a pure function of
+// (master seed, fault profile, browser profile, page URL, attempt), so
+// the same seed and profile yield the identical fault schedule regardless
+// of worker count, visit order, or wall-clock timing.
+//
+// The injector plugs into the browser as a Transport-style hook (see
+// browser.Transport): before a page-load attempt renders, the browser
+// asks the injector for the attempt's Outcome and applies it — a hard
+// error, a 5xx, an injected latency, a truncated body, a redirect loop,
+// or a flaky-connection schedule that fails the first attempts and then
+// recovers (the case bounded retries exist for).
+package faults
+
+import (
+	"fmt"
+
+	"webmeasure/internal/webgen"
+)
+
+// Kind enumerates the injectable fault outcomes.
+type Kind uint8
+
+// The fault kinds. None means the attempt proceeds untouched.
+const (
+	None Kind = iota
+	// Error is a hard network-level failure (connection reset, DNS
+	// servfail). The visit fails; a retry rolls independently.
+	Error
+	// ServerError is an origin 5xx on the navigation request. The visit
+	// fails; 5xx responses are classically transient, so retryable.
+	ServerError
+	// Latency stalls the whole page load by ExtraLatencyMS before any
+	// resource arrives; slow resources then cross the page timeout and
+	// the measurement records a truncated (degraded) tree.
+	Latency
+	// Truncate cuts the response stream at TruncateAtMS: resources that
+	// would finish later are never observed. The visit succeeds but is
+	// degraded — exactly the partial load the vetting stage must catch.
+	Truncate
+	// RedirectLoop bounces the navigation between two URLs until the
+	// browser's hop cap; the visit fails with the loop chain recorded.
+	RedirectLoop
+)
+
+// String names the kind for counters and failure strings.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case ServerError:
+		return "server_error"
+	case Latency:
+		return "latency"
+	case Truncate:
+		return "truncate"
+	case RedirectLoop:
+		return "redirect_loop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Outcome is the injector's decision for one fetch attempt.
+type Outcome struct {
+	Kind Kind
+	// ExtraLatencyMS (Latency) delays the start of the render.
+	ExtraLatencyMS int
+	// TruncateAtMS (Truncate) is the simulated time the body stream is
+	// cut; resources finishing later are never recorded.
+	TruncateAtMS int
+	// Hops (RedirectLoop) is how many loop hops the browser follows
+	// before giving up.
+	Hops int
+	// Failure is the error string a failed visit records.
+	Failure string
+	// Retryable marks transient faults a bounded retry may clear.
+	Retryable bool
+}
+
+// Fails reports whether the outcome fails the visit outright (as opposed
+// to degrading or merely delaying it).
+func (o Outcome) Fails() bool {
+	return o.Kind == Error || o.Kind == ServerError || o.Kind == RedirectLoop
+}
+
+// Degrades reports whether the outcome yields a successful but partial
+// visit.
+func (o Outcome) Degrades() bool {
+	return o.Kind == Truncate
+}
+
+// Profile is a named fault mix. All probabilities are per attempt and
+// independent of each other only in the sense that a single uniform roll
+// is carved into ranges — the total per-attempt fault probability is the
+// sum of the individual probabilities (which must stay ≤ 1).
+type Profile struct {
+	Name string
+
+	// ErrorProb is the per-attempt probability of a hard network error.
+	ErrorProb float64
+	// ServerErrorProb is the per-attempt probability of an origin 5xx.
+	ServerErrorProb float64
+	// RedirectLoopProb is the per-attempt probability of a redirect loop.
+	RedirectLoopProb float64
+	// LatencyProb injects LatencyMS of stall before the render starts.
+	LatencyProb float64
+	LatencyMS   int
+	// TruncateProb cuts the body stream partway through the page load.
+	TruncateProb float64
+	// FlakyProb selects (browser profile, page) pairs whose first
+	// FlakyFailures attempts deterministically fail and then recover —
+	// the schedule that makes bounded retries observable and testable.
+	FlakyProb     float64
+	FlakyFailures int
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	return p.ErrorProb > 0 || p.ServerErrorProb > 0 || p.RedirectLoopProb > 0 ||
+		p.LatencyProb > 0 || p.TruncateProb > 0 || p.FlakyProb > 0
+}
+
+// totalProb is the per-attempt probability mass carved from one roll.
+func (p Profile) totalProb() float64 {
+	return p.ErrorProb + p.ServerErrorProb + p.RedirectLoopProb + p.LatencyProb + p.TruncateProb
+}
+
+// validate rejects profiles whose probability mass cannot be carved from
+// a single uniform roll.
+func (p Profile) validate() error {
+	for _, v := range []float64{p.ErrorProb, p.ServerErrorProb, p.RedirectLoopProb,
+		p.LatencyProb, p.TruncateProb, p.FlakyProb} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("faults: probability %v outside [0,1] in profile %q", v, p.Name)
+		}
+	}
+	if t := p.totalProb(); t > 1 {
+		return fmt.Errorf("faults: per-attempt probabilities sum to %v > 1 in profile %q", t, p.Name)
+	}
+	return nil
+}
+
+// Off is the empty profile: no injection, the seed pipeline's behavior.
+func Off() Profile { return Profile{Name: "off"} }
+
+// Light is the ~10% per-attempt fault mix the acceptance experiment runs:
+// enough failures to exercise retries and vetting without drowning the
+// similarity signal.
+func Light() Profile {
+	return Profile{
+		Name:             "light",
+		ErrorProb:        0.04,
+		ServerErrorProb:  0.02,
+		RedirectLoopProb: 0.01,
+		LatencyProb:      0.02,
+		LatencyMS:        8_000,
+		TruncateProb:     0.02,
+		FlakyProb:        0.05,
+		FlakyFailures:    1,
+	}
+}
+
+// Heavy is a hostile network: roughly a third of attempts are disturbed,
+// the stress point for the degradation paths.
+func Heavy() Profile {
+	return Profile{
+		Name:             "heavy",
+		ErrorProb:        0.10,
+		ServerErrorProb:  0.06,
+		RedirectLoopProb: 0.03,
+		LatencyProb:      0.08,
+		LatencyMS:        15_000,
+		TruncateProb:     0.06,
+		FlakyProb:        0.10,
+		FlakyFailures:    2,
+	}
+}
+
+// Names lists the built-in profile names in escalation order.
+func Names() []string { return []string{"off", "light", "heavy"} }
+
+// ByName resolves a built-in profile. The empty string means off.
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "", "off":
+		return Off(), nil
+	case "light":
+		return Light(), nil
+	case "heavy":
+		return Heavy(), nil
+	default:
+		return Profile{}, fmt.Errorf("faults: unknown fault profile %q (have %v)", name, Names())
+	}
+}
+
+// Injector derives fault outcomes. It holds no mutable state — Decide is
+// a pure function — so one injector is safely shared by every browser
+// instance of every profile client.
+type Injector struct {
+	seed    uint64
+	profile Profile
+}
+
+// New creates an injector for a crawl seed and fault profile. Invalid
+// profiles (probability mass > 1) are rejected.
+func New(seed int64, p Profile) (*Injector, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{seed: uint64(seed), profile: p}, nil
+}
+
+// Profile returns the injector's fault mix.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// Enabled reports whether the injector can ever disturb an attempt. A nil
+// injector is permanently disabled.
+func (in *Injector) Enabled() bool {
+	return in != nil && in.profile.Enabled()
+}
+
+// attemptKey folds the attempt number into the roll so every retry is an
+// independent draw, while (seed, profile, url) alone pins the schedule.
+func attemptKey(attempt int) string {
+	return fmt.Sprintf("attempt%d", attempt)
+}
+
+// RoundTrip decides the fate of one page-load attempt. It implements the
+// browser's Transport hook. Attempt counts from zero.
+func (in *Injector) RoundTrip(profile, pageURL string, attempt int) Outcome {
+	if !in.Enabled() {
+		return Outcome{}
+	}
+	p := in.profile
+	// Flaky-then-recover is a per-(profile, page) schedule, not a
+	// per-attempt roll: the first FlakyFailures attempts always fail, the
+	// next always proceeds — deterministic recovery a retry loop can
+	// count on.
+	if p.FlakyProb > 0 &&
+		webgen.RollProb(in.seed, 0, profile+"|"+pageURL, "faults.flaky") < p.FlakyProb {
+		failures := p.FlakyFailures
+		if failures <= 0 {
+			failures = 1
+		}
+		if attempt < failures {
+			return Outcome{
+				Kind:      Error,
+				Failure:   fmt.Sprintf("injected: flaky connection (attempt %d/%d)", attempt+1, failures),
+				Retryable: true,
+			}
+		}
+		return Outcome{}
+	}
+	r := webgen.RollProb(in.seed, 0, profile+"|"+pageURL, "faults."+attemptKey(attempt))
+	switch {
+	case r < p.ErrorProb:
+		return Outcome{Kind: Error, Failure: "injected: connection reset", Retryable: true}
+	case r < p.ErrorProb+p.ServerErrorProb:
+		// 500, 502, 503 — pick deterministically for variety in the data.
+		codes := []int{500, 502, 503}
+		code := codes[webgen.RollChoice(in.seed, 0, profile+"|"+pageURL, "faults.5xx."+attemptKey(attempt), len(codes))]
+		return Outcome{
+			Kind:      ServerError,
+			Failure:   fmt.Sprintf("injected: http %d", code),
+			Retryable: true,
+		}
+	case r < p.ErrorProb+p.ServerErrorProb+p.RedirectLoopProb:
+		hops := redirectLoopCap
+		return Outcome{
+			Kind:      RedirectLoop,
+			Hops:      hops,
+			Failure:   fmt.Sprintf("injected: redirect loop (%d hops)", hops),
+			Retryable: true,
+		}
+	case r < p.ErrorProb+p.ServerErrorProb+p.RedirectLoopProb+p.LatencyProb:
+		ms := p.LatencyMS
+		if ms <= 0 {
+			ms = 5_000
+		}
+		// 50–150% of the configured stall, deterministically jittered.
+		jit := webgen.RollProb(in.seed, 0, profile+"|"+pageURL, "faults.latjit."+attemptKey(attempt))
+		return Outcome{Kind: Latency, ExtraLatencyMS: ms/2 + int(jit*float64(ms))}
+	case r < p.totalProb():
+		// The cut lands between 20% and 80% of the page timeout window;
+		// the browser clamps it to its own configured timeout.
+		frac := 0.2 + 0.6*webgen.RollProb(in.seed, 0, profile+"|"+pageURL, "faults.cut."+attemptKey(attempt))
+		return Outcome{Kind: Truncate, TruncateAtMS: int(frac * 30_000)}
+	default:
+		return Outcome{}
+	}
+}
+
+// redirectLoopCap is how many hops the simulated browser follows before
+// declaring a loop (Firefox's default network.http.redirection-limit is
+// 20; the loop is detected well before).
+const redirectLoopCap = 20
+
+// RedirectChain materializes the URL sequence of an injected redirect
+// loop: the navigation URL bounces between deterministically derived
+// interstitial hosts until the hop cap. The chain is bookkeeping for the
+// failed visit's request log (and the fuzzer's invariant surface): chains
+// are deterministic, never empty for hops ≥ 1, and alternate between two
+// distinct URLs after the first hop.
+func RedirectChain(seed int64, profile, pageURL string, hops int) []string {
+	if hops <= 0 {
+		return nil
+	}
+	if hops > redirectLoopCap {
+		hops = redirectLoopCap
+	}
+	a := "https://r1-" + webgen.RollToken(uint64(seed), 0, profile+"|"+pageURL, "faults.loop.a") + ".example/loop"
+	b := "https://r2-" + webgen.RollToken(uint64(seed), 0, profile+"|"+pageURL, "faults.loop.b") + ".example/loop"
+	chain := make([]string, hops)
+	for i := range chain {
+		if i%2 == 0 {
+			chain[i] = a
+		} else {
+			chain[i] = b
+		}
+	}
+	return chain
+}

@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range append(Names(), "") {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "off"
+		}
+		if p.Name != want {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("hurricane"); err == nil {
+		t.Error("unknown profile name must error")
+	}
+}
+
+func TestOffInjectsNothing(t *testing.T) {
+	in, err := New(1, Off())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Enabled() {
+		t.Fatal("off profile reports enabled")
+	}
+	for i := 0; i < 500; i++ {
+		out := in.RoundTrip("Sim1", urlN(i), 0)
+		if out.Kind != None {
+			t.Fatalf("off profile injected %v", out.Kind)
+		}
+	}
+	var nilInj *Injector
+	if nilInj.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+}
+
+func urlN(i int) string {
+	return "https://site.example/page" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1, Profile{ErrorProb: 0.7, TruncateProb: 0.5}); err == nil {
+		t.Error("probability mass > 1 must be rejected")
+	}
+	if _, err := New(1, Profile{ErrorProb: -0.1}); err == nil {
+		t.Error("negative probability must be rejected")
+	}
+}
+
+// TestDeterminism: identical (seed, profile, url, attempt) tuples always
+// yield identical outcomes; a different seed yields a different schedule.
+func TestDeterminism(t *testing.T) {
+	a, _ := New(42, Heavy())
+	b, _ := New(42, Heavy())
+	c, _ := New(43, Heavy())
+	same, diff := 0, 0
+	for i := 0; i < 2000; i++ {
+		u := urlN(i)
+		for attempt := 0; attempt < 3; attempt++ {
+			oa := a.RoundTrip("Sim1", u, attempt)
+			ob := b.RoundTrip("Sim1", u, attempt)
+			if oa != ob {
+				t.Fatalf("same seed diverged on %s attempt %d: %+v vs %+v", u, attempt, oa, ob)
+			}
+			if oa == c.RoundTrip("Sim1", u, attempt) {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced the identical fault schedule")
+	}
+}
+
+// TestRates: the observed per-attempt fault mix tracks the configured
+// probabilities within sampling tolerance.
+func TestRates(t *testing.T) {
+	p := Light()
+	in, _ := New(7, p)
+	const n = 20000
+	counts := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		out := in.RoundTrip("Sim1", urlN(i)+"/"+string(rune('0'+i%10)), 5) // attempt past flaky recovery
+		counts[out.Kind]++
+	}
+	check := func(kind Kind, want float64) {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v rate = %.3f, want ≈ %.3f", kind, got, want)
+		}
+	}
+	// Attempt 5 is past every flaky schedule, so flaky pages contribute
+	// None; the remaining kinds shrink by (1 - FlakyProb).
+	keep := 1 - p.FlakyProb
+	check(Error, p.ErrorProb*keep)
+	check(ServerError, p.ServerErrorProb*keep)
+	check(RedirectLoop, p.RedirectLoopProb*keep)
+	check(Latency, p.LatencyProb*keep)
+	check(Truncate, p.TruncateProb*keep)
+}
+
+// TestFlakyRecovers: a page selected as flaky fails its first
+// FlakyFailures attempts and then deterministically succeeds.
+func TestFlakyRecovers(t *testing.T) {
+	p := Profile{Name: "flaky-only", FlakyProb: 1, FlakyFailures: 2}
+	in, _ := New(9, p)
+	u := "https://flaky.example/"
+	for attempt := 0; attempt < 2; attempt++ {
+		out := in.RoundTrip("Sim1", u, attempt)
+		if out.Kind != Error || !out.Retryable {
+			t.Fatalf("attempt %d: %+v, want retryable error", attempt, out)
+		}
+	}
+	if out := in.RoundTrip("Sim1", u, 2); out.Kind != None {
+		t.Fatalf("attempt 2 should recover, got %+v", out)
+	}
+}
+
+// TestOutcomeShape: every kind carries exactly the fields its effect
+// needs.
+func TestOutcomeShape(t *testing.T) {
+	in, _ := New(3, Heavy())
+	seen := map[Kind]bool{}
+	for i := 0; i < 50000 && len(seen) < 6; i++ {
+		out := in.RoundTrip("Headless", urlN(i)+"/q", 9)
+		seen[out.Kind] = true
+		switch out.Kind {
+		case Error, ServerError:
+			if out.Failure == "" || !out.Retryable || !out.Fails() {
+				t.Fatalf("%v outcome malformed: %+v", out.Kind, out)
+			}
+		case RedirectLoop:
+			if out.Hops <= 0 || out.Failure == "" || !out.Fails() {
+				t.Fatalf("redirect loop malformed: %+v", out)
+			}
+		case Latency:
+			if out.ExtraLatencyMS <= 0 || out.Fails() || out.Degrades() {
+				t.Fatalf("latency malformed: %+v", out)
+			}
+		case Truncate:
+			if out.TruncateAtMS <= 0 || out.Fails() || !out.Degrades() {
+				t.Fatalf("truncate malformed: %+v", out)
+			}
+		}
+	}
+	for _, k := range []Kind{Error, ServerError, RedirectLoop, Latency, Truncate} {
+		if !seen[k] {
+			t.Errorf("kind %v never observed under the heavy profile", k)
+		}
+	}
+}
+
+func TestRedirectChain(t *testing.T) {
+	chain := RedirectChain(5, "Sim1", "https://a.example/", 6)
+	if len(chain) != 6 {
+		t.Fatalf("chain length = %d", len(chain))
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i] == chain[i-1] {
+			t.Fatalf("consecutive hops identical at %d: %s", i, chain[i])
+		}
+	}
+	again := RedirectChain(5, "Sim1", "https://a.example/", 6)
+	for i := range chain {
+		if chain[i] != again[i] {
+			t.Fatal("redirect chain not deterministic")
+		}
+	}
+	if RedirectChain(5, "Sim1", "https://a.example/", 0) != nil {
+		t.Error("zero hops must yield nil")
+	}
+	if got := len(RedirectChain(5, "Sim1", "https://a.example/", 999)); got != redirectLoopCap {
+		t.Errorf("hop cap not applied: %d", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", Error: "error", ServerError: "server_error",
+		Latency: "latency", Truncate: "truncate", RedirectLoop: "redirect_loop",
+		Kind(99): "kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRedirectChain guards the redirect-loop chain generator against
+// arbitrary (seed, profile, url, hops) inputs: it must never panic, must
+// be deterministic, must respect the hop cap, must never emit empty or
+// consecutive-duplicate hops, and every hop must be an https URL distinct
+// from the navigation target.
+func FuzzRedirectChain(f *testing.F) {
+	f.Add(int64(1), "Sim1", "https://site.example/page", 6)
+	f.Add(int64(-9), "Headless", "", 0)
+	f.Add(int64(0), "", "http://[::1", 25)
+	f.Add(int64(1<<62), "Old", strings.Repeat("x", 500), 1)
+	f.Add(int64(7), "NoAction", "https://a.example/?q=1&q=2", 1000000)
+	f.Fuzz(func(t *testing.T, seed int64, profile, pageURL string, hops int) {
+		chain := RedirectChain(seed, profile, pageURL, hops)
+		if hops <= 0 {
+			if chain != nil {
+				t.Fatalf("hops=%d produced a chain", hops)
+			}
+			return
+		}
+		want := hops
+		if want > redirectLoopCap {
+			want = redirectLoopCap
+		}
+		if len(chain) != want {
+			t.Fatalf("chain length %d, want %d", len(chain), want)
+		}
+		for i, hop := range chain {
+			if !strings.HasPrefix(hop, "https://") {
+				t.Fatalf("hop %d not https: %q", i, hop)
+			}
+			if hop == pageURL {
+				t.Fatalf("hop %d equals the navigation URL", i)
+			}
+			if i > 0 && hop == chain[i-1] {
+				t.Fatalf("consecutive duplicate hop at %d: %q", i, hop)
+			}
+		}
+		again := RedirectChain(seed, profile, pageURL, hops)
+		for i := range chain {
+			if chain[i] != again[i] {
+				t.Fatalf("chain not deterministic at hop %d", i)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip guards the injector's decision function: no panic on any
+// input, outcomes are deterministic, and every outcome is well-formed for
+// its kind (failures carry a reason, delays carry a positive duration).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), "Sim1", "https://site.example/", 0)
+	f.Add(int64(2), "", "", -3)
+	f.Add(int64(3), "Old", strings.Repeat("u", 300), 1<<30)
+	f.Fuzz(func(t *testing.T, seed int64, profile, pageURL string, attempt int) {
+		in, err := New(seed, Heavy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := in.RoundTrip(profile, pageURL, attempt)
+		if out != in.RoundTrip(profile, pageURL, attempt) {
+			t.Fatal("RoundTrip not deterministic")
+		}
+		switch out.Kind {
+		case Error, ServerError, RedirectLoop:
+			if out.Failure == "" || !out.Fails() {
+				t.Fatalf("failing outcome without reason: %+v", out)
+			}
+		case Latency:
+			if out.ExtraLatencyMS <= 0 {
+				t.Fatalf("latency outcome without delay: %+v", out)
+			}
+		case Truncate:
+			if out.TruncateAtMS <= 0 {
+				t.Fatalf("truncate outcome without cut point: %+v", out)
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package linkextract
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLinks guards the forgiving HTML tokenizer against arbitrary
+// documents and base URLs: Extract must never panic, must be
+// deterministic, and every extracted reference must be an http(s) URL
+// without a fragment and without duplicates.
+func FuzzParseLinks(f *testing.F) {
+	base := "https://site.example/dir/page.html"
+	seeds := []struct{ doc, base string }{
+		{`<a href="/x">x</a><script src="a.js"></script>`, base},
+		{`<!-- <a href="ghost"> --><A HREF='y.html'>`, base},
+		{`<base href="https://other.example/"><img src=pic.png>`, base},
+		{`<link rel="Stylesheet" href="s.css"><iframe src="f.html">`, base},
+		{`<a href="javascript:void(0)"><a href="#frag"><a href="data:,x">`, base},
+		{`<script>var s = "<a href='inside.html'>";</script><a href=real.html>`, base},
+		{`<a href="x.html?a=1&amp;b=2#sec">`, base},
+		{`<a href=`, base},
+		{`<<<>>><a`, ""},
+		{strings.Repeat(`<a href="p">`, 50), "http://[::1"},
+		{`<a href="//proto.example/p">`, base},
+	}
+	for _, s := range seeds {
+		f.Add(s.doc, s.base)
+	}
+	f.Fuzz(func(t *testing.T, doc, baseURL string) {
+		links := Extract(doc, baseURL)
+		seen := map[string]bool{}
+		for _, group := range [][]string{
+			links.Anchors, links.Scripts, links.Images, links.Stylesheets, links.Frames,
+		} {
+			for _, raw := range group {
+				u, err := url.Parse(raw)
+				if err != nil {
+					t.Fatalf("extracted unparsable URL %q", raw)
+				}
+				if u.Scheme != "http" && u.Scheme != "https" {
+					t.Fatalf("extracted non-http(s) URL %q", raw)
+				}
+				if u.Fragment != "" {
+					t.Fatalf("extracted URL kept its fragment: %q", raw)
+				}
+				if seen[raw] {
+					t.Fatalf("duplicate reference %q", raw)
+				}
+				seen[raw] = true
+			}
+		}
+		again := Extract(doc, baseURL)
+		if len(again.Anchors) != len(links.Anchors) || len(again.Scripts) != len(links.Scripts) ||
+			len(again.Images) != len(links.Images) || len(again.Stylesheets) != len(links.Stylesheets) ||
+			len(again.Frames) != len(links.Frames) {
+			t.Fatal("Extract not deterministic")
+		}
+	})
+}

@@ -173,6 +173,20 @@ func (c CookieObservation) AttributeSignature() string {
 	return fmt.Sprintf("secure=%v;httponly=%v;samesite=%s", c.Secure, c.HTTPOnly, c.SameSite)
 }
 
+// Visit statuses: how cleanly a visit completed. A Visit's Status may be
+// empty on records written before status tracking existed; use
+// EffectiveStatus for classification.
+const (
+	// VisitOK: the page loaded cleanly.
+	VisitOK = "ok"
+	// VisitDegraded: the page "loaded" (Success is true, requests were
+	// recorded) but an injected fault truncated the observation — the
+	// partial load the vetting stage must exclude.
+	VisitDegraded = "degraded"
+	// VisitFailed: the visit produced no usable measurement.
+	VisitFailed = "failed"
+)
+
 // Visit is the record of one page visit by one profile.
 type Visit struct {
 	Site    string `json:"site"`
@@ -180,9 +194,20 @@ type Visit struct {
 	Profile string `json:"profile"`
 
 	// Success is false when the visit failed (timeout, unreachable, crash);
-	// failed visits carry no requests.
+	// failed visits carry no requests, except redirect-loop failures,
+	// which record their 302 hop chain.
 	Success bool   `json:"success"`
 	Failure string `json:"failure,omitempty"`
+
+	// Status refines Success into ok / degraded / failed (see the Visit*
+	// constants). Empty on legacy records; EffectiveStatus resolves it.
+	Status string `json:"status,omitempty"`
+	// Attempts is how many fetch attempts the crawler made for this
+	// record (0 on legacy records, meaning 1).
+	Attempts int `json:"attempts,omitempty"`
+	// Retryable marks a failure as transient: the fault injector judged
+	// that a retry could have cleared it (the retry budget ran out).
+	Retryable bool `json:"retryable,omitempty"`
 
 	Requests []Request           `json:"requests,omitempty"`
 	Cookies  []CookieObservation `json:"cookies,omitempty"`
@@ -192,4 +217,23 @@ type Visit struct {
 	StartOffsetS float64 `json:"start_offset_s"`
 	// DurationMS is the simulated page load duration.
 	DurationMS int `json:"duration_ms"`
+}
+
+// EffectiveStatus resolves the visit's status, defaulting legacy records
+// (empty Status) from the Success flag.
+func (v *Visit) EffectiveStatus() string {
+	if v.Status != "" {
+		return v.Status
+	}
+	if v.Success {
+		return VisitOK
+	}
+	return VisitFailed
+}
+
+// Clean reports whether the visit completed without failure or
+// degradation — the paper's vetting criterion ("successfully and
+// consistently visited").
+func (v *Visit) Clean() bool {
+	return v.Success && v.EffectiveStatus() != VisitDegraded
 }

@@ -18,6 +18,7 @@ type CSVTable struct {
 // CSVTables materializes the analysis as the full set of CSV tables and
 // figures, in a fixed order:
 //
+//	vetting.csv
 //	table2_tree_overview.csv     table3_depth_similarity.csv
 //	table4_resource_chains.csv   table5_profile_totals.csv
 //	table6_profile_diffs.csv     table7_rank_buckets.csv
@@ -34,6 +35,18 @@ func (e *Experiment) CSVTables() []CSVTable {
 	ii := strconv.Itoa
 
 	var tables []CSVTable
+
+	vet := a.Vetting()
+	tables = append(tables, CSVTable{
+		Name:    "vetting.csv",
+		Headers: []string{"pages_seen", "pages_vetted", "excluded_missing", "excluded_failed", "excluded_degraded", "excluded_build", "exclusion_share"},
+		Rows: [][]string{{
+			ii(vet.PagesSeen), ii(vet.PagesVetted),
+			ii(vet.ExcludedMissing), ii(vet.ExcludedFailed),
+			ii(vet.ExcludedDegraded), ii(vet.ExcludedBuild),
+			ff(vet.ExclusionShare()),
+		}},
+	})
 
 	ov := a.TreeOverview()
 	tables = append(tables, CSVTable{

@@ -83,8 +83,16 @@ func (e *Experiment) WriteCrawlSummary(w io.Writer) {
 	for _, p := range profiles {
 		fmt.Fprintf(w, "  success %-9s %s  (%s visits)\n", p, Pct(cs.SuccessRate[p]), Count(cs.VisitsPerProfile[p]))
 	}
-	fmt.Fprintf(w, "vetted (all %d profiles succeeded): %s sites, %s pages (%s of pages)\n\n",
+	fmt.Fprintf(w, "vetted (all %d profiles succeeded): %s sites, %s pages (%s of pages)\n",
 		len(profiles), Count(cs.VettedSites), Count(cs.VettedPages), Pct(cs.VettedShare))
+	vet := cs.Vetting
+	if vet.Excluded() > 0 {
+		fmt.Fprintf(w, "excluded by vetting: %s pages (%s) — %s missing, %s failed, %s degraded, %s unbuildable\n",
+			Count(vet.Excluded()), Pct(vet.ExclusionShare()),
+			Count(vet.ExcludedMissing), Count(vet.ExcludedFailed),
+			Count(vet.ExcludedDegraded), Count(vet.ExcludedBuild))
+	}
+	fmt.Fprintln(w)
 }
 
 // WriteTable1 prints the profile configuration (Table 1).

@@ -8,6 +8,7 @@ import (
 	"webmeasure"
 	"webmeasure/internal/browser"
 	"webmeasure/internal/dataset"
+	"webmeasure/internal/faults"
 	"webmeasure/internal/metrics"
 )
 
@@ -24,6 +25,11 @@ type JobSpec struct {
 	Epoch        int      `json:"epoch,omitempty"`
 	Stateful     bool     `json:"stateful,omitempty"`
 	Profiles     []string `json:"profiles,omitempty"`
+	// FaultProfile selects the deterministic fault-injection profile
+	// ("off", "light", "heavy"; empty = off). Part of the cache key: the
+	// injected faults change the dataset, so each profile is its own
+	// experiment.
+	FaultProfile string `json:"fault_profile,omitempty"`
 	// Workers bounds the analysis worker pool. It is deliberately NOT
 	// part of the cache key: the analysis is byte-identical for every
 	// worker count (the repo's determinism golden test), so results may
@@ -57,6 +63,14 @@ func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
 	}
 	if s.Workers < 0 {
 		s.Workers = 0
+	}
+	if _, err := faults.ByName(s.FaultProfile); err != nil {
+		return s, err
+	}
+	if s.FaultProfile == "off" {
+		// "off" and "" mean the same experiment; canonicalize so they
+		// share a cache key.
+		s.FaultProfile = ""
 	}
 	if s.Sites > limits.MaxSites {
 		return s, fmt.Errorf("sites %d exceeds the server limit %d", s.Sites, limits.MaxSites)
@@ -129,6 +143,7 @@ func (s JobSpec) config(reg *metrics.Registry) webmeasure.Config {
 		Epoch:        s.Epoch,
 		Stateful:     s.Stateful,
 		Profiles:     s.Profiles,
+		FaultProfile: s.FaultProfile,
 		Workers:      s.Workers,
 		Metrics:      reg,
 	}
@@ -181,12 +196,29 @@ type Job struct {
 	cancel func() // non-nil while running
 	res    *result
 
-	done chan struct{}
+	startedCh chan struct{}
+	done      chan struct{}
 }
 
 // Done returns a channel that closes when the job reaches a terminal
 // state (done, failed, or canceled).
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Started returns a channel that closes when the job leaves the queue —
+// either because a worker picked it up or because it resolved without
+// running (cache hit, cancellation, shutdown). Tests synchronize on it
+// instead of polling.
+func (j *Job) Started() <-chan struct{} { return j.startedCh }
+
+// markStarted closes the Started channel once. Callers hold the server
+// mutex, so the check-then-close is race-free.
+func (j *Job) markStarted() {
+	select {
+	case <-j.startedCh:
+	default:
+		close(j.startedCh)
+	}
+}
 
 // jobJSON is the API projection of a Job.
 type jobJSON struct {

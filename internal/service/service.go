@@ -163,6 +163,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		Spec:      norm,
 		key:       key,
 		submitted: time.Now(),
+		startedCh: make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	s.mSubmitted.Inc()
@@ -175,6 +176,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		job.started = job.submitted
 		job.finished = time.Now()
 		job.res = res
+		job.markStarted()
 		close(job.done)
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
@@ -217,6 +219,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		j.err = "canceled before start"
 		j.finished = time.Now()
 		s.mCanceled.Inc()
+		j.markStarted()
 		close(j.done)
 	case StateRunning:
 		if j.cancel != nil {
@@ -280,6 +283,7 @@ func (s *Server) runJob(job *Job) {
 		job.started = time.Now()
 		job.finished = job.started
 		job.res = res
+		job.markStarted()
 		close(job.done)
 		s.mu.Unlock()
 		return
@@ -289,6 +293,7 @@ func (s *Server) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	job.cancel = cancel
+	job.markStarted()
 	s.mQueueMS.Observe(float64(job.started.Sub(job.submitted)) / float64(time.Millisecond))
 	s.mu.Unlock()
 	defer cancel()
@@ -386,6 +391,7 @@ func (s *Server) failAbandoned() {
 			j.err = "server shut down before the job ran"
 			j.finished = time.Now()
 			s.mCanceled.Inc()
+			j.markStarted()
 			close(j.done)
 		}
 	}

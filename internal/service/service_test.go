@@ -39,28 +39,32 @@ func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (jobJSON, int) {
 	return v, resp.StatusCode
 }
 
-// pollDone polls the status endpoint until the job reaches a terminal
-// state (the way an HTTP client would; in-process tests use Job.Done).
-func pollDone(t *testing.T, ts *httptest.Server, id string) jobJSON {
+// pollDone waits on the job's Done channel and then fetches the status
+// endpoint once — no sleep polling, no timing sensitivity.
+func pollDone(t *testing.T, s *Server, ts *httptest.Server, id string) jobJSON {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var v jobJSON
-		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-			t.Fatalf("decode status: %v", err)
-		}
-		resp.Body.Close()
-		if v.State.terminal() {
-			return v
-		}
-		time.Sleep(10 * time.Millisecond)
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
 	}
-	t.Fatalf("job %s never finished", id)
-	return jobJSON{}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s never finished", id)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if !v.State.terminal() {
+		t.Fatalf("job %s done but status reports %q", id, v.State)
+	}
+	return v
 }
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -96,7 +100,7 @@ func TestSubmitPollFetchArtifacts(t *testing.T) {
 		t.Fatalf("fresh job state = %q", v.State)
 	}
 
-	v = pollDone(t, ts, v.ID)
+	v = pollDone(t, s, ts, v.ID)
 	if v.State != StateDone {
 		t.Fatalf("job ended %q (err %q)", v.State, v.Error)
 	}
@@ -152,7 +156,7 @@ func TestCacheHitServesSameBytes(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("first submit code = %d", code)
 	}
-	first = pollDone(t, ts, first.ID)
+	first = pollDone(t, s, ts, first.ID)
 	if first.State != StateDone {
 		t.Fatalf("first job: %q (%s)", first.State, first.Error)
 	}
@@ -225,7 +229,7 @@ func TestQueueBackpressure(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit 1 code = %d", code)
 	}
-	waitState(t, s, running.ID, StateRunning)
+	waitRunning(t, s, running.ID)
 	if _, code = postJob(t, ts, tinySpec(2)); code != http.StatusAccepted { // fills the queue
 		t.Fatalf("submit 2 code = %d", code)
 	}
@@ -251,25 +255,26 @@ func TestQueueBackpressure(t *testing.T) {
 	close(release)
 }
 
-// waitState spins until the job reaches the state (helper for tests that
-// need to observe intermediate states).
-func waitState(t *testing.T, s *Server, id string, want State) {
+// waitRunning blocks on the job's Started channel until a worker picks it
+// up, then asserts it is actually running (the blocking runner guarantees
+// it cannot have finished).
+func waitRunning(t *testing.T, s *Server, id string) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		j, ok := s.Job(id)
-		if !ok {
-			t.Fatalf("job %s vanished", id)
-		}
-		s.mu.Lock()
-		st := j.state
-		s.mu.Unlock()
-		if st == want {
-			return
-		}
-		time.Sleep(time.Millisecond)
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
 	}
-	t.Fatalf("job %s never reached %q", id, want)
+	select {
+	case <-j.Started():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s never started", id)
+	}
+	s.mu.Lock()
+	st := j.state
+	s.mu.Unlock()
+	if st != StateRunning {
+		t.Fatalf("job %s started but is %q, want %q", id, st, StateRunning)
+	}
 }
 
 // TestCancelRunningJob cancels a job mid-execution via DELETE and checks
@@ -283,7 +288,7 @@ func TestCancelRunningJob(t *testing.T) {
 	defer ts.Close()
 
 	v, _ := postJob(t, ts, tinySpec(1))
-	waitState(t, s, v.ID, StateRunning)
+	waitRunning(t, s, v.ID)
 
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
 	if err != nil {
@@ -298,7 +303,7 @@ func TestCancelRunningJob(t *testing.T) {
 		t.Fatalf("cancel code = %d", resp.StatusCode)
 	}
 
-	final := pollDone(t, ts, v.ID)
+	final := pollDone(t, s, ts, v.ID)
 	if final.State != StateCanceled {
 		t.Fatalf("state after cancel = %q", final.State)
 	}
@@ -354,9 +359,10 @@ func TestSubmitValidation(t *testing.T) {
 		"unknown field":   `{"sitez": 5}`,
 		"over max sites":  `{"sites": 999}`,
 		"over max pages":  `{"pages_per_site": 50}`,
-		"unknown profile": `{"profiles": ["NoSuchBrowser"]}`,
-		"negative epoch":  `{"epoch": -1}`,
-		"not json":        `sites=5`,
+		"unknown profile":       `{"profiles": ["NoSuchBrowser"]}`,
+		"unknown fault profile": `{"fault_profile": "chaos"}`,
+		"negative epoch":        `{"epoch": -1}`,
+		"not json":              `sites=5`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -407,6 +413,38 @@ func TestSpecCanonicalization(t *testing.T) {
 	}
 	if a == base {
 		t.Error("a two-profile subset must not share the full-set key")
+	}
+	if key(JobSpec{FaultProfile: "off"}) != base {
+		t.Error(`fault_profile "off" must equal the empty default`)
+	}
+	if key(JobSpec{FaultProfile: "light"}) == base {
+		t.Error("an active fault profile must change the key")
+	}
+}
+
+// TestFaultProfileJob runs a job with fault injection enabled end to end:
+// it must complete, and the vetting stage must report exclusions.
+func TestFaultProfileJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := tinySpec(7)
+	spec.FaultProfile = "light"
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d", code)
+	}
+	v = pollDone(t, s, ts, v.ID)
+	if v.State != StateDone {
+		t.Fatalf("faulty job ended %q (err %q)", v.State, v.Error)
+	}
+	if v.Spec.FaultProfile != "light" {
+		t.Errorf("spec echo lost the fault profile: %+v", v.Spec)
+	}
+	if v.Summary.ExcludedPages == 0 {
+		t.Error("light faults produced no vetting exclusions")
 	}
 }
 
@@ -471,7 +509,7 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitState(t, s, j.ID, StateRunning)
+	waitRunning(t, s, j.ID)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()

@@ -1,0 +1,41 @@
+#!/bin/sh
+# cover_gate.sh — per-package coverage floor.
+#
+# Runs `go test -cover` over the packages whose correctness the fault
+#-injection PR leans on and fails when any drops below the floor, so
+# coverage regressions surface in tier-2 instead of silently eroding.
+#
+# Usage: sh scripts/cover_gate.sh [floor-percent]
+set -e
+
+GO="${GO:-go}"
+FLOOR="${1:-80}"
+PACKAGES="./internal/faults ./internal/crawler ./internal/stats"
+
+status=0
+for pkg in $PACKAGES; do
+    line=$("$GO" test -cover "$pkg" | tail -n 1)
+    case "$line" in
+    ok*coverage:*) ;;
+    *)
+        echo "cover_gate: no coverage line for $pkg: $line" >&2
+        status=1
+        continue
+        ;;
+    esac
+    pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "cover_gate: cannot parse coverage from: $line" >&2
+        status=1
+        continue
+    fi
+    # Integer compare on the truncated percentage (sh has no float math).
+    whole=${pct%.*}
+    if [ "$whole" -lt "$FLOOR" ]; then
+        echo "cover_gate: FAIL $pkg at ${pct}% (< ${FLOOR}%)" >&2
+        status=1
+    else
+        echo "cover_gate: ok   $pkg at ${pct}% (>= ${FLOOR}%)"
+    fi
+done
+exit $status

@@ -24,6 +24,7 @@ import (
 	"webmeasure/internal/core"
 	"webmeasure/internal/crawler"
 	"webmeasure/internal/dataset"
+	"webmeasure/internal/faults"
 	"webmeasure/internal/filterlist"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
@@ -60,6 +61,14 @@ type Config struct {
 	// Stateful preserves cookies across a site's pages within each client
 	// (Appendix C's alternative design choice; default stateless).
 	Stateful bool
+	// FaultProfile names the deterministic fault-injection profile applied
+	// to every page fetch (one of faults.Names(): "off", "light", "heavy";
+	// empty = off). Faults are seeded from Seed, so the same configuration
+	// reproduces the same failures byte for byte.
+	FaultProfile string
+	// Retry bounds the crawler's per-visit retry loop for transient
+	// (injected) failures; the zero value uses the crawler's defaults.
+	Retry crawler.RetryPolicy
 	// Progress, if non-nil, receives crawl progress (sites done, total).
 	Progress func(done, total int)
 	// ResumeJSONL, if non-nil, streams a previously written dataset
@@ -132,6 +141,10 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	faultProfile, err := faults.ByName(cfg.FaultProfile)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: %w", err)
+	}
 	ds, crawlStats, err := crawler.Run(ctx, crawler.Config{
 		Universe:  u,
 		Sites:     sample,
@@ -141,6 +154,8 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		Seed:      cfg.Seed,
 		Epoch:     cfg.Epoch,
 		Stateful:  cfg.Stateful,
+		Faults:    faultProfile,
+		Retry:     cfg.Retry,
 		Progress:  cfg.Progress,
 		Resume:    resume,
 		Metrics:   cfg.Metrics,
@@ -287,6 +302,10 @@ type Summary struct {
 	Visits      int
 	VettedPages int
 	VettedShare float64
+	// ExcludedPages counts pages the vetting stage dropped; the Degraded
+	// share is the part attributable to fault-truncated observations.
+	ExcludedPages    int
+	ExcludedDegraded int
 
 	MeanNodesPerTree   float64
 	MeanTreeDepth      float64
@@ -318,11 +337,13 @@ func (r *Results) Summary() Summary {
 	}
 	_ = pa
 	return Summary{
-		Sites:       cs.Sites,
-		Pages:       cs.Pages,
-		Visits:      cs.Visits,
-		VettedPages: cs.VettedPages,
-		VettedShare: cs.VettedShare,
+		Sites:            cs.Sites,
+		Pages:            cs.Pages,
+		Visits:           cs.Visits,
+		VettedPages:      cs.VettedPages,
+		VettedShare:      cs.VettedShare,
+		ExcludedPages:    cs.Vetting.Excluded(),
+		ExcludedDegraded: cs.Vetting.ExcludedDegraded,
 
 		MeanNodesPerTree:   ov.Nodes.Mean,
 		MeanTreeDepth:      ov.Depth.Mean,
