@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service serve-smoke cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-smoke serve-smoke cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke cover
+tier2: serve-smoke cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -51,6 +51,17 @@ bench-workers:
 # Job-server throughput (workers 1/4/8 × cache off/on).
 bench-service:
 	$(GO) test -run '^$$' -bench BenchmarkServiceThroughput -benchmem .
+
+# Tree-diff hot-path benchmarks recorded as machine-readable JSON
+# (BENCH_treediff.json), then shape-checked by TestBenchJSONWellFormed.
+bench-json:
+	sh scripts/bench_json.sh BENCH_treediff.json
+	$(GO) test -run '^TestBenchJSONWellFormed$$' .
+
+# One iteration of every hot-path benchmark: catches benchmarks that no
+# longer compile or panic, without paying for a full timed run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/treediff ./internal/stats
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,72 @@
+package webmeasure
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchJSONFile is where `make bench-json` (scripts/bench_json.sh) records
+// the tree-diff hot-path benchmark numbers.
+const benchJSONFile = "BENCH_treediff.json"
+
+type benchJSONEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// TestBenchJSONWellFormed guards the shape of BENCH_treediff.json so a
+// broken awk parse in scripts/bench_json.sh can't silently record garbage.
+// The file is a build artifact, not a source file, so the test skips when
+// it hasn't been generated (tier-1 stays independent of `make bench-json`).
+func TestBenchJSONWellFormed(t *testing.T) {
+	raw, err := os.ReadFile(benchJSONFile)
+	if os.IsNotExist(err) {
+		t.Skipf("%s not generated; run `make bench-json`", benchJSONFile)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []benchJSONEntry `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", benchJSONFile, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Fatalf("%s holds no benchmarks", benchJSONFile)
+	}
+	seen := map[string]bool{}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "" || seen[b.Name] {
+			t.Errorf("missing or duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Iterations <= 0 {
+			t.Errorf("%s: iterations %d, want > 0", b.Name, b.Iterations)
+		}
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op %v, want > 0", b.Name, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BPerOp < 0 {
+			t.Errorf("%s: negative memory stats", b.Name)
+		}
+	}
+	// The hot-path suite must at least cover Compare and the two kernels'
+	// pairwise Jaccard; DepthSimilarity rides along in the same run.
+	for _, want := range []string{"BenchmarkCompare", "BenchmarkDepthSimilarity", "BenchmarkPairwiseJaccard"} {
+		found := false
+		for name := range seen {
+			if len(name) >= len(want) && name[:len(want)] == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s records no %s results", benchJSONFile, want)
+		}
+	}
+}

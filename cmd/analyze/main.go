@@ -12,6 +12,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -42,9 +44,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		progress = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 		csvDir   = fs.String("csv", "", "also export tables/figures as CSV files into this directory")
 		jsonOut  = fs.String("json", "", "also export all results as one JSON bundle to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file (go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write a heap profile after the analysis to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "analyze: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(stderr, "analyze: cpuprofile: %v\n", err)
+			pf.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Written on the way out so the profile covers the analysis'
+		// steady state, after a GC settles what is actually retained.
+		defer func() {
+			pf, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "analyze: memprofile: %v\n", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintf(stderr, "analyze: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	f, err := os.Open(*in)

@@ -1,0 +1,164 @@
+package filterlist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// memoTestList compiles a list exercising every context a rule can read:
+// plain patterns, domain anchors, $third-party, $domain include/exclude,
+// and type options — the dimensions the memo key must capture.
+func memoTestList(t *testing.T) *List {
+	t.Helper()
+	l, skipped := Parse(`
+/banner/ad
+||tracker.example^
+||cdn.example/pix$third-party
+/widget$domain=site.example|other.example
+/analytics$domain=~quiet.example
+/video$media
+@@||tracker.example/allowed^
+`)
+	if skipped != 0 {
+		t.Fatalf("%d test rules skipped", skipped)
+	}
+	return l
+}
+
+// memoRandRequests draws requests over a small pool of URLs, pages, and
+// types so repeats (cache hits) and collisions are frequent.
+func memoRandRequests(rng *rand.Rand, n int) []Request {
+	urls := []string{
+		"https://a.example/banner/ad.png",
+		"https://tracker.example/t.js",
+		"https://tracker.example/allowed/t.js",
+		"https://cdn.example/pix.gif",
+		"https://site.example/widget.js",
+		"https://b.example/analytics.js",
+		"https://c.example/video.mp4",
+		"https://c.example/plain.css",
+	}
+	pages := []string{
+		"https://site.example/index",
+		"https://other.example/a",
+		"https://quiet.example/b",
+		"https://cdn.example/self",
+		"",
+	}
+	types := []RequestType{TypeScript, TypeImage, TypeMedia, TypeStylesheet, 0}
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{
+			URL:     urls[rng.Intn(len(urls))],
+			PageURL: pages[rng.Intn(len(pages))],
+			Type:    types[rng.Intn(len(types))],
+		}
+	}
+	return out
+}
+
+// TestMemoMatchesList pins the memo to the direct engine on randomized
+// request streams: no cached decision may ever differ, whatever mix of
+// $domain, $third-party, and type options the rules carry.
+func TestMemoMatchesList(t *testing.T) {
+	l := memoTestList(t)
+	m := NewMemo(l, 0)
+	rng := rand.New(rand.NewSource(51))
+	for i, req := range memoRandRequests(rng, 5000) {
+		if got, want := m.Matches(req), l.Matches(req); got != want {
+			t.Fatalf("request %d (%+v): memo %v != direct %v", i, req, got, want)
+		}
+	}
+	hits, misses := m.Stats()
+	if hits == 0 {
+		t.Error("a repeating request stream must produce cache hits")
+	}
+	if misses == 0 {
+		t.Error("a fresh memo must record misses")
+	}
+}
+
+func TestMemoEvictionBound(t *testing.T) {
+	l := memoTestList(t)
+	m := NewMemo(l, 8)
+	for i := 0; i < 100; i++ {
+		m.Matches(Request{
+			URL:     fmt.Sprintf("https://bulk.example/r%d", i),
+			PageURL: "https://site.example/",
+			Type:    TypeScript,
+		})
+	}
+	if n := m.Len(); n != 8 {
+		t.Fatalf("LRU holds %d entries, capacity is 8", n)
+	}
+	// The most recent entry must still be cached.
+	before, _ := m.Stats()
+	m.Matches(Request{URL: "https://bulk.example/r99", PageURL: "https://site.example/", Type: TypeScript})
+	if after, _ := m.Stats(); after != before+1 {
+		t.Error("most recently inserted entry was evicted")
+	}
+}
+
+func TestMemoKeySeparatesContexts(t *testing.T) {
+	l := memoTestList(t)
+	m := NewMemo(l, 0)
+	// Same URL, different page: $domain=site.example matches only on the
+	// listed sites — a shared cache slot would leak the first answer.
+	widget := "https://site.example/widget.js"
+	if !m.Matches(Request{URL: widget, PageURL: "https://site.example/p", Type: TypeScript}) {
+		t.Error("widget must match on site.example")
+	}
+	if m.Matches(Request{URL: widget, PageURL: "https://elsewhere.example/p", Type: TypeScript}) {
+		t.Error("widget must not match on elsewhere.example")
+	}
+	// Same URL and page, different type: $media only matches media.
+	video := "https://c.example/video.mp4"
+	if !m.Matches(Request{URL: video, PageURL: "https://site.example/p", Type: TypeMedia}) {
+		t.Error("video must match as media")
+	}
+	if m.Matches(Request{URL: video, PageURL: "https://site.example/p", Type: TypeScript}) {
+		t.Error("video must not match as script")
+	}
+	// Same host, different full page URL: the key is the page *host*, so
+	// the second lookup must be a hit with the identical decision.
+	hitsBefore, _ := m.Stats()
+	if !m.Matches(Request{URL: widget, PageURL: "https://site.example/other-page", Type: TypeScript}) {
+		t.Error("widget must match on any site.example page")
+	}
+	if hitsAfter, _ := m.Stats(); hitsAfter != hitsBefore+1 {
+		t.Error("same page host must hit the cache")
+	}
+}
+
+// TestMemoConcurrent hammers one memo from several goroutines so -race
+// audits the locking, and every returned decision is still correct.
+func TestMemoConcurrent(t *testing.T) {
+	l := memoTestList(t)
+	m := NewMemo(l, 64)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for _, req := range memoRandRequests(rng, 500) {
+				if got, want := m.Matches(req), l.Matches(req); got != want {
+					select {
+					case errs <- fmt.Sprintf("%+v: memo %v != direct %v", req, got, want):
+					default:
+					}
+					return
+				}
+			}
+		}(int64(60 + w))
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}

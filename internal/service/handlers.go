@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 )
 
 // datasetFlushEvery is how many visits a streamed JSONL download writes
@@ -22,8 +23,19 @@ const datasetFlushEvery = 256
 //	GET    /v1/jobs/{id}/dataset.jsonl streamed raw visits
 //	GET    /healthz                  liveness + queue stats
 //	GET    /metrics                  Prometheus text exposition
+//	GET    /debug/pprof/             live profiling (go tool pprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Live profiling of the serving process: `go tool pprof
+	// http://host/debug/pprof/profile` for CPU, `/debug/pprof/heap` for
+	// allocations — the serving-mode counterpart of cmd/analyze's
+	// -cpuprofile/-memprofile flags. Wired explicitly so the service mux
+	// never depends on http.DefaultServeMux.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)

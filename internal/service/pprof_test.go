@@ -1,0 +1,32 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPprofEndpoints checks the live-profiling routes ride the service mux:
+// the index lists profiles, a concrete profile (heap) is downloadable, and
+// the debug surface does not shadow the API routes.
+func TestPprofEndpoints(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/debug/pprof/")
+	if code != 200 || !bytes.Contains(body, []byte("heap")) {
+		t.Fatalf("pprof index: code %d, %d bytes", code, len(body))
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/heap"); code != 200 {
+		t.Fatalf("heap profile: code %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("cmdline: code %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz must stay reachable: code %d", code)
+	}
+}

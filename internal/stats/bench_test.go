@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSets builds five overlapping ~60-element sets, the population shape
+// the tree-diff hot loop feeds PairwiseMeanJaccard (five profiles, medium
+// page). Returned both as maps (legacy kernel) and as the sorted dense-id
+// slices the interned kernel consumes.
+func benchSets() ([]map[string]bool, [][]int32) {
+	maps := make([]map[string]bool, 5)
+	ints := make([][]int32, 5)
+	for p := range maps {
+		m := map[string]bool{}
+		var ids []int32
+		for i := 0; i < 64; i++ {
+			if (i+p)%13 == 0 {
+				continue
+			}
+			m[fmt.Sprintf("e%02d", i)] = true
+			ids = append(ids, int32(i))
+		}
+		maps[p], ints[p] = m, ids
+	}
+	return maps, ints
+}
+
+func BenchmarkPairwiseJaccard(b *testing.B) {
+	maps, ints := benchSets()
+	b.Run("maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			PairwiseMeanJaccard(maps)
+		}
+	})
+	b.Run("sorted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			PairwiseMeanJaccardSorted(ints)
+		}
+	})
+}

@@ -1,5 +1,7 @@
 package stats
 
+import "slices"
+
 // Jaccard returns the Jaccard index J(A,B) = |A∩B| / |A∪B| of two string
 // sets. By the paper's convention two empty sets are perfectly similar
 // (J = 1): they agree that nothing was loaded.
@@ -22,9 +24,18 @@ func Jaccard(a, b map[string]bool) float64 {
 }
 
 // JaccardSlices is Jaccard over slices, treating them as sets (duplicates
-// ignored).
+// ignored). It sorts scratch copies and linear-merges them instead of
+// materializing two maps per call; the merge counts duplicate runs once,
+// so duplicate-bearing inputs score exactly as their set projections.
 func JaccardSlices(a, b []string) float64 {
-	return Jaccard(ToSet(a), ToSet(b))
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	as := slices.Clone(a)
+	bs := slices.Clone(b)
+	slices.Sort(as)
+	slices.Sort(bs)
+	return JaccardSorted(as, bs)
 }
 
 // PairwiseMeanJaccard implements the paper's multi-set similarity: the

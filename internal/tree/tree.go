@@ -9,6 +9,7 @@ package tree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"webmeasure/internal/filterlist"
 	"webmeasure/internal/measurement"
@@ -52,6 +53,13 @@ type Node struct {
 	Parent   *Node
 	Children []*Node
 	Depth    int
+
+	// chainKey and sortedChildKeys memoize the derived strings the
+	// cross-comparison reads once per (node, tree, comparison); both are
+	// fixed by Builder.Build before the tree is published, so reads are
+	// safe under concurrency.
+	chainKey        string
+	sortedChildKeys []string
 }
 
 // IsRoot reports whether the node is the visited page.
@@ -71,8 +79,14 @@ func (n *Node) Chain() []string {
 	return out
 }
 
-// ChainKey returns the chain as a single comparable string.
+// ChainKey returns the chain as a single comparable string. Builder.Build
+// memoizes it at construction (each node extends its parent's chain), so
+// the usual call is a field read; nodes assembled by hand fall back to the
+// walk without caching.
 func (n *Node) ChainKey() string {
+	if n.chainKey != "" {
+		return n.chainKey
+	}
 	key := ""
 	for cur := n; cur != nil; cur = cur.Parent {
 		key = cur.Key + "\x00" + key
@@ -88,6 +102,12 @@ type Tree struct {
 
 	Root  *Node
 	nodes map[string]*Node
+	// nodeList is the (depth, key)-sorted node slice, memoized by
+	// Builder.Build's finalize pass; Nodes() then returns it without the
+	// per-call sort the analysis hot loop used to pay.
+	nodeList []*Node
+	// maxDepth is memoized alongside (root = 0).
+	maxDepth int
 
 	// StrippedURLs counts requests whose URL lost query values during
 	// normalization (the paper's "40% of observed URLs" statistic).
@@ -107,8 +127,16 @@ func (t *Tree) Contains(key string) bool { return t.nodes[key] != nil }
 func (t *Tree) NodeCount() int { return len(t.nodes) }
 
 // Nodes returns all nodes sorted by (depth, key) for deterministic
-// iteration.
+// iteration. Trees from Builder.Build return a memoized slice; callers
+// must not modify it.
 func (t *Tree) Nodes() []*Node {
+	if t.nodeList != nil {
+		return t.nodeList
+	}
+	return t.sortNodes()
+}
+
+func (t *Tree) sortNodes() []*Node {
 	out := make([]*Node, 0, len(t.nodes))
 	for _, n := range t.nodes {
 		out = append(out, n)
@@ -122,8 +150,26 @@ func (t *Tree) Nodes() []*Node {
 	return out
 }
 
+// Finalize memoizes the derived views — the sorted node list, the max
+// depth, and each node's sorted child keys — once the tree's shape is
+// fixed. Builder.Build calls it before returning; mutating the tree
+// afterwards invalidates the memos.
+func (t *Tree) Finalize() {
+	t.nodeList = t.sortNodes()
+	t.maxDepth = 0
+	for _, n := range t.nodeList {
+		if n.Depth > t.maxDepth {
+			t.maxDepth = n.Depth
+		}
+		n.sortedChildKeys = n.childKeysSorted()
+	}
+}
+
 // MaxDepth returns the deepest node's depth (root = 0).
 func (t *Tree) MaxDepth() int {
+	if t.nodeList != nil {
+		return t.maxDepth
+	}
 	max := 0
 	for _, n := range t.nodes {
 		if n.Depth > max {
@@ -178,6 +224,25 @@ func (n *Node) ChildKeys() map[string]bool {
 	return out
 }
 
+// SortedChildKeys returns the children keys ascending. Finalized trees
+// return a memoized slice (callers must not modify it); hand-built nodes
+// fall back to a fresh sorted copy.
+func (n *Node) SortedChildKeys() []string {
+	if n.sortedChildKeys != nil {
+		return n.sortedChildKeys
+	}
+	return n.childKeysSorted()
+}
+
+func (n *Node) childKeysSorted() []string {
+	out := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = c.Key
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Builder constructs trees from visits. Filter may be nil (no tracking
 // classification). The two ablation switches alter the paper's method for
 // sensitivity analysis:
@@ -190,6 +255,23 @@ type Builder struct {
 	Filter           *filterlist.List
 	RawURLIdentity   bool
 	IgnoreCallStacks bool
+
+	// memo caches Filter's match decisions across visits (and across the
+	// analysis worker pool sharing this builder), so a URL requested by
+	// every profile of every page pays the rule engine once.
+	memoMu sync.Mutex
+	memo   *filterlist.Memo
+}
+
+// matchMemo returns the builder's shared match memo for the current
+// Filter, creating it on first use and replacing it when Filter changed.
+func (b *Builder) matchMemo() *filterlist.Memo {
+	b.memoMu.Lock()
+	defer b.memoMu.Unlock()
+	if b.memo == nil || b.memo.List() != b.Filter {
+		b.memo = filterlist.NewMemo(b.Filter, filterlist.DefaultMemoSize)
+	}
+	return b.memo
 }
 
 // key computes a node identity under the builder's identity mode.
@@ -210,6 +292,10 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 		return nil, fmt.Errorf("tree: visit of %s by %s has no requests", v.PageURL, v.Profile)
 	}
 
+	var matcher *filterlist.Memo
+	if b.Filter != nil {
+		matcher = b.matchMemo()
+	}
 	t := &Tree{
 		Site:    v.Site,
 		PageURL: v.PageURL,
@@ -221,10 +307,11 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 		t.StrippedURLs++
 	}
 	t.Root = &Node{
-		Key:    rootKey,
-		RawURL: v.PageURL,
-		Type:   measurement.TypeMainFrame,
-		Party:  FirstParty,
+		Key:      rootKey,
+		RawURL:   v.PageURL,
+		Type:     measurement.TypeMainFrame,
+		Party:    FirstParty,
+		chainKey: rootKey + "\x00",
 	}
 	t.nodes[rootKey] = t.Root
 
@@ -254,9 +341,12 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 			BodySize:    req.BodySize,
 			Parent:      parent,
 			Depth:       parent.Depth + 1,
+			// Parents precede children, so the parent's memoized chain
+			// extends in O(len) instead of re-walking to the root.
+			chainKey: parent.chainKey + key + "\x00",
 		}
-		if b.Filter != nil {
-			node.Tracking = b.Filter.Matches(filterlist.Request{
+		if matcher != nil {
+			node.Tracking = matcher.Matches(filterlist.Request{
 				URL:     req.URL,
 				PageURL: v.PageURL,
 				Type:    filterType(req.Type),
@@ -265,6 +355,7 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 		parent.Children = append(parent.Children, node)
 		t.nodes[key] = node
 	}
+	t.Finalize()
 	return t, nil
 }
 

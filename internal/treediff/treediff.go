@@ -4,9 +4,19 @@
 // recursively from depth one), the vertical analysis (dependency chains
 // and the parents of a node), per-depth node-set similarity, and the
 // supporting per-node bookkeeping the result tables aggregate.
+//
+// The set machinery runs on an interned core: Compare resolves every node
+// key to a dense int32 once, and all similarities are linear merges over
+// sorted id slices carved from per-comparison arenas (internal/stats'
+// sorted kernel). The results are bit-identical to the historical
+// map-of-strings kernel — TestCompareMatchesMapReference pins that — while
+// the hot loop allocates per comparison instead of per node.
 package treediff
 
 import (
+	"slices"
+	"sync"
+
 	"webmeasure/internal/measurement"
 	"webmeasure/internal/stats"
 	"webmeasure/internal/tree"
@@ -76,57 +86,151 @@ type Comparison struct {
 	// Nodes maps every key observed in any tree (including the root) to
 	// its aggregate.
 	Nodes map[string]*NodeInfo
+
+	// Interned core. Every key in any tree gets a dense id (first-seen
+	// order); all set similarities run over ascending []int32 views carved
+	// from arenas sized once per comparison.
+	keys     []string              // id → key
+	ids      map[string]int32      // key → id
+	infoByID []*NodeInfo           // id → aggregate
+	nodeID   map[*tree.Node]int32  // node → id (no string hashing in fill)
+	nodeByID [][]*tree.Node        // per tree: id → node, nil where absent
+	treeKeys [][]int32             // per tree: ascending ids, root included
+	nonRoot  [][]int32             // per tree: ascending ids, that tree's root excluded
+	byDepth  [][][]int32           // per tree, per depth ≥ 1: ascending ids
+	maxDepth int
 }
 
 // Compare cross-compares the trees of one page. At least two trees are
 // required for the similarities to be meaningful; with fewer, similarities
 // default to 1 (self-consistency).
 func Compare(trees []*tree.Tree) *Comparison {
-	c := &Comparison{Trees: trees, Nodes: make(map[string]*NodeInfo)}
+	// bound caps the interned universe: the union of keys can never exceed
+	// the summed node counts, so arenas sized by it never reallocate and
+	// pointers into them stay valid.
+	bound := 0
+	maxDepth := 0
+	for _, t := range trees {
+		bound += t.NodeCount()
+		if d := t.MaxDepth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	nt := len(trees)
+	c := &Comparison{
+		Trees:    trees,
+		Nodes:    make(map[string]*NodeInfo, bound),
+		keys:     make([]string, 0, bound),
+		ids:      make(map[string]int32, bound),
+		infoByID: make([]*NodeInfo, 0, bound),
+		nodeID:   make(map[*tree.Node]int32, bound),
+		nodeByID: make([][]*tree.Node, nt),
+		treeKeys: make([][]int32, nt),
+		nonRoot:  make([][]int32, nt),
+		byDepth:  make([][][]int32, nt),
+		maxDepth: maxDepth,
+	}
+	infoArena := make([]NodeInfo, 0, bound)
+	// One backing array holds every NodeInfo's Depths and NumChildren.
+	intArena := make([]int, 2*nt*bound)
+	intOff := 0
 
-	// Collect the union of keys with per-tree lookups.
 	for ti, t := range trees {
-		for _, n := range t.Nodes() {
-			ni := c.Nodes[n.Key]
-			if ni == nil {
-				ni = &NodeInfo{
+		nodes := t.Nodes()
+		lookup := make([]*tree.Node, bound)
+		tks := make([]int32, 0, len(nodes))
+		depths := make([][]int32, maxDepth+1)
+		for _, n := range nodes {
+			id, ok := c.ids[n.Key]
+			if !ok {
+				id = int32(len(c.keys))
+				c.ids[n.Key] = id
+				c.keys = append(c.keys, n.Key)
+				infoArena = append(infoArena, NodeInfo{
 					Key:         n.Key,
 					Type:        n.Type,
 					Party:       n.Party,
 					Tracking:    n.Tracking,
-					Depths:      filled(len(trees), -1),
-					NumChildren: filled(len(trees), -1),
-				}
+					Depths:      fillSlot(intArena, &intOff, nt),
+					NumChildren: fillSlot(intArena, &intOff, nt),
+				})
+				ni := &infoArena[len(infoArena)-1]
 				c.Nodes[n.Key] = ni
+				c.infoByID = append(c.infoByID, ni)
 			}
+			c.nodeID[n] = id
+			lookup[id] = n
+			ni := c.infoByID[id]
 			ni.Presence++
 			ni.Depths[ti] = n.Depth
-			ni.NumChildren[ti] = len(n.Children)
-			if len(n.Children) > ni.MaxChildren {
-				ni.MaxChildren = len(n.Children)
+			nc := len(n.Children)
+			ni.NumChildren[ti] = nc
+			if nc > ni.MaxChildren {
+				ni.MaxChildren = nc
 			}
-			if len(n.Children) > 0 {
+			if nc > 0 {
 				ni.HasChildAnywhere = true
 			}
+			tks = append(tks, id)
+			if d := n.Depth; d >= 1 {
+				depths[d] = append(depths[d], id)
+			}
 		}
+		slices.Sort(tks)
+		nr := make([]int32, 0, len(tks))
+		rootID := int32(-1)
+		if t.Root != nil {
+			rootID = c.ids[t.Root.Key]
+		}
+		for _, id := range tks {
+			if id != rootID {
+				nr = append(nr, id)
+			}
+		}
+		for d := range depths {
+			slices.Sort(depths[d])
+		}
+		c.nodeByID[ti] = lookup
+		c.treeKeys[ti] = tks
+		c.nonRoot[ti] = nr
+		c.byDepth[ti] = depths
 	}
 
-	for _, ni := range c.Nodes {
-		c.fill(ni)
+	s := &fillScratch{
+		childSets: make([][]int32, 0, nt),
+		parentIDs: make([]int32, nt),
+		chains:    make([]string, nt),
+	}
+	// id order is deterministic (first-seen over the sorted node lists),
+	// unlike the map-range order the pre-interning kernel used; fill only
+	// writes to its own NodeInfo either way.
+	for id, ni := range c.infoByID {
+		c.fill(int32(id), ni, s)
 	}
 	return c
 }
 
-func filled(n, v int) []int {
-	out := make([]int, n)
+// fillSlot carves an n-int sub-slice off the shared arena, filled with -1.
+func fillSlot(arena []int, off *int, n int) []int {
+	out := arena[*off : *off+n : *off+n]
+	*off += n
 	for i := range out {
-		out[i] = v
+		out[i] = -1
 	}
 	return out
 }
 
+// fillScratch is the per-Compare reusable state of fill: child-set arena,
+// parent ids, and chain strings, sized once for all nodes.
+type fillScratch struct {
+	childSets  [][]int32
+	childArena []int32
+	parentIDs  []int32 // -1 = empty parent set (absent tree or root)
+	chains     []string
+}
+
 // fill computes the per-node similarity aggregates.
-func (c *Comparison) fill(ni *NodeInfo) {
+func (c *Comparison) fill(id int32, ni *NodeInfo, s *fillScratch) {
 	// Same depth across containing trees?
 	ni.SameDepth = true
 	first := -1
@@ -141,53 +245,92 @@ func (c *Comparison) fill(ni *NodeInfo) {
 		}
 	}
 
-	// Child sets over containing trees (horizontal).
-	var childSets []map[string]bool
-	// Parent sets over all trees (vertical); empty set where absent.
-	parentSets := make([]map[string]bool, len(c.Trees))
-	// Chains per containing tree.
-	chainByTree := make([]string, len(c.Trees))
+	nt := len(c.Trees)
+	s.childSets = s.childSets[:0]
+	buf := s.childArena[:0]
 	sameParent := true
-	var firstParent string
+	firstParent := int32(-1)
 	haveParent := false
 
-	for ti, t := range c.Trees {
-		n := t.Node(ni.Key)
+	for ti := range c.Trees {
+		n := c.nodeByID[ti][id]
 		if n == nil {
-			parentSets[ti] = nil
+			s.parentIDs[ti] = -1
+			s.chains[ti] = ""
 			continue
 		}
-		childSets = append(childSets, n.ChildKeys())
-		ps := map[string]bool{}
+		// Child set of the containing tree (horizontal): ids of the
+		// children, sorted in place inside the arena.
+		start := len(buf)
+		for _, ch := range n.Children {
+			buf = append(buf, c.nodeID[ch])
+		}
+		set := buf[start:len(buf):len(buf)]
+		slices.Sort(set)
+		s.childSets = append(s.childSets, set)
+		// Parent set (vertical): 0-or-1 keys, so an id with -1 for "empty"
+		// replaces the historical single-element map.
 		if n.Parent != nil {
-			ps[n.Parent.Key] = true
+			pid := c.nodeID[n.Parent]
+			s.parentIDs[ti] = pid
 			if !haveParent {
-				firstParent, haveParent = n.Parent.Key, true
-			} else if n.Parent.Key != firstParent {
+				firstParent, haveParent = pid, true
+			} else if pid != firstParent {
 				sameParent = false
 			}
+		} else {
+			s.parentIDs[ti] = -1
 		}
-		parentSets[ti] = ps
-		chainByTree[ti] = n.ChainKey()
+		s.chains[ti] = n.ChainKey()
 	}
+	s.childArena = buf[:0]
 
-	ni.ChildSim = stats.PairwiseMeanJaccard(childSets)
-	ni.ParentSim = stats.PairwiseMeanJaccard(parentSets)
+	ni.ChildSim = stats.PairwiseMeanJaccardSorted(s.childSets)
+	// ParentSim over *all* trees: J of two 0-or-1 element sets is the
+	// equality indicator (∅ vs ∅ = 1, ∅ vs {p} = 0, {p} vs {q} = [p == q]),
+	// so the pairwise mean needs no sets at all.
+	if nt < 2 {
+		ni.ParentSim = 1
+	} else {
+		agree, pairs := 0, 0
+		for i := 0; i < nt; i++ {
+			for j := i + 1; j < nt; j++ {
+				if s.parentIDs[i] == s.parentIDs[j] {
+					agree++
+				}
+				pairs++
+			}
+		}
+		ni.ParentSim = float64(agree) / float64(pairs)
+	}
 	ni.SameParentEverywhere = sameParent
 
-	// Chain bookkeeping.
-	counts := map[string]int{}
-	for _, ch := range chainByTree {
-		if ch != "" {
-			counts[ch]++
+	// Chain bookkeeping over the ≤ len(trees) memoized chain strings;
+	// quadratic in the tree count, allocation-free.
+	distinct := 0
+	ni.UniqueChains = 0
+	for i := 0; i < nt; i++ {
+		if s.chains[i] == "" {
+			continue
 		}
-	}
-	ni.ChainEqualAll = ni.Presence == len(c.Trees) && len(counts) == 1 && len(c.Trees) > 0
-	for _, ch := range chainByTree {
-		if ch != "" && counts[ch] == 1 {
+		count := 0
+		firstAt := i
+		for j := 0; j < nt; j++ {
+			if s.chains[j] == s.chains[i] {
+				count++
+				if j < firstAt {
+					firstAt = j
+				}
+			}
+		}
+		if firstAt == i {
+			distinct++
+		}
+		if count == 1 {
 			ni.UniqueChains++
 		}
 	}
+	ni.ChainEqualAll = ni.Presence == nt && distinct == 1 && nt > 0
 }
 
 // DepthFilter selects the node population for per-depth similarity
@@ -219,6 +362,20 @@ func (f DepthFilter) admit(ni *NodeInfo, total int) bool {
 	return true
 }
 
+// depthScratch is the reusable state of one DepthSimilarity call: the
+// per-id admission table, the filtered per-tree sets and their arena, and
+// a generation-stamped union counter. Pooled so concurrent calls stay
+// safe and steady-state calls stay allocation-free.
+type depthScratch struct {
+	admit []bool
+	seen  []int32
+	gen   int32
+	sets  [][]int32
+	arena []int32
+}
+
+var depthScratchPool = sync.Pool{New: func() any { return new(depthScratch) }}
+
 // DepthSimilarity computes the paper's per-depth node-set similarity: for
 // every depth d ≥ 1 occupied in some tree, the pairwise mean Jaccard of the
 // admitted keys at d, averaged over depths weighted by each depth's node
@@ -227,36 +384,58 @@ func (f DepthFilter) admit(ni *NodeInfo, total int) bool {
 // (similarity, number of depths compared); with no admissible depth the
 // similarity is 1.
 func (c *Comparison) DepthSimilarity(f DepthFilter) (float64, int) {
-	maxDepth := 0
-	for _, t := range c.Trees {
-		if d := t.MaxDepth(); d > maxDepth {
-			maxDepth = d
-		}
+	nt := len(c.Trees)
+	nk := len(c.keys)
+	s := depthScratchPool.Get().(*depthScratch)
+	defer depthScratchPool.Put(s)
+	if cap(s.admit) < nk {
+		s.admit = make([]bool, nk)
+		s.seen = make([]int32, nk)
 	}
+	s.admit = s.admit[:nk]
+	s.seen = s.seen[:nk]
+	if cap(s.sets) < nt {
+		s.sets = make([][]int32, nt)
+	}
+	s.sets = s.sets[:nt]
+	for id, ni := range c.infoByID {
+		s.admit[id] = f.admit(ni, nt)
+	}
+
 	var sum, weight float64
 	depths := 0
-	for d := 1; d <= maxDepth; d++ {
-		sets := make([]map[string]bool, len(c.Trees))
-		union := map[string]bool{}
-		for ti, t := range c.Trees {
-			set := map[string]bool{}
-			for key := range t.KeysAtDepth(d) {
-				ni := c.Nodes[key]
-				if ni != nil && f.admit(ni, len(c.Trees)) {
-					set[key] = true
-					union[key] = true
+	for d := 1; d <= c.maxDepth; d++ {
+		// The union count rides along while filtering: a generation stamp
+		// per id replaces the per-depth union map.
+		s.gen++
+		union := 0
+		buf := s.arena[:0]
+		for ti := range c.Trees {
+			var src []int32
+			if d < len(c.byDepth[ti]) {
+				src = c.byDepth[ti][d]
+			}
+			start := len(buf)
+			for _, id := range src {
+				if s.admit[id] {
+					buf = append(buf, id)
+					if s.seen[id] != s.gen {
+						s.seen[id] = s.gen
+						union++
+					}
 				}
 			}
-			sets[ti] = set
+			s.sets[ti] = buf[start:len(buf):len(buf)]
 		}
-		if len(union) == 0 {
+		s.arena = buf[:0]
+		if union == 0 {
 			continue
 		}
-		w := float64(len(union))
+		w := float64(union)
 		if f.Unweighted {
 			w = 1
 		}
-		sum += stats.PairwiseMeanJaccard(sets) * w
+		sum += stats.PairwiseMeanJaccardSorted(s.sets) * w
 		weight += w
 		depths++
 	}
@@ -267,19 +446,10 @@ func (c *Comparison) DepthSimilarity(f DepthFilter) (float64, int) {
 }
 
 // AllNodesSimilarity is the whole-tree node-set pairwise mean Jaccard (the
-// Appendix D "all nodes in all trees" figure).
+// Appendix D "all nodes in all trees" figure), read off the interned
+// per-tree id sets built by Compare.
 func (c *Comparison) AllNodesSimilarity() float64 {
-	sets := make([]map[string]bool, len(c.Trees))
-	for ti, t := range c.Trees {
-		set := make(map[string]bool, t.NodeCount())
-		for _, n := range t.Nodes() {
-			if !n.IsRoot() {
-				set[n.Key] = true
-			}
-		}
-		sets[ti] = set
-	}
-	return stats.PairwiseMeanJaccard(sets)
+	return stats.PairwiseMeanJaccardSorted(c.nonRoot)
 }
 
 // HorizontalSimilarities runs the paper's recursive horizontal pass: the
@@ -305,13 +475,5 @@ func isRootKey(c *Comparison, key string) bool {
 // of their node keys present in both — the §4 "comparing two different
 // profiles, 48% of the underlying data varies" statistic is 1 minus this.
 func (c *Comparison) PairwisePresence(i, j int) float64 {
-	a, b := c.Trees[i], c.Trees[j]
-	setA, setB := map[string]bool{}, map[string]bool{}
-	for _, n := range a.Nodes() {
-		setA[n.Key] = true
-	}
-	for _, n := range b.Nodes() {
-		setB[n.Key] = true
-	}
-	return stats.Jaccard(setA, setB)
+	return stats.JaccardSorted(c.treeKeys[i], c.treeKeys[j])
 }

@@ -231,51 +231,5 @@ func TestSingleTreeDegenerate(t *testing.T) {
 	}
 }
 
-func BenchmarkCompare(b *testing.B) {
-	// Five medium trees with overlapping structure.
-	var trees []*tree.Tree
-	for p := 0; p < 5; p++ {
-		var edges [][2]string
-		for i := 0; i < 60; i++ {
-			if (i+p)%13 == 0 {
-				continue // profile-specific gaps
-			}
-			parent := rootURL
-			if i >= 10 {
-				parent = u(name(i / 3))
-			}
-			edges = append(edges, [2]string{u(name(i)), parent})
-		}
-		tb := testing.TB(b)
-		_ = tb
-		tr, err := (&tree.Builder{}).Build(visitFor(edges, p))
-		if err != nil {
-			b.Fatal(err)
-		}
-		trees = append(trees, tr)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Compare(trees)
-	}
-}
-
-func name(i int) string {
-	return string(rune('a'+i%26)) + string(rune('0'+i/26))
-}
-
-func visitFor(edges [][2]string, p int) *measurement.Visit {
-	v := &measurement.Visit{
-		Site: "fig6.example", PageURL: rootURL, Profile: name(p), Success: true,
-		Requests: []measurement.Request{{URL: rootURL, Type: measurement.TypeMainFrame}},
-	}
-	for _, e := range edges {
-		req := measurement.Request{URL: e[0], Type: measurement.TypeScript}
-		if e[1] != rootURL {
-			req.CallStack = []measurement.StackFrame{{FuncName: "f", URL: e[1]}}
-		}
-		v.Requests = append(v.Requests, req)
-	}
-	return v
-}
+// BenchmarkCompare and the rest of the kernel benchmark suite live in
+// bench_test.go.

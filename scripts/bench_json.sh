@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_json.sh — run the tree-diff hot-path benchmarks and record the
+# numbers as machine-readable JSON.
+#
+# Parses `go test -bench -benchmem` text output into one JSON object per
+# benchmark (name, iterations, ns_per_op, b_per_op, allocs_per_op) so
+# perf regressions can be diffed across PRs without eyeballing terminal
+# output. Written with awk only — no extra tooling in the image.
+#
+# Usage: sh scripts/bench_json.sh [out.json]
+set -e
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_treediff.json}"
+PACKAGES="./internal/treediff ./internal/stats"
+PATTERN='^(BenchmarkCompare|BenchmarkDepthSimilarity|BenchmarkPairwiseJaccard)$'
+
+raw=$("$GO" test -run '^$' -bench "$PATTERN" -benchmem $PACKAGES)
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; n = 0 }
+/^Benchmark/ {
+    # Benchmark lines look like:
+    #   BenchmarkCompare/medium-8  10000  110407 ns/op  128352 B/op  119 allocs/op
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n > 0) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "") printf ", \"b_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+    n++
+}
+END {
+    if (n > 0) printf "\n"
+    print "  ]"
+    print "}"
+    if (n == 0) exit 1
+}
+' > "$OUT"
+
+echo "bench_json: $(grep -c '"name"' "$OUT") benchmarks written to $OUT"
