@@ -2,12 +2,12 @@
 # tier2 adds static vetting (go vet over every package, the job-server
 # service included), the race detector over the concurrent pipeline
 # (crawler clients, analysis worker pool, metrics, service queue), the
-# serve-smoke end-to-end boot of cmd/serve, and the per-package coverage
-# floor (cover).
+# serve-smoke end-to-end boot of cmd/serve, the trace-smoke validation of
+# the span-trace exports, and the per-package coverage floor (cover).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-smoke serve-smoke cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-smoke serve-smoke trace-smoke cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke cover bench-smoke
+tier2: serve-smoke trace-smoke cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -33,6 +33,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLinks$$' -fuzztime $(FUZZTIME) ./internal/linkextract
 	$(GO) test -run '^$$' -fuzz '^FuzzRedirectChain$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/faults
+
+# Crawl with -trace, validate the Chrome trace-event export with
+# cmd/tracecheck (shape + per-stage span coverage), and require the trace
+# bytes to be reproducible; see scripts/trace_smoke.sh.
+trace-smoke:
+	$(GO) build -o ./trace-smoke-crawl ./cmd/crawl
+	$(GO) build -o ./trace-smoke-analyze ./cmd/analyze
+	$(GO) build -o ./trace-smoke-check ./cmd/tracecheck
+	sh scripts/trace_smoke.sh ./trace-smoke-crawl ./trace-smoke-analyze ./trace-smoke-check
+	rm -f ./trace-smoke-crawl ./trace-smoke-analyze ./trace-smoke-check
 
 # Boot the job server, submit a job over HTTP, assert the report artifact
 # comes back 200 + non-empty, and require a clean SIGINT drain.

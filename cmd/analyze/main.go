@@ -2,7 +2,10 @@
 // paper's tables and figures from it. The -sites/-pages/-seed flags must
 // match the crawl so the universe (filter list, rank sample) is rebuilt
 // identically. The analysis fans out over -workers goroutines; its output
-// is byte-identical for every worker count.
+// is byte-identical for every worker count. -trace records deterministic
+// spans for every analysis stage (vet, build, compare) and prints a
+// per-stage breakdown table; diagnostics are structured log records on
+// stderr (-log-level, -log-json).
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 
 	"webmeasure"
 	"webmeasure/internal/metrics"
+	"webmeasure/internal/report"
+	"webmeasure/internal/trace"
 )
 
 func main() {
@@ -46,8 +51,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.String("json", "", "also export all results as one JSON bundle to this file")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile after the analysis to this file (go tool pprof)")
+
+		traceOut    = fs.String("trace", "", "write a Chrome trace-event JSON of the analysis to this file (chrome://tracing)")
+		traceJSONL  = fs.String("trace-jsonl", "", "write the span trace as JSON Lines to this file")
+		traceSample = fs.Int("trace-sample", 1, "trace one page in N (head-based sampling; 1 = every page)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logJSON     = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := trace.NewLogger(stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(stderr, "analyze: %v\n", err)
 		return 2
 	}
 
@@ -86,46 +102,60 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		logger.Error("analysis failed", "error", err.Error())
 		return 1
 	}
 	defer f.Close()
 
 	reg := metrics.New()
-	stopProgress := metrics.StartProgress(stderr, reg, *progress)
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceJSONL != "" {
+		tracer = trace.New(trace.Options{Seed: *seed, SampleEvery: *traceSample, Metrics: reg})
+	}
+	stopProgress := metrics.StartProgress(ctx, stderr, reg, *progress)
 	res, err := webmeasure.LoadAndAnalyzeContext(ctx, f, webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
-		Workers: *workers, Metrics: reg,
+		Workers: *workers, Metrics: reg, Tracer: tracer,
 	})
 	stopProgress()
 	if err != nil {
-		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		logger.Error("analysis failed", "error", err.Error())
 		return 1
 	}
 	res.WriteReport(stdout)
-	fmt.Fprintf(stderr, "metrics: %s\n", reg.Snapshot())
+	logger.Info("metrics", "snapshot", fmt.Sprint(reg.Snapshot()))
+	if tracer != nil {
+		report.WriteStageBreakdown(stderr, tracer.StageBreakdown())
+		if err := tracer.WriteFiles(*traceOut, *traceJSONL); err != nil {
+			logger.Error("trace write failed", "error", err.Error())
+			return 1
+		}
+		logger.Info("trace written",
+			"traces", tracer.TraceCount(), "spans", tracer.SpanCount(),
+			"sample_every", tracer.SampleEvery(), "dropped", tracer.Dropped())
+	}
 	if *jsonOut != "" {
 		jf, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintf(stderr, "analyze: %v\n", err)
+			logger.Error("json export failed", "error", err.Error())
 			return 1
 		}
 		if err := res.WriteJSON(jf); err != nil {
-			fmt.Fprintf(stderr, "analyze: json export: %v\n", err)
+			logger.Error("json export failed", "error", err.Error())
 			return 1
 		}
 		if err := jf.Close(); err != nil {
-			fmt.Fprintf(stderr, "analyze: %v\n", err)
+			logger.Error("json export failed", "error", err.Error())
 			return 1
 		}
-		fmt.Fprintf(stderr, "JSON bundle written to %s\n", *jsonOut)
+		logger.Info("json bundle written", "path", *jsonOut)
 	}
 	if *csvDir != "" {
 		if err := res.WriteCSVFiles(*csvDir); err != nil {
-			fmt.Fprintf(stderr, "analyze: csv export: %v\n", err)
+			logger.Error("csv export failed", "error", err.Error())
 			return 1
 		}
-		fmt.Fprintf(stderr, "CSV files written to %s\n", *csvDir)
+		logger.Info("csv files written", "dir", *csvDir)
 	}
 	return 0
 }

@@ -42,11 +42,12 @@ func TestAnalyzeSmoke(t *testing.T) {
 	dir := t.TempDir()
 	jsonOut := filepath.Join(dir, "bundle.json")
 	csvDir := filepath.Join(dir, "csv")
+	traceOut := filepath.Join(dir, "trace.json")
 	var stdout, stderr bytes.Buffer
 	code := run(context.Background(), []string{
 		"-i", path, "-sites", "5", "-pages", "3", "-seed", "7",
 		"-workers", "2", "-progress", "0",
-		"-json", jsonOut, "-csv", csvDir,
+		"-json", jsonOut, "-csv", csvDir, "-trace", traceOut,
 	}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("run exited %d: %s", code, stderr.String())
@@ -58,6 +59,15 @@ func TestAnalyzeSmoke(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "analysis.pages.vetted=") {
 		t.Errorf("stderr missing metrics snapshot:\n%s", stderr.String())
+	}
+	for _, want := range []string{"Stage breakdown", "analyze.compare"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+	raw, err := os.ReadFile(traceOut)
+	if err != nil || !strings.Contains(string(raw), `"traceEvents"`) {
+		t.Errorf("-trace output missing or malformed: %v", err)
 	}
 	if fi, err := os.Stat(jsonOut); err != nil || fi.Size() == 0 {
 		t.Errorf("JSON bundle missing or empty: %v", err)

@@ -2,7 +2,10 @@
 // visit records as JSON Lines — the commander/clients half of the paper's
 // framework (Appendix C). Feed the output to cmd/analyze with the same
 // -sites/-pages/-seed flags. While the crawl runs, -progress prints live
-// counter/timing snapshots (sites done, visit latency percentiles).
+// counter/timing snapshots (sites done, visit latency percentiles), and
+// -trace records one deterministic span trace per page (load the output in
+// chrome://tracing or Perfetto). Diagnostics are structured log records on
+// stderr (-log-level, -log-json).
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 
 	"webmeasure"
 	"webmeasure/internal/metrics"
+	"webmeasure/internal/report"
+	"webmeasure/internal/trace"
 )
 
 func main() {
@@ -34,63 +39,92 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sites    = fs.Int("sites", 100, "number of sites to sample")
-		pages    = fs.Int("pages", 10, "max subpages per site")
-		seed     = fs.Int64("seed", 1, "master seed")
-		workers  = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
-		progress = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
-		out      = fs.String("o", "dataset.jsonl", "output path for the JSONL dataset")
-		resume   = fs.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
-		faults   = fs.String("faults", "", "deterministic fault-injection profile: off, light, or heavy (default off)")
+		sites       = fs.Int("sites", 100, "number of sites to sample")
+		pages       = fs.Int("pages", 10, "max subpages per site")
+		seed        = fs.Int64("seed", 1, "master seed")
+		workers     = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
+		progress    = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
+		out         = fs.String("o", "dataset.jsonl", "output path for the JSONL dataset")
+		resume      = fs.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
+		faults      = fs.String("faults", "", "deterministic fault-injection profile: off, light, or heavy (default off)")
+		traceOut    = fs.String("trace", "", "write a Chrome trace-event JSON of the crawl to this file (chrome://tracing)")
+		traceJSONL  = fs.String("trace-jsonl", "", "write the span trace as JSON Lines to this file")
+		traceSample = fs.Int("trace-sample", 1, "trace one page in N (head-based sampling; 1 = every page)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logJSON     = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger, err := trace.NewLogger(stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		return 2
+	}
 
 	reg := metrics.New()
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceJSONL != "" {
+		tracer = trace.New(trace.Options{Seed: *seed, SampleEvery: *traceSample, Metrics: reg})
+		// The tracer rides the context into the crawler — the same
+		// propagation path an embedding library user gets for free.
+		ctx = trace.NewContext(ctx, tracer)
+	}
 	cfg := webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
 		FaultProfile: *faults,
 		Workers:      *workers, Metrics: reg,
 		Progress: func(done, total int) {
 			if done%50 == 0 || done == total {
-				fmt.Fprintf(stderr, "crawled %d/%d sites\n", done, total)
+				logger.Info("crawl progress", "done", done, "total", total)
 			}
 		},
 	}
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {
-			fmt.Fprintf(stderr, "crawl: %v\n", err)
+			logger.Error("crawl failed", "error", err.Error())
 			return 1
 		}
 		defer f.Close()
 		cfg.ResumeJSONL = f
 	}
-	stopProgress := metrics.StartProgress(stderr, reg, *progress)
+	stopProgress := metrics.StartProgress(ctx, stderr, reg, *progress)
 	res, err := webmeasure.Run(ctx, cfg)
 	stopProgress()
 	if err != nil {
-		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		logger.Error("crawl failed", "error", err.Error())
 		return 1
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		logger.Error("crawl failed", "error", err.Error())
 		return 1
 	}
 	if err := res.WriteDataset(f); err != nil {
-		fmt.Fprintf(stderr, "crawl: write: %v\n", err)
+		logger.Error("dataset write failed", "error", err.Error())
 		return 1
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(stderr, "crawl: %v\n", err)
+		logger.Error("dataset write failed", "error", err.Error())
 		return 1
 	}
 	st := res.CrawlStats()
-	fmt.Fprintf(stderr, "metrics: %s\n", reg.Snapshot())
-	fmt.Fprintf(stderr, "done: %d sites, %d pages discovered, %d visits (%d failed, %d reused) → %s\n",
-		st.SitesVisited, st.PagesDiscovered, st.VisitsTotal, st.VisitsFailed, st.VisitsReused, *out)
+	logger.Info("metrics", "snapshot", fmt.Sprint(reg.Snapshot()))
+	logger.Info("crawl done",
+		"sites", st.SitesVisited, "pages", st.PagesDiscovered,
+		"visits", st.VisitsTotal, "failed", st.VisitsFailed, "reused", st.VisitsReused,
+		"output", *out)
+	if tracer != nil {
+		report.WriteStageBreakdown(stderr, tracer.StageBreakdown())
+		if err := tracer.WriteFiles(*traceOut, *traceJSONL); err != nil {
+			logger.Error("trace write failed", "error", err.Error())
+			return 1
+		}
+		logger.Info("trace written",
+			"traces", tracer.TraceCount(), "spans", tracer.SpanCount(),
+			"sample_every", tracer.SampleEvery(), "dropped", tracer.Dropped())
+	}
 	fmt.Fprintf(stderr, "analyze with: analyze -i %s -sites %d -pages %d -seed %d\n",
 		*out, *sites, *pages, *seed)
 	return 0

@@ -47,7 +47,53 @@ func TestCrawlSmoke(t *testing.T) {
 	if lines == 0 {
 		t.Fatal("crawl wrote an empty dataset")
 	}
-	for _, want := range []string{"metrics:", "crawl.sites=5", "done: 5 sites"} {
+	for _, want := range []string{"msg=metrics", "crawl.sites=5", `msg="crawl done"`, "sites=5"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestCrawlTrace runs the crawl with tracing on and checks both trace
+// exports land on disk, the Chrome file has loadable trace-event shape,
+// and the stage breakdown table reaches stderr.
+func TestCrawlTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.jsonl")
+	chrome := filepath.Join(dir, "trace.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-sites", "5", "-pages", "3", "-seed", "7", "-o", out, "-progress", "0",
+			"-trace", chrome, "-trace-jsonl", jsonl},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("-trace output does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		names[e.Name] = true
+	}
+	if !names["crawl.visit"] || !names["crawl.fetch"] {
+		t.Errorf("-trace output missing crawl spans, got %v", names)
+	}
+	if fi, err := os.Stat(jsonl); err != nil || fi.Size() == 0 {
+		t.Errorf("-trace-jsonl output missing or empty: %v", err)
+	}
+	for _, want := range []string{"Stage breakdown", "crawl.fetch", `msg="trace written"`} {
 		if !strings.Contains(stderr.String(), want) {
 			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
 		}
@@ -72,7 +118,7 @@ func TestCrawlResume(t *testing.T) {
 		&bytes.Buffer{}, &stderr); code != 0 {
 		t.Fatalf("resume run exited %d: %s", code, stderr.String())
 	}
-	reused := regexp.MustCompile(`, ([0-9]+) reused\)`).FindStringSubmatch(stderr.String())
+	reused := regexp.MustCompile(`reused=([0-9]+)`).FindStringSubmatch(stderr.String())
 	if reused == nil || reused[1] == "0" {
 		t.Errorf("resume run should reuse checkpointed visits:\n%s", stderr.String())
 	}

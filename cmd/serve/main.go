@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"webmeasure/internal/service"
+	"webmeasure/internal/trace"
 )
 
 func main() {
@@ -41,8 +42,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		maxSites = fs.Int("max-sites", 2000, "largest per-job site count accepted")
 		maxPages = fs.Int("max-pages", 100, "largest per-job pages-per-site accepted")
 		drain    = fs.Duration("drain", time.Minute, "shutdown grace period for running jobs")
+		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logJSON  = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := trace.NewLogger(stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(stderr, "serve: %v\n", err)
 		return 2
 	}
 
@@ -51,6 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		QueueDepth: *queue,
 		CacheSize:  *cache,
 		Limits:     service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages},
+		Logger:     logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

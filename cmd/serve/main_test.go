@@ -106,6 +106,11 @@ func TestServeEndToEnd(t *testing.T) {
 	if !strings.Contains(stderr.String(), "drained cleanly") {
 		t.Errorf("stderr missing drain confirmation:\n%s", stderr.String())
 	}
+	for _, want := range []string{`msg="job queued"`, `msg="job done"`} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing job lifecycle log %q:\n%s", want, stderr.String())
+		}
+	}
 	if !strings.Contains(stdout.String(), "serving on http://") {
 		t.Errorf("stdout missing banner:\n%s", stdout.String())
 	}

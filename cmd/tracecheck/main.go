@@ -1,0 +1,114 @@
+// Command tracecheck validates a Chrome trace-event JSON file the way a
+// trace viewer would have to parse it: the top-level object must carry a
+// traceEvents array; every event needs a name, a known phase, and a
+// non-negative timestamp; complete ("X") events need non-negative
+// durations; and -require asserts that specific span names are present.
+// The trace smoke test (make trace-smoke) runs it over a real crawl's
+// -trace output so a regression in the exporter fails CI, not a viewer.
+//
+// Usage:
+//
+//	tracecheck [-require crawl.visit,analyze.compare] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// traceEventFile mirrors the trace-event JSON format's top level. Extra
+// fields are tolerated (the format allows metadata keys).
+type traceEventFile struct {
+	TraceEvents *[]traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   *int64 `json:"ts"`
+	Dur  *int64 `json:"dur"`
+}
+
+// knownPhases are the trace-event phases this pipeline emits (complete
+// spans, instants, metadata); anything else marks exporter drift.
+var knownPhases = map[string]bool{"X": true, "i": true, "M": true}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	require := fs.String("require", "", "comma-separated span names that must appear in the trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-require name,name] trace.json")
+		return 2
+	}
+	path := fs.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	var tf traceEventFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %s is not valid JSON: %v\n", path, err)
+		return 1
+	}
+	if tf.TraceEvents == nil {
+		fmt.Fprintf(stderr, "tracecheck: %s has no traceEvents array\n", path)
+		return 1
+	}
+	names := map[string]bool{}
+	var spans int
+	for i, e := range *tf.TraceEvents {
+		if e.Name == "" {
+			fmt.Fprintf(stderr, "tracecheck: event %d has no name\n", i)
+			return 1
+		}
+		if !knownPhases[e.Ph] {
+			fmt.Fprintf(stderr, "tracecheck: event %d (%s) has unknown phase %q\n", i, e.Name, e.Ph)
+			return 1
+		}
+		if e.Ph == "M" {
+			continue // metadata events carry no timeline fields
+		}
+		if e.Ts == nil || *e.Ts < 0 {
+			fmt.Fprintf(stderr, "tracecheck: event %d (%s) has a missing or negative ts\n", i, e.Name)
+			return 1
+		}
+		if e.Ph == "X" {
+			if e.Dur == nil || *e.Dur < 0 {
+				fmt.Fprintf(stderr, "tracecheck: X event %d (%s) has a missing or negative dur\n", i, e.Name)
+				return 1
+			}
+			spans++
+			names[e.Name] = true
+		}
+	}
+	if *require != "" {
+		var missing []string
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !names[want] {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(stderr, "tracecheck: %s is missing required spans: %s\n",
+				path, strings.Join(missing, ", "))
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "tracecheck: OK (%d events, %d spans, %d distinct span names)\n",
+		len(*tf.TraceEvents), spans, len(names))
+	return 0
+}

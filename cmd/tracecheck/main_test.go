@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// check writes body to a temp file and runs the validator over it.
+func check(t *testing.T, body string, flags ...string) (int, string, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(append(flags, path), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestTracecheckAcceptsValidTrace(t *testing.T) {
+	body := `{"displayTimeUnit":"ms","traceEvents":[
+		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"page a"}},
+		{"name":"crawl.visit","ph":"X","ts":100,"dur":50,"pid":1,"tid":1},
+		{"name":"retry.decided","ph":"i","ts":120,"s":"t","pid":1,"tid":1}
+	]}`
+	code, stdout, stderr := check(t, body, "-require", "crawl.visit")
+	if code != 0 {
+		t.Fatalf("valid trace rejected (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "tracecheck: OK") || !strings.Contains(stdout, "1 spans") {
+		t.Fatalf("unexpected output: %s", stdout)
+	}
+}
+
+func TestTracecheckRejectsBadShapes(t *testing.T) {
+	for name, tc := range map[string]struct {
+		body  string
+		flags []string
+		want  string
+	}{
+		"not json":         {body: "nope", want: "not valid JSON"},
+		"no traceEvents":   {body: `{"foo": 1}`, want: "no traceEvents array"},
+		"null traceEvents": {body: `{"traceEvents": null}`, want: "no traceEvents array"},
+		"nameless event":   {body: `{"traceEvents":[{"ph":"X","ts":1,"dur":1}]}`, want: "has no name"},
+		"unknown phase":    {body: `{"traceEvents":[{"name":"x","ph":"Z","ts":1}]}`, want: "unknown phase"},
+		"missing ts":       {body: `{"traceEvents":[{"name":"x","ph":"X","dur":1}]}`, want: "missing or negative ts"},
+		"negative dur":     {body: `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-2}]}`, want: "negative dur"},
+		"missing span": {
+			body:  `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":1}]}`,
+			flags: []string{"-require", "x,crawl.visit"},
+			want:  "missing required spans: crawl.visit",
+		},
+	} {
+		code, _, stderr := check(t, tc.body, tc.flags...)
+		if code != 1 {
+			t.Errorf("%s: exit = %d, want 1", name, code)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr missing %q: %s", name, tc.want, stderr)
+		}
+	}
+}
+
+func TestTracecheckUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag", "x"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.json")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit = %d, want 1", code)
+	}
+}

@@ -3,7 +3,10 @@ package webmeasure
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
+
+	"webmeasure/internal/metrics"
 )
 
 // TestFaultSweepDeterministic extends the determinism golden test across
@@ -20,7 +23,8 @@ func TestFaultSweepDeterministic(t *testing.T) {
 		profile := profile
 		t.Run(profile, func(t *testing.T) {
 			t.Parallel()
-			cfg := Config{Seed: seed, Sites: sites, PagesPerSite: pages, FaultProfile: profile}
+			reg := metrics.New()
+			cfg := Config{Seed: seed, Sites: sites, PagesPerSite: pages, FaultProfile: profile, Metrics: reg}
 			res, err := Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -30,12 +34,36 @@ func TestFaultSweepDeterministic(t *testing.T) {
 				t.Fatal(err)
 			}
 			sum := res.Summary()
+
+			// Per-kind observability counters: the injector counts every
+			// disturbed attempt by kind, the crawler counts committed
+			// retries by the fault that triggered them.
+			var injected, retried int64
+			for _, c := range reg.Snapshot().Counters {
+				switch {
+				case strings.HasPrefix(c.Name, "faults.injected.total|kind="):
+					injected += c.Value
+				case strings.HasPrefix(c.Name, "crawl.retries.total|kind="):
+					retried += c.Value
+				}
+			}
 			if profile == "off" {
 				if sum.ExcludedDegraded != 0 {
 					t.Errorf("faults off but %d pages degraded", sum.ExcludedDegraded)
 				}
-			} else if sum.ExcludedPages == 0 {
-				t.Errorf("%s faults produced no vetting exclusions: %+v", profile, sum)
+				if injected != 0 || retried != 0 {
+					t.Errorf("faults off but counters report %d injected, %d retried", injected, retried)
+				}
+			} else {
+				if sum.ExcludedPages == 0 {
+					t.Errorf("%s faults produced no vetting exclusions: %+v", profile, sum)
+				}
+				if injected == 0 {
+					t.Errorf("%s faults but faults.injected.total{kind} counters are zero", profile)
+				}
+				if retried == 0 {
+					t.Errorf("%s faults but crawl.retries.total{kind} counters are zero", profile)
+				}
 			}
 
 			type export struct{ report, json, csv []byte }

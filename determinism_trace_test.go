@@ -1,0 +1,104 @@
+package webmeasure
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"webmeasure/internal/trace"
+)
+
+// traceRun crawls and analyzes one configuration under a fresh tracer and
+// returns both trace exports plus the tracer itself.
+func traceRun(t *testing.T, cfg Config, sampleEvery int) (jsonl, chrome []byte, tc *trace.Tracer) {
+	t.Helper()
+	tc = trace.New(trace.Options{Seed: cfg.Seed, SampleEvery: sampleEvery})
+	cfg.Tracer = tc
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	var jl, ch bytes.Buffer
+	if err := tc.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.WriteChromeTrace(&ch); err != nil {
+		t.Fatal(err)
+	}
+	return jl.Bytes(), ch.Bytes(), tc
+}
+
+// TestTraceByteIdenticalAcrossWorkers folds the span trace into the
+// determinism golden suite: the same seed must export byte-identical
+// trace JSONL and Chrome trace-event JSON at Workers=1 and Workers=8 —
+// span IDs are seeded hashes and timestamps are simulated, so no
+// goroutine schedule may leak into the trace. Runs both on a clean
+// network and under heavy fault injection (retry/backoff spans included),
+// and repeats the clean run with head-sampling on.
+func TestTraceByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		faults  string
+		sample  int
+		require []string
+	}{
+		{
+			name: "clean", faults: "", sample: 1,
+			require: []string{
+				"crawl.visit", "crawl.fetch",
+				"analyze.vet", "analyze.build", "analyze.compare",
+				"treediff.intern", "treediff.fill",
+			},
+		},
+		{
+			name: "heavy-faults", faults: "heavy", sample: 1,
+			require: []string{"crawl.visit", "crawl.fetch", "crawl.backoff", "analyze.compare"},
+		},
+		{name: "sampled-1-in-3", faults: "", sample: 3, require: []string{"crawl.visit"}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Seed: 11, Sites: 8, PagesPerSite: 3, FaultProfile: tc.faults}
+			cfg.Workers = 1
+			oneJL, oneCh, tr1 := traceRun(t, cfg, tc.sample)
+			cfg.Workers = 8
+			eightJL, eightCh, tr8 := traceRun(t, cfg, tc.sample)
+
+			if !bytes.Equal(oneJL, eightJL) {
+				t.Errorf("trace JSONL differs between workers=1 and workers=8 (%d vs %d bytes)",
+					len(oneJL), len(eightJL))
+			}
+			if !bytes.Equal(oneCh, eightCh) {
+				t.Errorf("Chrome trace differs between workers=1 and workers=8 (%d vs %d bytes)",
+					len(oneCh), len(eightCh))
+			}
+			if tr1.SpanCount() == 0 || tr1.SpanCount() != tr8.SpanCount() {
+				t.Errorf("span counts: workers=1 has %d, workers=8 has %d",
+					tr1.SpanCount(), tr8.SpanCount())
+			}
+			got := string(oneJL)
+			for _, span := range tc.require {
+				if !strings.Contains(got, `"name":"`+span+`"`) {
+					t.Errorf("trace missing %q spans", span)
+				}
+			}
+			if tc.sample > 1 {
+				full := Config{Seed: 11, Sites: 8, PagesPerSite: 3}
+				fullJL, _, _ := traceRun(t, full, 1)
+				if len(oneJL) >= len(fullJL) {
+					t.Errorf("1-in-%d sampling did not shrink the trace (%d vs %d bytes)",
+						tc.sample, len(oneJL), len(fullJL))
+				}
+			}
+			if tc.faults == "heavy" {
+				if !strings.Contains(got, `"fault.kind"`) {
+					t.Error("fault run recorded no fault.kind attributes")
+				}
+				if !strings.Contains(got, `"attempt":"2"`) {
+					t.Error("fault run recorded no second fetch attempts")
+				}
+			}
+		})
+	}
+}

@@ -115,6 +115,9 @@ func (b *Browser) VisitAttempt(page *webgen.Page, nonce uint64, attempt int, jar
 	if b.Transport != nil {
 		out = b.Transport.RoundTrip(b.Profile.Name, page.URL, attempt)
 	}
+	if out.Kind != faults.None {
+		v.FaultKind = out.Kind.String()
+	}
 	switch out.Kind {
 	case faults.Error, faults.ServerError:
 		v.Failure = out.Failure

@@ -13,7 +13,9 @@ import (
 
 	"webmeasure/internal/dataset"
 	"webmeasure/internal/filterlist"
+	"webmeasure/internal/measurement"
 	"webmeasure/internal/metrics"
+	"webmeasure/internal/trace"
 	"webmeasure/internal/tree"
 	"webmeasure/internal/treediff"
 )
@@ -93,8 +95,15 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Context, if non-nil, cancels the per-page analysis between pages —
 	// the hook a job server needs to abort a long analysis mid-flight.
-	// New returns the context's error when it fires.
+	// New returns the context's error when it fires. A tracer carried by
+	// the context (trace.NewContext) is picked up when Tracer is nil.
 	Context context.Context
+	// Tracer, if non-nil, records analysis spans (analyze.vet,
+	// analyze.build per profile, analyze.compare with treediff.intern /
+	// treediff.fill children) on each page's trace. Timestamps come from
+	// a deterministic work-proportional cost model, not the wall clock,
+	// so traces stay byte-identical across worker counts.
+	Tracer *trace.Tracer
 }
 
 // New builds the analysis: vetting, tree construction, cross-comparison.
@@ -139,11 +148,16 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	if workers > len(pages) {
 		workers = len(pages)
 	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = trace.TracerFrom(opts.Context)
+	}
 	w := pageWorker{
 		profiles:      profiles,
 		builder:       builder,
 		minSuccess:    minSuccess,
 		allowDegraded: opts.AllowDegraded,
+		tracer:        tracer,
 		pagesSeen:     opts.Metrics.Counter("analysis.pages"),
 		pagesOK:       opts.Metrics.Counter("analysis.pages.vetted"),
 		trees:         opts.Metrics.Counter("analysis.trees"),
@@ -215,9 +229,94 @@ type pageWorker struct {
 	builder       *tree.Builder
 	minSuccess    int
 	allowDegraded bool
+	tracer        *trace.Tracer
 
 	pagesSeen, pagesOK, trees, treesFail *metrics.Counter
 	pageMS                               *metrics.Histogram
+}
+
+// Analysis span timestamps are simulated: a work-proportional cost model
+// on a per-page cursor, not the wall clock, so exported traces are
+// byte-identical for every worker count. The base plants the analysis
+// block past the crawl's timeline (offset tail ~6 min + retry budget);
+// the per-unit costs are arbitrary but fixed — span *proportions* carry
+// the signal (a 400-request page's build span is 4× a 100-request one's).
+const (
+	analysisBaseUS      = 600_000_000 // 10 simulated minutes
+	vetCostUSPerProfile = 50
+	buildCostUSPerReq   = 20
+	internCostUSPerNode = 2
+	fillCostUSPerNode   = 5
+)
+
+// analyzeSpans instruments one page's analysis on its trace (the same
+// trace the crawl opened for the page, joined by key). Nil when tracing
+// is off or the page was sampled out.
+type analyzeSpans struct {
+	tr     *trace.Trace
+	cursor int64
+}
+
+func (w *pageWorker) startSpans(pv *dataset.PageVisits) *analyzeSpans {
+	tr := w.tracer.Trace("page", pv.Key.Site+"|"+pv.Key.PageURL)
+	if tr == nil {
+		return nil
+	}
+	return &analyzeSpans{tr: tr, cursor: analysisBaseUS}
+}
+
+// vet records the vetting span: one eligibility sweep over the profiles.
+func (s *analyzeSpans) vet(profiles, eligible int, excluded string) {
+	if s == nil {
+		return
+	}
+	sp := s.tr.Span(nil, "analyze.vet", "", s.cursor)
+	sp.SetAttrInt("profiles", profiles).SetAttrInt("eligible", eligible)
+	if excluded != "" {
+		sp.SetAttr("excluded", excluded)
+	}
+	s.cursor += int64(profiles) * vetCostUSPerProfile
+	sp.End(s.cursor)
+}
+
+// build records one profile's tree-build span, costed by request count.
+func (s *analyzeSpans) build(profile string, requests int, t *tree.Tree, err error) {
+	if s == nil {
+		return
+	}
+	sp := s.tr.Span(nil, "analyze.build", profile, s.cursor)
+	sp.SetAttr("profile", profile).SetAttrInt("requests", requests)
+	s.cursor += int64(requests)*buildCostUSPerReq + buildCostUSPerReq
+	if err != nil {
+		sp.SetAttr("error", "build failed")
+	} else {
+		sp.SetAttrInt("nodes", t.NodeCount())
+	}
+	sp.End(s.cursor)
+}
+
+// compare records the cross-comparison span with the treediff kernel's
+// two internal stages as children: interning (costed by total input
+// nodes) and the per-node fill (costed by union nodes).
+func (s *analyzeSpans) compare(trees []*tree.Tree, cmp *treediff.Comparison) {
+	if s == nil {
+		return
+	}
+	totalNodes := 0
+	for _, t := range trees {
+		totalNodes += t.NodeCount()
+	}
+	sp := s.tr.Span(nil, "analyze.compare", "", s.cursor)
+	sp.SetAttrInt("trees", len(trees)).SetAttrInt("union_nodes", len(cmp.Nodes))
+	intern := s.tr.Span(sp, "treediff.intern", "", s.cursor)
+	intern.SetAttrInt("nodes", totalNodes)
+	s.cursor += int64(totalNodes) * internCostUSPerNode
+	intern.End(s.cursor)
+	fill := s.tr.Span(sp, "treediff.fill", "", s.cursor)
+	fill.SetAttrInt("nodes", len(cmp.Nodes))
+	s.cursor += int64(len(cmp.Nodes)) * fillCostUSPerNode
+	fill.End(s.cursor)
+	sp.End(s.cursor)
 }
 
 // pageResult is one slot of the merge: the page's analysis when it was
@@ -230,10 +329,14 @@ type pageResult struct {
 
 // analyze vets one page group, builds its trees, and cross-compares them.
 // A page that fails vetting yields a nil analysis plus the most severe
-// exclusion reason among its visits.
+// exclusion reason among its visits. The three stages run back to back
+// per page (vetting → build → compare) and each is traced; the exclusion
+// ranking is a max over reasons, so splitting the stages cannot change
+// which reason wins.
 func (w *pageWorker) analyze(pv *dataset.PageVisits) pageResult {
 	defer w.pageMS.Time()()
 	w.pagesSeen.Inc()
+	spans := w.startSpans(pv)
 	pa := &PageAnalysis{Key: pv.Key}
 	worst := ""
 	flag := func(reason string) {
@@ -241,20 +344,31 @@ func (w *pageWorker) analyze(pv *dataset.PageVisits) pageResult {
 			worst = reason
 		}
 	}
+	// Vetting: the per-profile eligibility sweep (the paper's "successfully
+	// and consistently visited" rule).
+	type candidate struct {
+		profile string
+		v       *measurement.Visit
+	}
+	var eligible []candidate
 	for _, prof := range w.profiles {
 		v := pv.ByProfile[prof]
 		switch {
 		case v == nil:
 			flag(ExcludeMissing)
-			continue
 		case !v.Success:
 			flag(ExcludeFailed)
-			continue
 		case !v.Clean() && !w.allowDegraded:
 			flag(ExcludeDegraded)
-			continue
+		default:
+			eligible = append(eligible, candidate{profile: prof, v: v})
 		}
-		t, err := w.builder.Build(v)
+	}
+	spans.vet(len(w.profiles), len(eligible), worst)
+	// Tree construction, one tree per eligible profile.
+	for _, c := range eligible {
+		t, err := w.builder.Build(c.v)
+		spans.build(c.profile, len(c.v.Requests), t, err)
 		if err != nil {
 			// Success flags guarantee requests; a build failure means
 			// a malformed record — skip the visit rather than abort.
@@ -271,7 +385,9 @@ func (w *pageWorker) analyze(pv *dataset.PageVisits) pageResult {
 		}
 		return pageResult{excluded: worst}
 	}
+	// Cross-comparison over the page's trees.
 	pa.Cmp = treediff.Compare(pa.Trees)
+	spans.compare(pa.Trees, pa.Cmp)
 	w.pagesOK.Inc()
 	return pageResult{pa: pa}
 }

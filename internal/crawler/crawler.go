@@ -18,6 +18,7 @@ import (
 	"webmeasure/internal/faults"
 	"webmeasure/internal/measurement"
 	"webmeasure/internal/metrics"
+	"webmeasure/internal/trace"
 	"webmeasure/internal/tranco"
 	"webmeasure/internal/webgen"
 )
@@ -86,6 +87,13 @@ type Config struct {
 	// baseline failure modes are session-persistent and retrying them
 	// would only skew the paper's ~11% failure calibration.
 	Retry RetryPolicy
+	// Tracer, if non-nil, records one trace per page: a crawl.visit span
+	// per profile with crawl.fetch/crawl.backoff children carrying fault
+	// kind and attempt attributes, on the crawl's simulated-time axis
+	// (StartOffsetS + accumulated render/backoff milliseconds), so traces
+	// are byte-identical for any worker count. Falls back to the tracer
+	// carried by Run's context.
+	Tracer *trace.Tracer
 }
 
 // RetryPolicy bounds visitPage's attempt loop. Backoff is exponential
@@ -171,11 +179,16 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	inj.InstrumentWith(cfg.Metrics)
 	var transport browser.Transport
 	if inj.Enabled() {
 		transport = inj
 	}
 	retry := cfg.Retry.withDefaults()
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.TracerFrom(ctx)
+	}
 
 	ds := dataset.New()
 	var stats Stats
@@ -190,6 +203,12 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	mReused := cfg.Metrics.Counter("crawl.visits.reused")
 	mVisitMS := cfg.Metrics.Histogram("crawl.visit_ms")
 	mSiteMS := cfg.Metrics.Histogram("crawl.site_ms")
+	// Per-profile latency series: one labeled histogram per profile, the
+	// per-profile half of the stage breakdown.
+	mVisitMSByProf := make(map[string]*metrics.Histogram, len(profiles))
+	for _, p := range profiles {
+		mVisitMSByProf[p.Name] = cfg.Metrics.Histogram(metrics.Labeled("crawl.visit_ms", "profile", p.Name))
+	}
 
 	for si, entry := range cfg.Sites {
 		if err := ctx.Err(); err != nil {
@@ -243,7 +262,7 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 					}
 					todo = append(todo, p)
 				}
-				visitAll(b, site, todo, cfg.Seed, instances, cfg.Stateful, retry, ds, func(v *measurement.Visit) {
+				visitAll(tracer, cfg.Metrics, b, site, todo, cfg.Seed, instances, cfg.Stateful, retry, ds, func(v *measurement.Visit) {
 					if cfg.OnVisit != nil {
 						cfg.OnVisit(v)
 					}
@@ -264,6 +283,7 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 						mFailed.Inc()
 					} else {
 						mVisitMS.Observe(float64(v.DurationMS))
+						mVisitMSByProf[v.Profile].Observe(float64(v.DurationMS))
 					}
 					statsMu.Lock()
 					stats.VisitsTotal++
@@ -299,14 +319,15 @@ func discoverPages(site *webgen.Site, maxPages int) []*webgen.Page {
 // visitAll runs one client: a pool of browser instances draining the
 // site's pages, or — in stateful mode — one sequential session whose
 // cookie jar persists across the site's pages.
-func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
+func visitAll(tracer *trace.Tracer, reg *metrics.Registry, b *browser.Browser,
+	site *webgen.Site, pages []*webgen.Page,
 	seed int64, instances int, stateful bool, retry RetryPolicy,
 	ds *dataset.Dataset, record func(*measurement.Visit)) {
 
 	if stateful {
 		jar := browser.NewJar()
 		for _, p := range pages {
-			v := visitPage(b, site, p, seed, jar, retry)
+			v := visitPage(tracer, reg, b, site, p, seed, jar, retry)
 			ds.Add(v)
 			record(v)
 		}
@@ -321,7 +342,7 @@ func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				v := visitPage(b, site, j.page, seed, nil, retry)
+				v := visitPage(tracer, reg, b, site, j.page, seed, nil, retry)
 				ds.Add(v)
 				record(v)
 			}
@@ -341,22 +362,52 @@ func visitAll(b *browser.Browser, site *webgen.Site, pages []*webgen.Page,
 // faults are retried with exponential backoff, deterministic jitter, and
 // a per-visit simulated-time budget. No wall clock is consulted, so the
 // retry schedule is a pure function of (seed, profile, page).
-func visitPage(b *browser.Browser, site *webgen.Site, page *webgen.Page,
+//
+// When tracing is on, the visit records a crawl.visit span on the page's
+// trace with one crawl.fetch child per attempt and one crawl.backoff
+// child per retry wait, all on the simulated-time axis: the visit starts
+// at StartOffsetS and each attempt/backoff advances the cursor by its
+// simulated milliseconds.
+func visitPage(tracer *trace.Tracer, reg *metrics.Registry,
+	b *browser.Browser, site *webgen.Site, page *webgen.Page,
 	seed int64, jar *cookies.Jar, retry RetryPolicy) *measurement.Visit {
 
 	nonce := visitNonce(seed, b.Profile.Name, page.URL)
-	if site.Unreachable {
-		return &measurement.Visit{
+	tr := tracer.Trace("page", site.Domain+"|"+page.URL)
+	failedVisit := func(failure string) *measurement.Visit {
+		v := &measurement.Visit{
 			Site: site.Domain, PageURL: page.URL, Profile: b.Profile.Name,
-			Failure: "site unreachable", Status: measurement.VisitFailed,
+			Failure: failure, Status: measurement.VisitFailed,
 		}
+		s := tr.Span(nil, "crawl.visit", b.Profile.Name, 0)
+		s.SetAttr("profile", b.Profile.Name).SetAttr("status", measurement.VisitFailed).SetAttr("failure", failure)
+		s.End(0)
+		return v
+	}
+	if site.Unreachable {
+		return failedVisit("site unreachable")
 	}
 	if webgen.RollProb(page.Seed, nonce, "crawler", "netfail") < networkFailureProb {
-		return &measurement.Visit{
-			Site: site.Domain, PageURL: page.URL, Profile: b.Profile.Name,
-			Failure: "network error", Status: measurement.VisitFailed,
-		}
+		return failedVisit("network error")
 	}
+	// Visits start near-simultaneously but drift page by page; the paper
+	// reports a 46s mean deviation with heavy tail (Appendix C). Model the
+	// offset as a mixture of small jitter and occasional timeout-induced
+	// stragglers. Rolled before the attempt loop so the visit span can
+	// start at the offset; the roll is a pure function of (page, nonce),
+	// so its position does not change the value.
+	var offsetS float64
+	r := webgen.RollProb(page.Seed, nonce, "crawler", "offset")
+	switch {
+	case r < 0.85:
+		offsetS = r * 40 // 0..34s
+	default:
+		offsetS = 30 + (r-0.85)*2400 // tail up to ~6 min
+	}
+	cursorUS := int64(offsetS * 1e6)
+	vs := tr.Span(nil, "crawl.visit", b.Profile.Name, cursorUS)
+	vs.SetAttr("profile", b.Profile.Name)
+
 	var v *measurement.Visit
 	spentMS := 0
 	for attempt := 0; ; attempt++ {
@@ -366,27 +417,48 @@ func visitPage(b *browser.Browser, site *webgen.Site, page *webgen.Page,
 			attemptJar = browser.NewJar()
 		}
 		v = b.VisitAttempt(page, nonce, attempt, attemptJar)
+		fs := vs.Trace().Span(vs, "crawl.fetch", fmt.Sprintf("%s#%d", b.Profile.Name, attempt), cursorUS)
+		fs.SetAttr("profile", b.Profile.Name).SetAttrInt("attempt", attempt+1)
+		fs.SetAttr("status", v.EffectiveStatus())
+		if v.FaultKind != "" {
+			fs.SetAttr("fault.kind", v.FaultKind)
+		}
+		if v.Failure != "" {
+			fs.SetAttr("failure", v.Failure)
+		}
+		cursorUS += int64(v.DurationMS) * 1000
+		fs.End(cursorUS)
 		spentMS += v.DurationMS
 		if v.Success || !v.Retryable || attempt+1 >= retry.MaxAttempts {
 			break
 		}
 		wait := retry.backoffMS(attempt, page.Seed, nonce)
 		if spentMS+wait > retry.BudgetMS {
+			vs.AddEvent("retry.budget_exhausted", cursorUS,
+				trace.Attr{Key: "spent_ms", Value: fmt.Sprintf("%d", spentMS)},
+				trace.Attr{Key: "next_wait_ms", Value: fmt.Sprintf("%d", wait)})
 			break
 		}
+		// The retry is now committed: count it by the fault kind that
+		// triggered it (injected faults are the only retryable failures).
+		kind := v.FaultKind
+		if kind == "" {
+			kind = "unknown"
+		}
+		reg.Counter(metrics.Labeled("crawl.retries.total", "kind", kind)).Inc()
+		bs := vs.Trace().Span(vs, "crawl.backoff", fmt.Sprintf("%s#%d", b.Profile.Name, attempt), cursorUS)
+		bs.SetAttr("profile", b.Profile.Name).SetAttrInt("attempt", attempt+1).
+			SetAttrInt("wait_ms", wait).SetAttr("fault.kind", kind)
+		cursorUS += int64(wait) * 1000
+		bs.End(cursorUS)
 		spentMS += wait
 	}
-	// Visits start near-simultaneously but drift page by page; the paper
-	// reports a 46s mean deviation with heavy tail (Appendix C). Model the
-	// offset as a mixture of small jitter and occasional timeout-induced
-	// stragglers.
-	r := webgen.RollProb(page.Seed, nonce, "crawler", "offset")
-	switch {
-	case r < 0.85:
-		v.StartOffsetS = r * 40 // 0..34s
-	default:
-		v.StartOffsetS = 30 + (r-0.85)*2400 // tail up to ~6 min
+	v.StartOffsetS = offsetS
+	vs.SetAttr("status", v.EffectiveStatus()).SetAttrInt("attempts", v.Attempts)
+	if v.Failure != "" {
+		vs.SetAttr("failure", v.Failure)
 	}
+	vs.End(cursorUS)
 	return v
 }
 

@@ -20,6 +20,7 @@ package faults
 import (
 	"fmt"
 
+	"webmeasure/internal/metrics"
 	"webmeasure/internal/webgen"
 )
 
@@ -201,12 +202,41 @@ func ByName(name string) (Profile, error) {
 	}
 }
 
-// Injector derives fault outcomes. It holds no mutable state — Decide is
-// a pure function — so one injector is safely shared by every browser
-// instance of every profile client.
+// Injector derives fault outcomes. The decision path holds no mutable
+// state — every outcome is a pure function of its arguments — so one
+// injector is safely shared by every browser instance of every profile
+// client. The optional counters (InstrumentWith) are atomic and do not
+// influence decisions.
 type Injector struct {
 	seed    uint64
 	profile Profile
+	// counters tallies injected faults by kind; written once by
+	// InstrumentWith before the crawl starts, then only read.
+	counters map[Kind]*metrics.Counter
+}
+
+// kinds lists every injectable (non-None) kind.
+var kinds = []Kind{Error, ServerError, Latency, Truncate, RedirectLoop}
+
+// InstrumentWith binds per-kind injected-fault counters
+// (faults.injected.total{kind="..."} in the Prometheus exposition) from
+// the registry to the injector. Call before the crawl starts; a nil
+// registry or injector is a no-op.
+func (in *Injector) InstrumentWith(reg *metrics.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	in.counters = make(map[Kind]*metrics.Counter, len(kinds))
+	for _, k := range kinds {
+		in.counters[k] = reg.Counter(metrics.Labeled("faults.injected.total", "kind", k.String()))
+	}
+}
+
+// countInjected tallies a decided fault.
+func (in *Injector) countInjected(k Kind) {
+	if c := in.counters[k]; c != nil {
+		c.Inc()
+	}
 }
 
 // New creates an injector for a crawl seed and fault profile. Invalid
@@ -236,6 +266,15 @@ func attemptKey(attempt int) string {
 // RoundTrip decides the fate of one page-load attempt. It implements the
 // browser's Transport hook. Attempt counts from zero.
 func (in *Injector) RoundTrip(profile, pageURL string, attempt int) Outcome {
+	out := in.decide(profile, pageURL, attempt)
+	if out.Kind != None {
+		in.countInjected(out.Kind)
+	}
+	return out
+}
+
+// decide is the pure decision function behind RoundTrip.
+func (in *Injector) decide(profile, pageURL string, attempt int) Outcome {
 	if !in.Enabled() {
 		return Outcome{}
 	}

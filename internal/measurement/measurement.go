@@ -208,6 +208,11 @@ type Visit struct {
 	// Retryable marks a failure as transient: the fault injector judged
 	// that a retry could have cleared it (the retry budget ran out).
 	Retryable bool `json:"retryable,omitempty"`
+	// FaultKind names the injected fault that disturbed this attempt
+	// ("error", "server_error", "latency", "truncate", "redirect_loop";
+	// empty when the attempt ran on a clean network), so retries and
+	// degradations are attributable from the raw dataset and traces.
+	FaultKind string `json:"fault_kind,omitempty"`
 
 	Requests []Request           `json:"requests,omitempty"`
 	Cookies  []CookieObservation `json:"cookies,omitempty"`

@@ -28,6 +28,15 @@
 //	analysis.trees         trees built
 //	analysis.trees.failed  malformed visits skipped by the tree builder
 //	analysis.page_ms       wall-clock per page (build + cross-compare)
+//
+// Labeled series (see Labeled; the Prometheus encoder renders the suffix
+// as {k="v"} labels on one family):
+//
+//	crawl.visit_ms|profile=<p>      per-profile simulated visit duration
+//	crawl.retries.total|kind=<k>    retries by triggering fault kind
+//	faults.injected.total|kind=<k>  injected faults by kind
+//	trace.spans.total|stage=<s>     spans recorded per stage (tracing on)
+//	trace.span_us|stage=<s>         simulated span duration per stage
 package metrics
 
 import (
@@ -39,6 +48,39 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// Labeled builds the internal name of a labeled metric: the base name
+// plus a "|k=v[,k2=v2...]" suffix. The registry treats the whole string
+// as an opaque name (each label combination is its own series); the
+// Prometheus encoder splits the suffix back out and renders it as
+// {k="v",...} labels on a shared family. kv alternates key, value; a
+// trailing odd element is ignored.
+func Labeled(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('|')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	return b.String()
+}
+
+// splitLabels separates an internal metric name into its base name and
+// the raw label suffix ("" when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '|'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, ""
+}
 
 // Counter is a monotonically increasing atomic counter. The zero value is
 // ready to use; a nil Counter ignores writes and reads as zero.

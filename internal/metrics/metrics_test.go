@@ -2,7 +2,10 @@ package metrics
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -39,7 +42,7 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Histograms) != 0 {
 		t.Fatal("nil registry snapshot should be empty")
 	}
-	stop := StartProgress(&bytes.Buffer{}, r, time.Millisecond)
+	stop := StartProgress(context.Background(), &bytes.Buffer{}, r, time.Millisecond)
 	stop()
 	stop() // double-stop must be safe
 }
@@ -223,7 +226,7 @@ func TestStartProgressWritesLines(t *testing.T) {
 		defer mu.Unlock()
 		return buf.Write(p)
 	})
-	stop := StartProgress(w, r, time.Millisecond)
+	stop := StartProgress(context.Background(), w, r, time.Millisecond)
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		mu.Lock()
@@ -240,6 +243,71 @@ func TestStartProgressWritesLines(t *testing.T) {
 	mu.Unlock()
 	if !strings.Contains(out, "progress: work=7") {
 		t.Fatalf("progress output missing snapshot line: %q", out)
+	}
+}
+
+// TestStartProgressStopsOnContextCancel is the leak regression test:
+// canceling the context alone — without ever calling stop — must
+// terminate the ticker goroutines. Before the context hook, a caller
+// bailing out on an error path leaked one goroutine per StartProgress.
+func TestStartProgressStopsOnContextCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New()
+	r.Counter("work").Inc()
+	// Several tickers so the goroutine-count signal dominates noise from
+	// unrelated runtime goroutines.
+	for i := 0; i < 8; i++ {
+		StartProgress(ctx, io.Discard, r, time.Millisecond)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("progress goroutines leaked after context cancel: %d running, started from %d",
+		runtime.NumGoroutine(), base)
+}
+
+// TestStartProgressStopAfterCancel: stop() must return promptly even when
+// the context already tore the goroutine down.
+func TestStartProgressStopAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New()
+	stop := StartProgress(ctx, io.Discard, r, time.Millisecond)
+	cancel()
+	donec := make(chan struct{})
+	go func() { stop(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() hung after context cancel")
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	cases := []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"faults.injected.total", []string{"kind", "latency"}, "faults.injected.total|kind=latency"},
+		{"crawl.visit_ms", []string{"profile", "Chrome-A"}, "crawl.visit_ms|profile=Chrome-A"},
+		{"x", []string{"a", "1", "b", "2"}, "x|a=1,b=2"},
+		{"bare", nil, "bare"},
+		{"odd", []string{"k"}, "odd"},
+	}
+	for _, tc := range cases {
+		if got := Labeled(tc.base, tc.kv...); got != tc.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", tc.base, tc.kv, got, tc.want)
+		}
+		base, _ := splitLabels(tc.want)
+		if base != tc.base {
+			t.Errorf("splitLabels(%q) base = %q, want %q", tc.want, base, tc.base)
+		}
 	}
 }
 

@@ -1,19 +1,27 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
 // StartProgress spawns a goroutine that writes one snapshot line to w
-// every interval until the returned stop func is called — the periodic
-// progress output a long crawl or analysis prints while running. A
-// non-positive interval or nil registry disables the ticker; stop is
-// always safe to call (and call twice).
-func StartProgress(w io.Writer, r *Registry, interval time.Duration) (stop func()) {
+// every interval until the context is canceled or the returned stop func
+// is called — the periodic progress output a long crawl or analysis
+// prints while running. Tying the goroutine to the context means a
+// caller that returns early (error path, signal) cannot leak the ticker
+// even if it never reaches its stop call. A non-positive interval or nil
+// registry disables the ticker; stop is always safe to call (and call
+// twice, or concurrently).
+func StartProgress(ctx context.Context, w io.Writer, r *Registry, interval time.Duration) (stop func()) {
 	if r == nil || interval <= 0 {
 		return func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -23,6 +31,8 @@ func StartProgress(w io.Writer, r *Registry, interval time.Duration) (stop func(
 		defer t.Stop()
 		for {
 			select {
+			case <-ctx.Done():
+				return
 			case <-done:
 				return
 			case <-t.C:
@@ -30,13 +40,9 @@ func StartProgress(w io.Writer, r *Registry, interval time.Duration) (stop func(
 			}
 		}
 	}()
-	var stopped bool
+	var once sync.Once
 	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		close(done)
+		once.Do(func() { close(done) })
 		<-finished
 	}
 }

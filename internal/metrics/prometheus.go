@@ -3,11 +3,17 @@
 // Agent, VictoriaMetrics) ingests from a /metrics endpoint. The encoder
 // renders only what the snapshot holds, so it is deterministic: same
 // snapshot, same bytes.
+//
+// Labeled series (internal names carrying a "|k=v,..." suffix, see
+// Labeled) are grouped under one family: a single HELP + TYPE header and
+// one sample line per label combination, the way a scraper expects
+// `faults_injected_total{kind="latency"}` to join its siblings.
 package metrics
 
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -41,39 +47,176 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// promLabelsInner renders a raw "k=v,k2=v2" label suffix as
+// `k="v",k2="v2"` (no braces), sanitizing label names and quoting values.
+// Returns "" for an empty suffix.
+func promLabelsInner(raw string) string {
+	if raw == "" {
+		return ""
+	}
+	var b strings.Builder
+	for i, part := range strings.Split(raw, ",") {
+		k, v, _ := strings.Cut(part, "=")
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(v))
+	}
+	return b.String()
+}
+
+// promSeries renders "family{labels}" — just "family" when unlabeled.
+func promSeries(family, inner string) string {
+	if inner == "" {
+		return family
+	}
+	return family + "{" + inner + "}"
+}
+
+// withLe appends the le (or q) label to an inner label set.
+func withLe(inner, key, value string) string {
+	lab := key + "=" + strconv.Quote(value)
+	if inner == "" {
+		return lab
+	}
+	return inner + "," + lab
+}
+
+// helpText documents the metric families the pipeline registers; families
+// not listed fall back to a generic line so HELP is never missing.
+var helpText = map[string]string{
+	"crawl.sites":           "Sites completed by the crawl.",
+	"crawl.pages":           "Pages discovered by the crawl.",
+	"crawl.visits":          "Visits performed, including resume-reused ones.",
+	"crawl.visits.failed":   "Visits that ended in failure.",
+	"crawl.visits.reused":   "Visits reused from a resume checkpoint.",
+	"crawl.visit_ms":        "Simulated page-load duration in milliseconds.",
+	"crawl.site_ms":         "Wall-clock milliseconds per completed site batch.",
+	"crawl.retries.total":   "Visit retries by the fault kind that triggered them.",
+	"faults.injected.total": "Faults injected by the deterministic injector, by kind.",
+	"analysis.pages":        "Page groups examined by the analysis.",
+	"analysis.pages.vetted": "Pages passing the vetting rule.",
+	"analysis.trees":        "Trees built.",
+	"analysis.trees.failed": "Malformed visits skipped by the tree builder.",
+	"analysis.page_ms":      "Wall-clock milliseconds per analyzed page.",
+	"trace.spans.total":     "Trace spans recorded per pipeline stage.",
+	"trace.span_us":         "Simulated span duration in microseconds per stage.",
+	"service.jobs.total":    "Jobs accepted by the service.",
+	"service.cache_hits":    "Jobs served from the result cache.",
+}
+
+// helpFor returns the HELP text of a family's internal base name.
+func helpFor(base string) string {
+	if h := helpText[base]; h != "" {
+		return h
+	}
+	return "webmeasure metric " + base + "."
+}
+
+// familyHeader writes the one HELP + TYPE header of a family.
+func familyHeader(w io.Writer, family, base, kind string) error {
+	help := strings.NewReplacer("\\", "\\\\", "\n", "\\n").Replace(helpFor(base))
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, kind)
+	return err
+}
+
+// series is one instrument resolved to its family coordinates.
+type series struct {
+	base   string // internal base name ("faults.injected.total")
+	family string // sanitized family name
+	inner  string // rendered inner label set ("" when unlabeled)
+	idx    int    // index into the snapshot slice it came from
+}
+
+// resolveSeries maps internal names to (family, labels) and orders them
+// by family then label set, so every family's series are adjacent and a
+// single header precedes them — the grouping the exposition format
+// requires (duplicate TYPE lines are a lint error).
+func resolveSeries(names []string) []series {
+	out := make([]series, len(names))
+	for i, name := range names {
+		base, labels := splitLabels(name)
+		out[i] = series{base: base, family: promName(base), inner: promLabelsInner(labels), idx: i}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].family != out[b].family {
+			return out[a].family < out[b].family
+		}
+		return out[a].inner < out[b].inner
+	})
+	return out
+}
+
 // WritePrometheus renders the snapshot in Prometheus text exposition
 // format. Counters become counter families; each histogram becomes a
 // histogram family (cumulative le-buckets over the non-empty log buckets,
 // plus _sum and _count) and a companion <name>_quantile gauge family
 // carrying the estimated p50/p95/p99 and the exact max, so dashboards get
-// both aggregatable buckets and ready-made latency quantiles. Output is
-// sorted by name and byte-deterministic for a given snapshot.
+// both aggregatable buckets and ready-made latency quantiles. Every
+// family carries HELP + TYPE exactly once; labeled series share their
+// family's header. Output is sorted and byte-deterministic for a given
+// snapshot.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
-	for _, c := range s.Counters {
-		name := promName(c.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+	names := make([]string, len(s.Counters))
+	for i, c := range s.Counters {
+		names[i] = c.Name
+	}
+	lastFamily := ""
+	for _, se := range resolveSeries(names) {
+		if se.family != lastFamily {
+			if err := familyHeader(w, se.family, se.base, "counter"); err != nil {
+				return err
+			}
+			lastFamily = se.family
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(se.family, se.inner), s.Counters[se.idx].Value); err != nil {
 			return err
 		}
 	}
-	for _, h := range s.Histograms {
-		name := promName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+
+	names = make([]string, len(s.Histograms))
+	for i, h := range s.Histograms {
+		names[i] = h.Name
+	}
+	ordered := resolveSeries(names)
+	lastFamily = ""
+	for _, se := range ordered {
+		h := s.Histograms[se.idx]
+		if se.family != lastFamily {
+			if err := familyHeader(w, se.family, se.base, "histogram"); err != nil {
+				return err
+			}
+			lastFamily = se.family
 		}
 		for _, b := range h.Buckets {
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.Le), b.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", se.family, withLe(se.inner, "le", promFloat(b.Le)), b.Count); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-			name, h.Count, name, promFloat(h.Sum), name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n%s %s\n%s %d\n",
+			se.family, withLe(se.inner, "le", "+Inf"), h.Count,
+			promSeries(se.family+"_sum", se.inner), promFloat(h.Sum),
+			promSeries(se.family+"_count", se.inner), h.Count); err != nil {
 			return err
 		}
+	}
+	// Companion quantile gauges, one family per histogram family, emitted
+	// after the histogram block so families never interleave.
+	lastFamily = ""
+	for _, se := range ordered {
+		h := s.Histograms[se.idx]
 		if h.Count == 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name); err != nil {
-			return err
+		qFamily := se.family + "_quantile"
+		if qFamily != lastFamily {
+			help := strings.NewReplacer("\\", "\\\\", "\n", "\\n").Replace("Estimated quantiles of " + se.base + ".")
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", qFamily, help, qFamily); err != nil {
+				return err
+			}
+			lastFamily = qFamily
 		}
 		for _, q := range []struct {
 			label string
@@ -81,7 +224,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}{
 			{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}, {"max", h.Max},
 		} {
-			if _, err := fmt.Fprintf(w, "%s_quantile{q=%q} %s\n", name, q.label, promFloat(q.value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", qFamily, withLe(se.inner, "q", q.label), promFloat(q.value)); err != nil {
 				return err
 			}
 		}

@@ -64,6 +64,39 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabels checks labeled series share one family
+// header and render their label suffix as Prometheus labels.
+func TestWritePrometheusLabels(t *testing.T) {
+	r := New()
+	r.Counter(Labeled("faults.injected.total", "kind", "latency")).Add(4)
+	r.Counter(Labeled("faults.injected.total", "kind", "error")).Add(2)
+	h := r.Histogram(Labeled("crawl.visit_ms", "profile", "Chrome-A"))
+	h.Observe(10)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP faults_injected_total ",
+		"# TYPE faults_injected_total counter\n",
+		"faults_injected_total{kind=\"error\"} 2\n",
+		"faults_injected_total{kind=\"latency\"} 4\n",
+		"# TYPE crawl_visit_ms histogram\n",
+		"crawl_visit_ms_bucket{profile=\"Chrome-A\",le=\"+Inf\"} 1\n",
+		"crawl_visit_ms_sum{profile=\"Chrome-A\"} 10\n",
+		"crawl_visit_ms_count{profile=\"Chrome-A\"} 1\n",
+		"crawl_visit_ms_quantile{profile=\"Chrome-A\",q=\"max\"} 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE faults_injected_total counter") != 1 {
+		t.Errorf("family header must appear exactly once:\n%s", out)
+	}
+}
+
 // TestWritePrometheusBucketsCumulative checks the le-bucket counts are
 // monotonically non-decreasing and end at the sample count.
 func TestWritePrometheusBucketsCumulative(t *testing.T) {

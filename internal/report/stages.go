@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"webmeasure/internal/trace"
+)
+
+// WriteStageBreakdown renders the tracer's per-stage/per-lane breakdown
+// as an aligned table: span counts and simulated-time cost per pipeline
+// stage (crawl.fetch, crawl.backoff, analyze.vet, analyze.build,
+// analyze.compare, treediff.intern, treediff.fill) split by lane (the
+// browser profile for crawl stages, the stage family otherwise). Durations
+// are simulated milliseconds — the same axis the spans themselves use —
+// so the table is deterministic for a fixed seed.
+func WriteStageBreakdown(w io.Writer, stats []trace.StageStat) {
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "Stage breakdown: no spans recorded (tracing off or everything sampled out)")
+		return
+	}
+	rows := make([][]string, 0, len(stats))
+	var spans int
+	var totalUS int64
+	for _, s := range stats {
+		rows = append(rows, []string{
+			s.Stage,
+			s.Lane,
+			fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%.1f", float64(s.TotalUS)/1000),
+			fmt.Sprintf("%.2f", s.MeanUS()/1000),
+			fmt.Sprintf("%.1f", float64(s.MaxUS)/1000),
+		})
+		spans += s.Count
+		totalUS += s.TotalUS
+	}
+	Table(w, fmt.Sprintf("Stage breakdown (%d spans, %.1f simulated ms total)", spans, float64(totalUS)/1000),
+		[]string{"stage", "lane", "spans", "total_ms", "mean_ms", "max_ms"}, rows)
+}

@@ -21,9 +21,13 @@ const datasetFlushEvery = 256
 //	GET    /v1/jobs/{id}/result.json JSON result bundle
 //	GET    /v1/jobs/{id}/result.csv  concatenated CSV tables
 //	GET    /v1/jobs/{id}/dataset.jsonl streamed raw visits
+//	GET    /v1/jobs/{id}/trace.json  Chrome trace-event JSON (404 if untraced)
+//	GET    /v1/jobs/{id}/trace.jsonl span-per-line trace export
 //	GET    /healthz                  liveness + queue stats
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /debug/pprof/             live profiling (go tool pprof)
+//	GET    /debug/traces             recent traced jobs, newest first
+//	GET    /debug/traces/{id}        trace.json by job ID (chrome://tracing)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Live profiling of the serving process: `go tool pprof
@@ -50,8 +54,18 @@ func (s *Server) Handler() http.Handler {
 		return r.csv, "text/csv; charset=utf-8"
 	}))
 	mux.HandleFunc("GET /v1/jobs/{id}/dataset.jsonl", s.handleDataset)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace.json", s.traceArtifact(func(r *result) ([]byte, string) {
+		return r.traceChrome, "application/json"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace.jsonl", s.traceArtifact(func(r *result) ([]byte, string) {
+		return r.traceJSONL, "application/x-ndjson"
+	}))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.traceArtifact(func(r *result) ([]byte, string) {
+		return r.traceChrome, "application/json"
+	}))
 	return mux
 }
 
@@ -185,6 +199,35 @@ func (s *Server) finishedResult(w http.ResponseWriter, r *http.Request) (*result
 		writeError(w, http.StatusConflict, "job not finished (state "+string(state)+")")
 	}
 	return nil, false
+}
+
+// traceArtifact serves a trace rendering of a finished job. A finished
+// job that ran without tracing answers 404 — "this job has no trace" is
+// a different condition from "job not finished" (409 via finishedResult).
+func (s *Server) traceArtifact(pick func(*result) ([]byte, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		res, ok := s.finishedResult(w, r)
+		if !ok {
+			return
+		}
+		body, contentType := pick(res)
+		if body == nil {
+			writeError(w, http.StatusNotFound, "job ran without tracing (set trace_sample in the spec)")
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		_, _ = w.Write(body)
+	}
+}
+
+// handleTraceList serves the recent-traces ring: the last finished traced
+// jobs, newest first, each linking to its trace.json.
+func (s *Server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	entries := make([]traceEntry, len(s.traces))
+	copy(entries, s.traces)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"traces": entries})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -35,6 +35,12 @@ type JobSpec struct {
 	// worker count (the repo's determinism golden test), so results may
 	// be shared across jobs that differ only here.
 	Workers int `json:"workers,omitempty"`
+	// TraceSample enables span tracing for the job: 0 runs untraced, 1
+	// traces every page, N>1 head-samples one page in N. It IS part of
+	// the cache key — a traced job carries a trace artifact an untraced
+	// one lacks, so they are distinct results even though the dataset
+	// bytes agree.
+	TraceSample int `json:"trace_sample,omitempty"`
 }
 
 // normalize fills every defaulted field with its concrete value (the same
@@ -63,6 +69,9 @@ func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
 	}
 	if s.Workers < 0 {
 		s.Workers = 0
+	}
+	if s.TraceSample < 0 {
+		s.TraceSample = 0
 	}
 	if _, err := faults.ByName(s.FaultProfile); err != nil {
 		return s, err
@@ -168,13 +177,18 @@ func (s State) terminal() bool {
 // result holds a finished job's rendered artifacts. The text artifacts
 // are rendered once and held as bytes (a cache hit serves the exact same
 // bytes); the dataset stays structured so downloads can stream with
-// periodic flushes.
+// periodic flushes. The trace fields are nil/zero for untraced jobs.
 type result struct {
 	report  []byte
 	json    []byte
 	csv     []byte
 	dataset *dataset.Dataset
 	summary webmeasure.Summary
+
+	traceChrome []byte // Chrome trace-event JSON (nil = job ran untraced)
+	traceJSONL  []byte // one span per line, canonical order
+	traceCount  int
+	spanCount   int
 }
 
 // Job is one submitted measurement. All mutable fields are guarded by the
@@ -233,6 +247,8 @@ type jobJSON struct {
 	DurationMS  float64             `json:"duration_ms,omitempty"`
 	Summary     *webmeasure.Summary `json:"summary,omitempty"`
 	Artifacts   map[string]string   `json:"artifacts,omitempty"`
+	TraceCount  int                 `json:"trace_count,omitempty"`
+	SpanCount   int                 `json:"span_count,omitempty"`
 }
 
 // view renders the job for the API. Callers must hold the server mutex.
@@ -265,6 +281,12 @@ func (j *Job) view() jobJSON {
 			"json":    base + "result.json",
 			"csv":     base + "result.csv",
 			"dataset": base + "dataset.jsonl",
+		}
+		if j.res.traceChrome != nil {
+			v.Artifacts["trace"] = base + "trace.json"
+			v.Artifacts["trace_jsonl"] = base + "trace.jsonl"
+			v.TraceCount = j.res.traceCount
+			v.SpanCount = j.res.spanCount
 		}
 	}
 	return v

@@ -20,11 +20,13 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"webmeasure"
 	"webmeasure/internal/metrics"
+	"webmeasure/internal/trace"
 )
 
 // Limits bounds what a single job may ask for, so one request cannot
@@ -50,6 +52,9 @@ type Config struct {
 	// Metrics receives service counters plus every job's crawl/analysis
 	// instruments (default: a fresh registry; exposed at /metrics).
 	Metrics *metrics.Registry
+	// Logger receives structured job-lifecycle records (submitted,
+	// started, finished) with job IDs and durations. nil discards them.
+	Logger *slog.Logger
 	// Runner overrides the job executor — tests and benchmarks stub the
 	// pipeline here. nil runs webmeasure.Run.
 	Runner func(ctx context.Context, cfg webmeasure.Config) (*webmeasure.Results, error)
@@ -74,7 +79,24 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
 	}
+	if c.Logger == nil {
+		c.Logger = trace.DiscardLogger()
+	}
 	return c
+}
+
+// traceRingSize bounds the /debug/traces recent-traces listing.
+const traceRingSize = 32
+
+// traceEntry is one row of the /debug/traces listing: a finished job
+// that ran with tracing on.
+type traceEntry struct {
+	JobID       string    `json:"job_id"`
+	TraceCount  int       `json:"trace_count"`
+	SpanCount   int       `json:"span_count"`
+	SampleEvery int       `json:"sample_every"`
+	FinishedAt  time.Time `json:"finished_at"`
+	URL         string    `json:"url"`
 }
 
 // Server runs measurement jobs. Create with New, serve its Handler, and
@@ -82,6 +104,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	reg *metrics.Registry
+	log *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -90,6 +113,9 @@ type Server struct {
 	queue    chan *Job
 	draining bool
 	seq      int64
+	// traces is the recent-traces ring for /debug/traces: the last
+	// traceRingSize finished jobs that ran with tracing on, newest first.
+	traces []traceEntry
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -108,6 +134,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Metrics,
+		log:       cfg.Logger,
 		jobs:      make(map[string]*Job),
 		cache:     newResultCache(cfg.CacheSize),
 		queue:     make(chan *Job, cfg.QueueDepth),
@@ -180,6 +207,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		close(job.done)
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
+		s.log.Info("job resolved from cache", "job", job.ID, "seed", norm.Seed, "sites", norm.Sites)
 		return job, nil
 	}
 	job.state = StateQueued
@@ -188,10 +216,13 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	default:
 		s.seq-- // job was never admitted
 		s.mRejected.Inc()
+		s.log.Warn("job rejected: queue full", "queue_depth", s.cfg.QueueDepth)
 		return nil, ErrQueueFull
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.log.Info("job queued", "job", job.ID, "seed", norm.Seed, "sites", norm.Sites,
+		"fault_profile", norm.FaultProfile, "trace_sample", norm.TraceSample)
 	return job, nil
 }
 
@@ -298,38 +329,72 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Unlock()
 	defer cancel()
 
+	s.log.Info("job started", "job", job.ID, "queue_wait_ms",
+		float64(job.started.Sub(job.submitted))/float64(time.Millisecond))
 	res, err := s.execute(ctx, job.Spec)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job.finished = time.Now()
 	job.cancel = nil
-	s.mJobMS.Observe(float64(job.finished.Sub(job.started)) / float64(time.Millisecond))
+	durMS := float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
+	s.mJobMS.Observe(durMS)
 	switch {
 	case err == nil:
 		job.state = StateDone
 		job.res = res
 		s.cache.put(job.key, res)
 		s.mCompleted.Inc()
+		if res.traceChrome != nil {
+			s.traces = append([]traceEntry{{
+				JobID:       job.ID,
+				TraceCount:  res.traceCount,
+				SpanCount:   res.spanCount,
+				SampleEvery: job.Spec.TraceSample,
+				FinishedAt:  job.finished,
+				URL:         "/v1/jobs/" + job.ID + "/trace.json",
+			}}, s.traces...)
+			if len(s.traces) > traceRingSize {
+				s.traces = s.traces[:traceRingSize]
+			}
+		}
+		s.log.Info("job done", "job", job.ID, "duration_ms", durMS,
+			"visits", res.summary.Visits, "trace_spans", res.spanCount)
 	case ctx.Err() != nil:
 		job.state = StateCanceled
 		job.err = ctx.Err().Error()
 		s.mCanceled.Inc()
+		s.log.Warn("job canceled", "job", job.ID, "duration_ms", durMS)
 	default:
 		job.state = StateFailed
 		job.err = err.Error()
 		s.mFailed.Inc()
+		s.log.Error("job failed", "job", job.ID, "duration_ms", durMS, "error", err.Error())
 	}
 	close(job.done)
 }
 
-// execute runs the measurement and renders every artifact to bytes.
+// execute runs the measurement and renders every artifact to bytes. When
+// the spec asks for tracing, a per-job tracer seeded from the spec rides
+// the config through crawl and analysis, and the finished trace is
+// rendered alongside the other artifacts (so cache hits replay the exact
+// trace bytes too).
 func (s *Server) execute(ctx context.Context, spec JobSpec) (*result, error) {
 	runner := s.cfg.Runner
 	if runner == nil {
 		runner = webmeasure.Run
 	}
-	r, err := runner(ctx, spec.config(s.reg))
+	cfg := spec.config(s.reg)
+	var tracer *trace.Tracer
+	if spec.TraceSample > 0 {
+		tracer = trace.New(trace.Options{
+			Seed:        spec.Seed,
+			SampleEvery: spec.TraceSample,
+			Metrics:     s.reg,
+		})
+		cfg.Tracer = tracer
+	}
+	r, err := runner(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -341,13 +406,27 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (*result, error) {
 	if err := r.WriteCSV(&csv); err != nil {
 		return nil, fmt.Errorf("render csv: %w", err)
 	}
-	return &result{
+	res := &result{
 		report:  rep.Bytes(),
 		json:    js.Bytes(),
 		csv:     csv.Bytes(),
 		dataset: r.Dataset(),
 		summary: r.Summary(),
-	}, nil
+	}
+	if tracer != nil {
+		var chrome, jsonl bytes.Buffer
+		if err := tracer.WriteChromeTrace(&chrome); err != nil {
+			return nil, fmt.Errorf("render trace: %w", err)
+		}
+		if err := tracer.WriteJSONL(&jsonl); err != nil {
+			return nil, fmt.Errorf("render trace jsonl: %w", err)
+		}
+		res.traceChrome = chrome.Bytes()
+		res.traceJSONL = jsonl.Bytes()
+		res.traceCount = tracer.TraceCount()
+		res.spanCount = tracer.SpanCount()
+	}
+	return res, nil
 }
 
 // Shutdown stops intake, drains the queued and running jobs, and waits
@@ -360,6 +439,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	if !already {
+		s.log.Info("server draining")
 		close(s.queue)
 	}
 

@@ -1,0 +1,333 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WriteFiles renders the tracer to disk: chromePath gets the Chrome
+// trace-event JSON, jsonlPath the span-per-line export. An empty path
+// skips that format. This is the shared tail of every cmd's -trace /
+// -trace-jsonl handling.
+func (t *Tracer) WriteFiles(chromePath, jsonlPath string) error {
+	write := func(path string, render func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("render %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, t.WriteChromeTrace); err != nil {
+		return err
+	}
+	return write(jsonlPath, t.WriteJSONL)
+}
+
+// Traces snapshots the recorded traces sorted by (Name, Key) — the
+// canonical export order, independent of creation order and therefore of
+// worker scheduling.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*Trace, 0, len(t.byKey))
+	for _, tr := range t.byKey {
+		out = append(out, tr)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TraceCount returns how many traces the tracer retains.
+func (t *Tracer) TraceCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byKey)
+}
+
+// SpanCount returns the total spans across all retained traces.
+func (t *Tracer) SpanCount() int {
+	total := 0
+	for _, tr := range t.Traces() {
+		total += tr.SpanCount()
+	}
+	return total
+}
+
+// sortedSpans snapshots a trace's spans in canonical order: simulated
+// start time, then name, then disambiguation key, then ID — a total order
+// for any span set the instrumentation produces, so exports are
+// byte-identical no matter which goroutine appended first.
+func (tr *Trace) sortedSpans() []*Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	spans := make([]*Span, len(tr.spans))
+	copy(spans, tr.spans)
+	tr.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.ID < b.ID
+	})
+	return spans
+}
+
+// eventJSON is the JSONL/Chrome rendering of a span event.
+type eventJSON struct {
+	Name  string            `json:"name"`
+	AtUS  int64             `json:"at_us"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// spanJSON is one JSONL record: a single span with its trace coordinates.
+type spanJSON struct {
+	Trace   string            `json:"trace"`
+	Key     string            `json:"key"`
+	Span    string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Events  []eventJSON       `json:"events,omitempty"`
+}
+
+// attrMap renders attrs as a map; encoding/json sorts map keys, keeping
+// the serialization deterministic. Later values win on duplicate keys.
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteJSONL streams every span as one JSON object per line, traces in
+// (Name, Key) order and spans in canonical order — the golden-testable
+// face of the tracer: same seed in, same bytes out, at any worker count.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tr := range t.Traces() {
+		traceID := tr.ID.String()
+		for _, s := range tr.sortedSpans() {
+			rec := spanJSON{
+				Trace:   traceID,
+				Key:     tr.Key,
+				Span:    s.ID.String(),
+				Name:    s.Name,
+				StartUS: s.StartUS,
+				DurUS:   s.DurUS(),
+				Attrs:   attrMap(s.Attrs),
+			}
+			if s.Parent != 0 {
+				rec.Parent = s.Parent.String()
+			}
+			for _, e := range s.Events {
+				rec.Events = append(rec.Events, eventJSON{Name: e.Name, AtUS: e.AtUS, Attrs: attrMap(e.Attrs)})
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry in the Chrome trace-event JSON array
+// (the format chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level trace-event JSON object.
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// spanLane maps a span to its display lane (Chrome "thread"): the
+// profile that produced it when tagged, otherwise the stage family —
+// the first dot-segment of the span name ("crawl", "analyze",
+// "treediff").
+func spanLane(s *Span) string {
+	if p := s.attr("profile"); p != "" {
+		return p
+	}
+	if i := strings.IndexByte(s.Name, '.'); i > 0 {
+		return s.Name[:i]
+	}
+	return s.Name
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event JSON:
+// one "process" per trace (named after the page key), one "thread" lane
+// per profile or stage family, "X" complete events for spans, and "i"
+// instant events for span events. Load the file in chrome://tracing or
+// https://ui.perfetto.dev. Output is deterministic for a fixed seed.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	traces := t.Traces()
+	// Start non-nil so an empty tracer still renders "traceEvents": []
+	// (a JSON array, which is what trace viewers and validators expect).
+	events := []chromeEvent{}
+	for pi, tr := range traces {
+		pid := pi + 1
+		spans := tr.sortedSpans()
+		// Stable lane numbering per trace: lanes sorted by name.
+		laneSet := map[string]bool{}
+		for _, s := range spans {
+			laneSet[spanLane(s)] = true
+		}
+		lanes := make([]string, 0, len(laneSet))
+		for l := range laneSet {
+			lanes = append(lanes, l)
+		}
+		sort.Strings(lanes)
+		laneTid := make(map[string]int, len(lanes))
+		for i, l := range lanes {
+			laneTid[l] = i + 1
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]string{"name": tr.Name + " " + tr.Key},
+		})
+		for _, l := range lanes {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: laneTid[l],
+				Args: map[string]string{"name": l},
+			})
+		}
+		traceID := tr.ID.String()
+		for _, s := range spans {
+			tid := laneTid[spanLane(s)]
+			args := attrMap(s.Attrs)
+			if args == nil {
+				args = map[string]string{}
+			}
+			args["trace_id"] = traceID
+			args["span_id"] = s.ID.String()
+			if s.Parent != 0 {
+				args["parent_id"] = s.Parent.String()
+			}
+			dur := s.DurUS()
+			events = append(events, chromeEvent{
+				Name: s.Name, Ph: "X", Ts: s.StartUS, Dur: &dur, Pid: pid, Tid: tid, Args: args,
+			})
+			for _, e := range s.Events {
+				events = append(events, chromeEvent{
+					Name: e.Name, Ph: "i", Ts: e.AtUS, Pid: pid, Tid: tid, S: "t",
+					Args: attrMap(e.Attrs),
+				})
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: events}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// StageStat is one row of the per-stage/per-lane breakdown: how many
+// spans a stage recorded on a lane and their simulated-time cost.
+type StageStat struct {
+	Stage   string
+	Lane    string
+	Count   int
+	TotalUS int64
+	MaxUS   int64
+}
+
+// MeanUS returns the mean simulated span duration in microseconds.
+func (s StageStat) MeanUS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.TotalUS) / float64(s.Count)
+}
+
+// StageBreakdown aggregates all recorded spans by (stage name, lane),
+// sorted by stage then lane — the table face of the trace data.
+func (t *Tracer) StageBreakdown() []StageStat {
+	if t == nil {
+		return nil
+	}
+	type key struct{ stage, lane string }
+	agg := map[key]*StageStat{}
+	for _, tr := range t.Traces() {
+		for _, s := range tr.sortedSpans() {
+			k := key{s.Name, spanLane(s)}
+			st := agg[k]
+			if st == nil {
+				st = &StageStat{Stage: k.stage, Lane: k.lane}
+				agg[k] = st
+			}
+			st.Count++
+			d := s.DurUS()
+			st.TotalUS += d
+			if d > st.MaxUS {
+				st.MaxUS = d
+			}
+		}
+	}
+	out := make([]StageStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Lane < out[j].Lane
+	})
+	return out
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// spanHandler decorates an slog.Handler so every record logged with a
+// context carrying a current span also carries trace_id/span_id — the
+// glue that lets `grep trace_id=<id>` pull one page's full story out of
+// an interleaved five-profile crawl log.
+type spanHandler struct {
+	inner slog.Handler
+}
+
+// WrapHandler adds trace/span ID enrichment to any slog handler.
+func WrapHandler(h slog.Handler) slog.Handler { return &spanHandler{inner: h} }
+
+func (h *spanHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *spanHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := SpanFrom(ctx); s != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", s.TraceID().String()),
+			slog.String("span_id", s.ID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *spanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &spanHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *spanHandler) WithGroup(name string) slog.Handler {
+	return &spanHandler{inner: h.inner.WithGroup(name)}
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the pipeline's structured logger: text or JSON
+// records at the given level, each enriched with trace_id/span_id when
+// the logging context carries a span. Timestamps are suppressed so log
+// output stays diffable across runs (the pipeline's clock is simulated
+// anyway).
+func NewLogger(w io.Writer, level string, jsonFormat bool) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{
+		Level: lvl,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(WrapHandler(h)), nil
+}
+
+// discardHandler drops everything (kept local; slog.DiscardHandler needs
+// a newer stdlib than the module's floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// DiscardLogger returns a logger that drops every record — the default
+// for library components whose caller didn't wire one.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }

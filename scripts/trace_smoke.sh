@@ -1,0 +1,46 @@
+#!/bin/sh
+# Smoke test for the tracing pipeline: crawl a few pages with -trace, run
+# the resulting Chrome trace-event JSON through cmd/tracecheck (shape +
+# required span coverage for every pipeline stage), re-analyze the dataset
+# with its own tracer, and finally re-crawl with the same seed to assert
+# the exports are byte-identical — the trace is part of the deterministic
+# output surface, not a side channel.
+#
+# Usage: scripts/trace_smoke.sh [crawl-binary] [analyze-binary] [tracecheck-binary]
+set -eu
+
+CRAWL=${1:-./crawl}
+ANALYZE=${2:-./analyze}
+CHECK=${3:-./tracecheck}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CRAWL" -sites 5 -pages 2 -seed 7 -progress 0 -o "$WORKDIR/ds.jsonl" \
+    -trace "$WORKDIR/trace.json" -trace-jsonl "$WORKDIR/trace.jsonl" \
+    2>"$WORKDIR/crawl.log"
+
+# The crawl command runs the full pipeline, so one trace must cover every
+# stage from fetch to tree compare.
+"$CHECK" -require crawl.visit,crawl.fetch,analyze.vet,analyze.build,analyze.compare,treediff.intern,treediff.fill \
+    "$WORKDIR/trace.json"
+[ -s "$WORKDIR/trace.jsonl" ] || { echo "span JSONL is empty"; exit 1; }
+grep -q "Stage breakdown" "$WORKDIR/crawl.log" || {
+    echo "crawl printed no stage breakdown:"; cat "$WORKDIR/crawl.log"; exit 1; }
+grep -q 'msg="trace written"' "$WORKDIR/crawl.log" || {
+    echo "crawl never logged the trace write:"; cat "$WORKDIR/crawl.log"; exit 1; }
+
+# Analysis-only tracing over the crawled dataset.
+"$ANALYZE" -i "$WORKDIR/ds.jsonl" -trace "$WORKDIR/analyze.json" -progress 0 \
+    >/dev/null 2>"$WORKDIR/analyze.log"
+"$CHECK" -require analyze.vet,analyze.build,analyze.compare "$WORKDIR/analyze.json"
+
+# Determinism: a second crawl with the same seed must export the same bytes.
+"$CRAWL" -sites 5 -pages 2 -seed 7 -progress 0 -o "$WORKDIR/ds2.jsonl" \
+    -trace "$WORKDIR/trace2.json" -trace-jsonl "$WORKDIR/trace2.jsonl" \
+    2>/dev/null
+cmp -s "$WORKDIR/trace.json" "$WORKDIR/trace2.json" || {
+    echo "Chrome trace differs between identical runs"; exit 1; }
+cmp -s "$WORKDIR/trace.jsonl" "$WORKDIR/trace2.jsonl" || {
+    echo "span JSONL differs between identical runs"; exit 1; }
+
+echo "trace-smoke: OK"

@@ -28,6 +28,7 @@ import (
 	"webmeasure/internal/filterlist"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
+	"webmeasure/internal/trace"
 	"webmeasure/internal/tranco"
 	"webmeasure/internal/webgen"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// timing histograms; snapshot it from another goroutine for progress
 	// lines (see metrics.StartProgress).
 	Metrics *metrics.Registry
+	// Tracer, if non-nil, records one deterministic span trace per page
+	// across the whole pipeline — crawl fetch/retry/backoff through tree
+	// build, vetting, and comparison (see internal/trace). A tracer
+	// carried by the run's context (trace.NewContext) is picked up when
+	// this field is nil.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +166,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		Progress:  cfg.Progress,
 		Resume:    resume,
 		Metrics:   cfg.Metrics,
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: crawl: %w", err)
@@ -204,6 +212,7 @@ func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe
 		Workers:  cfg.Workers,
 		Metrics:  cfg.Metrics,
 		Context:  ctx,
+		Tracer:   cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
