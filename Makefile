@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-smoke serve-smoke trace-smoke cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-smoke serve-smoke trace-smoke shard-smoke cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke trace-smoke cover bench-smoke
+tier2: serve-smoke trace-smoke shard-smoke cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLinks$$' -fuzztime $(FUZZTIME) ./internal/linkextract
 	$(GO) test -run '^$$' -fuzz '^FuzzRedirectChain$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/faults
+	$(GO) test -run '^$$' -fuzz '^FuzzShardPlanPartition$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # Crawl with -trace, validate the Chrome trace-event export with
 # cmd/tracecheck (shape + per-stage span coverage), and require the trace
@@ -50,6 +51,14 @@ serve-smoke:
 	$(GO) build -o ./serve-smoke-bin ./cmd/serve
 	sh scripts/serve_smoke.sh ./serve-smoke-bin
 	rm -f ./serve-smoke-bin
+
+# Boot a coordinator plus two shard workers as separate processes, run the
+# same experiment whole and sharded, and require byte-identical artifacts;
+# see scripts/shard_smoke.sh.
+shard-smoke:
+	$(GO) build -o ./shard-smoke-bin ./cmd/serve
+	sh scripts/shard_smoke.sh ./shard-smoke-bin
+	rm -f ./shard-smoke-bin
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		drain    = fs.Duration("drain", time.Minute, "shutdown grace period for running jobs")
 		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logJSON  = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
+
+		shardWorkers = fs.String("shard-workers", "", "comma-separated base URLs of peer servers coordinator jobs fan shard jobs out to (empty = run shards in-process)")
+		maxShards    = fs.Int("max-shards", 16, "largest per-job shard count accepted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,12 +58,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return 2
 	}
 
+	var peers []string
+	for _, w := range strings.Split(*shardWorkers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			peers = append(peers, strings.TrimRight(w, "/"))
+		}
+	}
 	srv := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		Limits:     service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages},
-		Logger:     logger,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		Limits:       service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages, MaxShards: *maxShards},
+		Logger:       logger,
+		ShardWorkers: peers,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

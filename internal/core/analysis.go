@@ -83,6 +83,11 @@ type Options struct {
 	// identity and attribution signals). The Filter option is applied on
 	// top of it.
 	TreeBuilder *tree.Builder
+	// AllowEmpty tolerates an analysis with zero vetted pages. The default
+	// treats that as an error (a whole-experiment analysis with nothing to
+	// report is a misconfiguration), but a shard's slice of the page-key
+	// space can legitimately be empty or entirely excluded by vetting.
+	AllowEmpty bool
 	// Workers bounds the worker pool that fans the per-page work —
 	// vetting, tree building, cross-comparison — out over CPUs; the
 	// pages are independent, so the pipeline is embarrassingly parallel.
@@ -213,7 +218,7 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	} {
 		opts.Metrics.Counter("analysis.pages.excluded." + reason).Add(int64(n))
 	}
-	if len(a.pages) == 0 {
+	if len(a.pages) == 0 && !opts.AllowEmpty {
 		return nil, fmt.Errorf("core: no page was crawled cleanly by all %d profiles (%d excluded: %d missing, %d failed, %d degraded, %d build)",
 			len(profiles), a.vetting.Excluded(), a.vetting.ExcludedMissing,
 			a.vetting.ExcludedFailed, a.vetting.ExcludedDegraded, a.vetting.ExcludedBuild)

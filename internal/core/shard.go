@@ -1,0 +1,65 @@
+package core
+
+// This file defines the shard plan of the distributed analysis: a stable
+// hash partition of the canonical page-key space. Sharding happens at
+// page granularity because the whole pipeline is page-pure — every visit,
+// tree, comparison, and trace span is a function of (seed, profile, page)
+// — so any partition of the pages partitions the work without changing a
+// single byte of the merged output.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"webmeasure/internal/dataset"
+)
+
+// ShardPlan is a deterministic partition of the page-key space into Count
+// shards. Assignment is a pure function of (Seed, page key): the same plan
+// maps the same page to the same shard on every worker, every run, and in
+// every input order. All shards of one experiment must agree on the plan.
+type ShardPlan struct {
+	// Count is the number of shards (>= 1).
+	Count int `json:"count"`
+	// Seed individualizes the page→shard hash so distinct experiments
+	// cannot accidentally share partial results.
+	Seed int64 `json:"seed"`
+}
+
+// Validate reports whether the plan is usable.
+func (p ShardPlan) Validate() error {
+	if p.Count < 1 {
+		return fmt.Errorf("core: shard plan needs at least 1 shard, got %d", p.Count)
+	}
+	return nil
+}
+
+// String renders the plan for logs and errors.
+func (p ShardPlan) String() string {
+	return fmt.Sprintf("shards=%d seed=%d", p.Count, p.Seed)
+}
+
+// Assign maps a page key to its shard in [0, Count). FNV-1a over the
+// seeded canonical key, the same derivation family webgen and trace use.
+func (p ShardPlan) Assign(key dataset.PageKey) int {
+	if p.Count <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(p.Seed))
+	h.Write(seed[:])
+	h.Write([]byte(key.Site))
+	h.Write([]byte{0})
+	h.Write([]byte(key.PageURL))
+	return int(h.Sum64() % uint64(p.Count))
+}
+
+// Keep returns the page predicate of one shard, in the (site, pageURL)
+// form the crawler's page filter consumes.
+func (p ShardPlan) Keep(shard int) func(site, pageURL string) bool {
+	return func(site, pageURL string) bool {
+		return p.Assign(dataset.PageKey{Site: site, PageURL: pageURL}) == shard
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"webmeasure/internal/dataset"
+)
+
+func TestShardPlanValidate(t *testing.T) {
+	if err := (ShardPlan{Count: 1}).Validate(); err != nil {
+		t.Errorf("count 1: %v", err)
+	}
+	if err := (ShardPlan{Count: 8, Seed: 42}).Validate(); err != nil {
+		t.Errorf("count 8: %v", err)
+	}
+	if err := (ShardPlan{}).Validate(); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if err := (ShardPlan{Count: -3}).Validate(); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+// TestShardPlanIsPartition: for any key and any plan, Assign lands in
+// range, is stable under repetition, and Keep accepts a (site, page) pair
+// for exactly one shard — the partition property the merge relies on.
+func TestShardPlanIsPartition(t *testing.T) {
+	prop := func(site, pageURL string, count uint8, seed int64) bool {
+		plan := ShardPlan{Count: int(count%16) + 1, Seed: seed}
+		key := dataset.PageKey{Site: site, PageURL: pageURL}
+		shard := plan.Assign(key)
+		if shard < 0 || shard >= plan.Count {
+			return false
+		}
+		if plan.Assign(key) != shard {
+			return false
+		}
+		keepers := 0
+		for i := 0; i < plan.Count; i++ {
+			if plan.Keep(i)(site, pageURL) {
+				keepers++
+				if i != shard {
+					return false
+				}
+			}
+		}
+		return keepers == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardPlanSeedAndCountMatter: distinct plans must disagree on at
+// least some keys — a plan change that silently kept every assignment
+// would defeat the cache-isolation guarantees downstream.
+func TestShardPlanSeedAndCountMatter(t *testing.T) {
+	base := ShardPlan{Count: 4, Seed: 1}
+	reseeded := ShardPlan{Count: 4, Seed: 2}
+	diff := 0
+	for i := 0; i < 200; i++ {
+		key := dataset.PageKey{Site: "site", PageURL: string(rune('a' + i%26))}
+		key.PageURL = key.PageURL + string(rune('0'+i/26))
+		if base.Assign(key) != reseeded.Assign(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("reseeding the plan changed no assignment")
+	}
+}
+
+// TestShardPlanBalance: the FNV hash should spread a realistic key
+// population roughly evenly — no shard may end up empty on a few hundred
+// keys, or distributed workers would idle.
+func TestShardPlanBalance(t *testing.T) {
+	plan := ShardPlan{Count: 4, Seed: 7}
+	counts := make([]int, plan.Count)
+	for s := 0; s < 20; s++ {
+		for p := 0; p < 20; p++ {
+			key := dataset.PageKey{
+				Site:    "site" + string(rune('a'+s)) + ".example",
+				PageURL: "https://x/page" + string(rune('a'+p)),
+			}
+			counts[plan.Assign(key)]++
+		}
+	}
+	for i, n := range counts {
+		if n < 40 || n > 160 { // 400 keys, fair share 100
+			t.Errorf("shard %d holds %d of 400 keys — badly skewed", i, n)
+		}
+	}
+}
+
+// FuzzShardPlanPartition fuzzes the partition property alongside the
+// repo's other fuzz targets (make fuzz-smoke).
+func FuzzShardPlanPartition(f *testing.F) {
+	f.Add("siteA.example", "https://siteA.example/", uint8(4), int64(1))
+	f.Add("", "", uint8(0), int64(0))
+	f.Add("s", "p", uint8(255), int64(-9e18))
+	f.Fuzz(func(t *testing.T, site, pageURL string, count uint8, seed int64) {
+		plan := ShardPlan{Count: int(count%16) + 1, Seed: seed}
+		key := dataset.PageKey{Site: site, PageURL: pageURL}
+		shard := plan.Assign(key)
+		if shard < 0 || shard >= plan.Count {
+			t.Fatalf("assign out of range: %d of %s", shard, plan)
+		}
+		keepers := 0
+		for i := 0; i < plan.Count; i++ {
+			if plan.Keep(i)(site, pageURL) {
+				keepers++
+			}
+		}
+		if keepers != 1 {
+			t.Fatalf("key kept by %d shards, want exactly 1", keepers)
+		}
+	})
+}

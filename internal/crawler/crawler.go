@@ -94,6 +94,17 @@ type Config struct {
 	// are byte-identical for any worker count. Falls back to the tracer
 	// carried by Run's context.
 	Tracer *trace.Tracer
+	// PageFilter, if non-nil, restricts the crawl to the pages it accepts
+	// (a shard's slice of the page-key space). Every visit is a pure
+	// function of (seed, profile, page), so a filtered crawl records
+	// exactly the bytes the full crawl would for the kept pages. In
+	// stateful mode rejected pages are still visited — the shared cookie
+	// jar must advance exactly as in the full crawl — but nothing about
+	// them is recorded. Page-granular stats and metrics (pages, visits,
+	// attempts, retries, injected faults) sum to the unsharded run's
+	// values across a disjoint filter family; site-granular ones
+	// (crawl.sites, crawl.site_ms) count a site once per shard touching it.
+	PageFilter func(site, pageURL string) bool
 }
 
 // RetryPolicy bounds visitPage's attempt loop. Backoff is exponential
@@ -217,9 +228,28 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 		siteDone := mSiteMS.Time()
 		site := cfg.Universe.GenerateSiteAt(entry, cfg.Epoch)
 		pages := discoverPages(site, cfg.MaxPages)
+		kept := pages
+		if cfg.PageFilter != nil {
+			kept = make([]*webgen.Page, 0, len(pages))
+			for _, p := range pages {
+				if cfg.PageFilter(site.Domain, p.URL) {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				// No page of this site belongs to the shard: skip the site
+				// without counting it, so page-granular counters sum to the
+				// unsharded run across a disjoint filter family.
+				siteDone()
+				if cfg.Progress != nil {
+					cfg.Progress(si+1, len(cfg.Sites))
+				}
+				continue
+			}
+		}
 		stats.SitesVisited++
-		stats.PagesDiscovered += len(pages)
-		mPages.Add(int64(len(pages)))
+		stats.PagesDiscovered += len(kept)
+		mPages.Add(int64(len(kept)))
 
 		// Checkpoint reuse: split each profile's work into pages already
 		// covered by the resume dataset and pages still to visit.
@@ -245,24 +275,20 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 			go func(prof browser.Profile) {
 				defer wg.Done()
 				b := &browser.Browser{Profile: prof, TimeoutMS: cfg.TimeoutMS, Transport: transport}
-				var todo []*webgen.Page
-				for _, p := range pages {
-					if v := reuse(prof, p); v != nil {
-						ds.Add(v)
-						if cfg.OnVisit != nil {
-							cfg.OnVisit(v)
-						}
-						mVisits.Inc()
-						mReused.Inc()
-						statsMu.Lock()
-						stats.VisitsTotal++
-						stats.VisitsReused++
-						statsMu.Unlock()
-						continue
+				reused := func(v *measurement.Visit) {
+					ds.Add(v)
+					if cfg.OnVisit != nil {
+						cfg.OnVisit(v)
 					}
-					todo = append(todo, p)
+					mVisits.Inc()
+					mReused.Inc()
+					statsMu.Lock()
+					stats.VisitsTotal++
+					stats.VisitsReused++
+					statsMu.Unlock()
 				}
-				visitAll(tracer, cfg.Metrics, b, site, todo, cfg.Seed, instances, cfg.Stateful, retry, ds, func(v *measurement.Visit) {
+				performed := func(v *measurement.Visit) {
+					ds.Add(v)
 					if cfg.OnVisit != nil {
 						cfg.OnVisit(v)
 					}
@@ -298,7 +324,35 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 						stats.VisitsFailed++
 					}
 					statsMu.Unlock()
-				})
+				}
+				if cfg.Stateful {
+					// One sequential session per site: the jar persists across
+					// pages in discovery order. Off-shard pages are visited so
+					// the jar advances exactly as in the unsharded crawl, but
+					// recorded nowhere (nil tracer and registry are no-ops).
+					jar := browser.NewJar()
+					for _, p := range pages {
+						if cfg.PageFilter != nil && !cfg.PageFilter(site.Domain, p.URL) {
+							visitPage(nil, nil, b, site, p, cfg.Seed, jar, retry)
+							continue
+						}
+						if v := reuse(prof, p); v != nil {
+							reused(v)
+							continue
+						}
+						performed(visitPage(tracer, cfg.Metrics, b, site, p, cfg.Seed, jar, retry))
+					}
+					return
+				}
+				var todo []*webgen.Page
+				for _, p := range kept {
+					if v := reuse(prof, p); v != nil {
+						reused(v)
+						continue
+					}
+					todo = append(todo, p)
+				}
+				visitAll(tracer, cfg.Metrics, b, site, todo, cfg.Seed, instances, retry, performed)
 			}(prof)
 		}
 		wg.Wait()
@@ -316,23 +370,14 @@ func discoverPages(site *webgen.Site, maxPages int) []*webgen.Page {
 	return DiscoverPages(site, maxPages)
 }
 
-// visitAll runs one client: a pool of browser instances draining the
-// site's pages, or — in stateful mode — one sequential session whose
-// cookie jar persists across the site's pages.
+// visitAll runs one stateless client: a pool of browser instances
+// draining the site's pages, delivering every visit to the sink. (The
+// stateful sequential session lives in Run, where shard-filtered crawls
+// interleave recorded and discarded visits over one shared jar.)
 func visitAll(tracer *trace.Tracer, reg *metrics.Registry, b *browser.Browser,
 	site *webgen.Site, pages []*webgen.Page,
-	seed int64, instances int, stateful bool, retry RetryPolicy,
-	ds *dataset.Dataset, record func(*measurement.Visit)) {
-
-	if stateful {
-		jar := browser.NewJar()
-		for _, p := range pages {
-			v := visitPage(tracer, reg, b, site, p, seed, jar, retry)
-			ds.Add(v)
-			record(v)
-		}
-		return
-	}
+	seed int64, instances int, retry RetryPolicy,
+	sink func(*measurement.Visit)) {
 
 	type job struct{ page *webgen.Page }
 	jobs := make(chan job)
@@ -342,9 +387,7 @@ func visitAll(tracer *trace.Tracer, reg *metrics.Registry, b *browser.Browser,
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				v := visitPage(tracer, reg, b, site, j.page, seed, nil, retry)
-				ds.Add(v)
-				record(v)
+				sink(visitPage(tracer, reg, b, site, j.page, seed, nil, retry))
 			}
 		}()
 	}

@@ -243,6 +243,19 @@ func (d *Dataset) FilterProfiles(profiles ...string) *Dataset {
 	return out
 }
 
+// FilterPages returns a new dataset holding only visits to the pages the
+// keep predicate selects — e.g. one shard's slice of the page-key space
+// under a shard plan.
+func (d *Dataset) FilterPages(keep func(PageKey) bool) *Dataset {
+	out := New()
+	for _, v := range d.Visits() {
+		if keep(PageKey{Site: v.Site, PageURL: v.PageURL}) {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
 // FilterSites returns a new dataset holding only visits to the given sites.
 func (d *Dataset) FilterSites(sites ...string) *Dataset {
 	keep := make(map[string]bool, len(sites))

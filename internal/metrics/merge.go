@@ -1,0 +1,132 @@
+package metrics
+
+// This file makes registries mergeable for the distributed shard-and-merge
+// pipeline: a shard worker dumps its registry to a wire-friendly Dump, the
+// coordinator merges the dumps into its own registry, and every counter
+// comes out as the exact sum over shards (the fault-sweep suite asserts
+// this for faults.injected.total and crawl.retries.total). Histograms
+// merge losslessly at bucket granularity: the dump carries raw per-index
+// bucket counts, not the float "le" bounds, so merging never re-buckets.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// HistogramDump is one histogram's mergeable state. Buckets maps the
+// bucket index (decimal string, so the JSON form is a plain object) to its
+// sample count; empty buckets are omitted.
+type HistogramDump struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Max     float64          `json:"max"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Dump is a registry's mergeable state: every counter value and every
+// histogram's raw buckets.
+type Dump struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
+}
+
+// Dump captures the registry for merging. Safe to call concurrently with
+// metric updates (each instrument is read atomically, like Snapshot).
+func (r *Registry) Dump() Dump {
+	if r == nil {
+		return Dump{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	d := Dump{}
+	if len(counters) > 0 {
+		d.Counters = make(map[string]int64, len(counters))
+		for name, c := range counters {
+			d.Counters[name] = c.Value()
+		}
+	}
+	if len(hists) > 0 {
+		d.Histograms = make(map[string]HistogramDump, len(hists))
+		for name, h := range hists {
+			d.Histograms[name] = h.dump()
+		}
+	}
+	return d
+}
+
+// dump captures one histogram's raw state.
+func (h *Histogram) dump() HistogramDump {
+	d := HistogramDump{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			if d.Buckets == nil {
+				d.Buckets = make(map[string]int64)
+			}
+			d.Buckets[strconv.Itoa(i)] = c
+		}
+	}
+	return d
+}
+
+// Merge adds a dump into the registry: counters add, histogram buckets add
+// index for index, maxima combine. Merging the dumps of N disjoint shard
+// registries leaves every counter equal to the sum over shards.
+func (r *Registry) Merge(d Dump) error {
+	if r == nil {
+		return nil
+	}
+	for name, v := range d.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, hd := range d.Histograms {
+		if err := r.Histogram(name).mergeDump(hd); err != nil {
+			return fmt.Errorf("metrics: histogram %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// mergeDump folds a dumped histogram into this one.
+func (h *Histogram) mergeDump(d HistogramDump) error {
+	if h == nil {
+		return nil
+	}
+	for idxStr, c := range d.Buckets {
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 || idx >= histBuckets {
+			return fmt.Errorf("bad bucket index %q", idxStr)
+		}
+		h.buckets[idx].Add(c)
+	}
+	h.count.Add(d.Count)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d.Sum)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= d.Max {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(d.Max)) {
+			break
+		}
+	}
+	return nil
+}

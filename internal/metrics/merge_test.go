@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestMergeCountersSum: merging shard dumps into one registry must sum
+// every counter exactly — the property the coordinator's aggregate view
+// relies on.
+func TestMergeCountersSum(t *testing.T) {
+	shards := make([]Dump, 3)
+	for i := range shards {
+		r := New()
+		r.Counter("crawl.pages").Add(int64(10 * (i + 1)))
+		r.Counter("faults.injected.total").Add(int64(i))
+		shards[i] = r.Dump()
+	}
+	merged := New()
+	for _, d := range shards {
+		if err := merged.Merge(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := merged.Counter("crawl.pages").Value(); got != 60 {
+		t.Errorf("crawl.pages merged to %d, want 60", got)
+	}
+	if got := merged.Counter("faults.injected.total").Value(); got != 3 {
+		t.Errorf("faults.injected.total merged to %d, want 3", got)
+	}
+}
+
+// TestMergeHistogramsExact: observing a sample set split across two
+// registries and merging the dumps must reproduce the single registry's
+// histogram bucket for bucket — the dump carries raw bucket indices, not
+// lossy summaries.
+func TestMergeHistogramsExact(t *testing.T) {
+	samples := []float64{0.1, 0.5, 1, 3, 7, 12, 42, 99, 310, 1234, 50000}
+
+	whole := New()
+	for _, v := range samples {
+		whole.Histogram("visit_ms").Observe(v)
+	}
+
+	a, b := New(), New()
+	for i, v := range samples {
+		if i%2 == 0 {
+			a.Histogram("visit_ms").Observe(v)
+		} else {
+			b.Histogram("visit_ms").Observe(v)
+		}
+	}
+	merged := New()
+	for _, d := range []Dump{a.Dump(), b.Dump()} {
+		if err := merged.Merge(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, want := merged.Histogram("visit_ms").Stats(), whole.Histogram("visit_ms").Stats()
+	if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+		t.Errorf("merged stats {count %d sum %g max %g}, want {count %d sum %g max %g}",
+			got.Count, got.Sum, got.Max, want.Count, want.Sum, want.Max)
+	}
+	if !reflect.DeepEqual(got.Buckets, want.Buckets) {
+		t.Errorf("merged buckets %v, want %v", got.Buckets, want.Buckets)
+	}
+	if !reflect.DeepEqual(merged.Dump(), whole.Dump()) {
+		t.Error("merged dump differs from single-registry dump")
+	}
+}
+
+// TestMergeIdempotentShape: merging an empty dump changes nothing, and a
+// dump survives a JSON round trip (it is the wire format of Partial.Metrics).
+func TestMergeDumpWire(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(5)
+	r.Histogram("h").Observe(2.5)
+	d := r.Dump()
+
+	wire, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dump
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, d) {
+		t.Error("dump changed across JSON round trip")
+	}
+
+	merged := New()
+	if err := merged.Merge(Dump{}); err != nil {
+		t.Errorf("empty dump rejected: %v", err)
+	}
+	if s := merged.Snapshot(); len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Error("empty dump created instruments")
+	}
+	if err := merged.Merge(back); err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Counter("c").Value(); got != 5 {
+		t.Errorf("counter after wire merge = %d, want 5", got)
+	}
+	if got := merged.Histogram("h").Count(); got != 1 {
+		t.Errorf("histogram count after wire merge = %d, want 1", got)
+	}
+}
+
+// TestMergeRejectsBadBuckets: a dump with an out-of-range or non-numeric
+// bucket index must be refused — silently dropping samples would skew the
+// merged distribution.
+func TestMergeRejectsBadBuckets(t *testing.T) {
+	for name, buckets := range map[string]map[string]int64{
+		"negative":     {"-1": 3},
+		"out of range": {"100000": 3},
+		"non-numeric":  {"p95": 3},
+	} {
+		d := Dump{Histograms: map[string]HistogramDump{
+			"h": {Count: 3, Sum: 1, Max: 1, Buckets: buckets},
+		}}
+		if err := New().Merge(d); err == nil {
+			t.Errorf("%s bucket index accepted", name)
+		}
+	}
+}
+
+// TestDumpNilSafe: nil registries dump empty and swallow merges — the
+// no-op contract every instrument in this package follows.
+func TestDumpNilSafe(t *testing.T) {
+	var r *Registry
+	if d := r.Dump(); len(d.Counters) != 0 || len(d.Histograms) != 0 {
+		t.Error("nil registry produced a non-empty dump")
+	}
+	if err := r.Merge(Dump{Counters: map[string]int64{"c": 1}}); err != nil {
+		t.Errorf("nil registry merge: %v", err)
+	}
+}

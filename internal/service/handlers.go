@@ -54,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 		return r.csv, "text/csv; charset=utf-8"
 	}))
 	mux.HandleFunc("GET /v1/jobs/{id}/dataset.jsonl", s.handleDataset)
+	mux.HandleFunc("GET /v1/jobs/{id}/partial.json", s.handlePartial)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace.json", s.traceArtifact(func(r *result) ([]byte, string) {
 		return r.traceChrome, "application/json"
 	}))
@@ -163,6 +164,11 @@ func (s *Server) artifact(pick func(*result) ([]byte, string)) http.HandlerFunc 
 			return
 		}
 		body, contentType := pick(res)
+		if body == nil {
+			// A shard job publishes partial.json, not the report family.
+			writeError(w, http.StatusNotFound, "job holds no such artifact")
+			return
+		}
 		w.Header().Set("Content-Type", contentType)
 		_, _ = w.Write(body)
 	}
@@ -173,8 +179,29 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if res.dataset == nil {
+		// e.g. a shard result cached from a remote dispatch: the
+		// coordinator stored the partial bytes, never the visits.
+		writeError(w, http.StatusNotFound, "job holds no dataset")
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = res.dataset.StreamJSONL(w, datasetFlushEvery)
+}
+
+// handlePartial serves a shard job's encoded partial. Whole-experiment
+// jobs answer 404 — their artifacts are the rendered report family.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.finishedResult(w, r)
+	if !ok {
+		return
+	}
+	if res.partial == nil {
+		writeError(w, http.StatusNotFound, "job is not a shard job (set shards and shard in the spec)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(res.partial)
 }
 
 // finishedResult resolves the request's job and returns its result,

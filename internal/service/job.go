@@ -41,6 +41,20 @@ type JobSpec struct {
 	// one lacks, so they are distinct results even though the dataset
 	// bytes agree.
 	TraceSample int `json:"trace_sample,omitempty"`
+	// Shards splits the job's page-key space for distributed
+	// shard-and-merge analysis (0 or 1 = a whole-experiment job). A job
+	// with Shards > 1 and Shard 0 is a coordinator: it fans one shard job
+	// per slice out to the configured shard workers (or runs them
+	// in-process) and merges the partials into full artifacts.
+	Shards int `json:"shards,omitempty"`
+	// Shard selects one slice (1-based, ≤ Shards): the job runs only that
+	// slice and publishes a partial.json artifact instead of the full
+	// report. 0 with Shards > 1 means "coordinate all shards".
+	Shard int `json:"shard,omitempty"`
+	// ShardSeed seeds the shard plan's page-key hash (0 = Seed). Part of
+	// the cache key together with Shards and Shard: the same slice under a
+	// different plan is a different result.
+	ShardSeed int64 `json:"shard_seed,omitempty"`
 }
 
 // normalize fills every defaulted field with its concrete value (the same
@@ -89,6 +103,24 @@ func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
 	}
 	if s.Epoch < 0 {
 		return s, fmt.Errorf("epoch must be non-negative")
+	}
+	if s.Shards <= 1 {
+		if s.Shard > 0 {
+			return s, fmt.Errorf("shard %d requires shards > 1", s.Shard)
+		}
+		// Unsharded jobs canonicalize all shard fields to zero so every
+		// spelling of "the whole experiment" shares a cache key.
+		s.Shards, s.Shard, s.ShardSeed = 0, 0, 0
+	} else {
+		if s.Shards > limits.MaxShards {
+			return s, fmt.Errorf("shards %d exceeds the server limit %d", s.Shards, limits.MaxShards)
+		}
+		if s.Shard < 0 || s.Shard > s.Shards {
+			return s, fmt.Errorf("shard %d out of range for %d shards", s.Shard, s.Shards)
+		}
+		if s.ShardSeed == 0 {
+			s.ShardSeed = s.Seed
+		}
 	}
 	all := browser.DefaultProfiles()
 	if len(s.Profiles) == 0 {
@@ -143,6 +175,10 @@ func (s JobSpec) cacheKey() string {
 // config maps the spec onto the facade config, attaching the server's
 // shared metrics registry.
 func (s JobSpec) config(reg *metrics.Registry) webmeasure.Config {
+	shardIndex := 0
+	if s.Shard > 0 {
+		shardIndex = s.Shard - 1
+	}
 	return webmeasure.Config{
 		Seed:         s.Seed,
 		Sites:        s.Sites,
@@ -154,6 +190,9 @@ func (s JobSpec) config(reg *metrics.Registry) webmeasure.Config {
 		Profiles:     s.Profiles,
 		FaultProfile: s.FaultProfile,
 		Workers:      s.Workers,
+		Shards:       s.Shards,
+		ShardIndex:   shardIndex,
+		ShardSeed:    s.ShardSeed,
 		Metrics:      reg,
 	}
 }
@@ -189,6 +228,10 @@ type result struct {
 	traceJSONL  []byte // one span per line, canonical order
 	traceCount  int
 	spanCount   int
+
+	// partial is the encoded core.Partial of a shard job (nil for whole
+	// and coordinator jobs, whose artifacts are the rendered text above).
+	partial []byte
 }
 
 // Job is one submitted measurement. All mutable fields are guarded by the
@@ -276,11 +319,17 @@ func (j *Job) view() jobJSON {
 		s := j.res.summary
 		v.Summary = &s
 		base := "/v1/jobs/" + j.ID + "/"
-		v.Artifacts = map[string]string{
-			"report":  base + "report",
-			"json":    base + "result.json",
-			"csv":     base + "result.csv",
-			"dataset": base + "dataset.jsonl",
+		v.Artifacts = map[string]string{}
+		if j.res.report != nil {
+			v.Artifacts["report"] = base + "report"
+			v.Artifacts["json"] = base + "result.json"
+			v.Artifacts["csv"] = base + "result.csv"
+		}
+		if j.res.dataset != nil {
+			v.Artifacts["dataset"] = base + "dataset.jsonl"
+		}
+		if j.res.partial != nil {
+			v.Artifacts["partial"] = base + "partial.json"
 		}
 		if j.res.traceChrome != nil {
 			v.Artifacts["trace"] = base + "trace.json"

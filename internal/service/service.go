@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"webmeasure"
+	"webmeasure/internal/core"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/trace"
 )
@@ -34,6 +35,8 @@ import (
 type Limits struct {
 	MaxSites        int
 	MaxPagesPerSite int
+	// MaxShards bounds a job's shard count (default 16).
+	MaxShards int
 }
 
 // Config parameterizes the server. The zero value is completed by New.
@@ -58,6 +61,17 @@ type Config struct {
 	// Runner overrides the job executor — tests and benchmarks stub the
 	// pipeline here. nil runs webmeasure.Run.
 	Runner func(ctx context.Context, cfg webmeasure.Config) (*webmeasure.Results, error)
+	// ShardWorkers lists base URLs of peer servers a coordinator job fans
+	// shard jobs out to (e.g. "http://10.0.0.2:8080"). Empty runs every
+	// shard in-process — correct, just not distributed.
+	ShardWorkers []string
+	// ShardAttempts bounds how many workers a shard dispatch tries before
+	// falling back to running the shard locally (default 3, clamped to the
+	// worker count).
+	ShardAttempts int
+	// ShardPoll is the coordinator's polling interval while a remote shard
+	// job runs (default 150ms).
+	ShardPoll time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +89,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Limits.MaxPagesPerSite <= 0 {
 		c.Limits.MaxPagesPerSite = 100
+	}
+	if c.Limits.MaxShards <= 0 {
+		c.Limits.MaxShards = 16
+	}
+	if c.ShardAttempts <= 0 {
+		c.ShardAttempts = 3
+	}
+	if c.ShardPoll <= 0 {
+		c.ShardPoll = 150 * time.Millisecond
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
@@ -121,10 +144,15 @@ type Server struct {
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
 
+	// shard is the coordinator's HTTP client for remote shard workers
+	// (nil when Config.ShardWorkers is empty).
+	shard *shardClient
+
 	// counters, bound once so the hot paths skip registry lookups
-	mSubmitted, mCompleted, mFailed, mCanceled *metrics.Counter
-	mRejected, mCacheHits, mCacheMisses        *metrics.Counter
-	mJobMS, mQueueMS                           *metrics.Histogram
+	mSubmitted, mCompleted, mFailed, mCanceled   *metrics.Counter
+	mRejected, mCacheHits, mCacheMisses          *metrics.Counter
+	mShardRemote, mShardRetries, mShardFallbacks *metrics.Counter
+	mJobMS, mQueueMS                             *metrics.Histogram
 }
 
 // New creates the server and starts its worker pool.
@@ -141,15 +169,21 @@ func New(cfg Config) *Server {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 
-		mSubmitted:   cfg.Metrics.Counter("service.jobs.submitted"),
-		mCompleted:   cfg.Metrics.Counter("service.jobs.completed"),
-		mFailed:      cfg.Metrics.Counter("service.jobs.failed"),
-		mCanceled:    cfg.Metrics.Counter("service.jobs.canceled"),
-		mRejected:    cfg.Metrics.Counter("service.jobs.rejected"),
-		mCacheHits:   cfg.Metrics.Counter("service.cache.hits"),
-		mCacheMisses: cfg.Metrics.Counter("service.cache.misses"),
-		mJobMS:       cfg.Metrics.Histogram("service.job_ms"),
-		mQueueMS:     cfg.Metrics.Histogram("service.queue_wait_ms"),
+		mSubmitted:      cfg.Metrics.Counter("service.jobs.submitted"),
+		mCompleted:      cfg.Metrics.Counter("service.jobs.completed"),
+		mFailed:         cfg.Metrics.Counter("service.jobs.failed"),
+		mCanceled:       cfg.Metrics.Counter("service.jobs.canceled"),
+		mRejected:       cfg.Metrics.Counter("service.jobs.rejected"),
+		mCacheHits:      cfg.Metrics.Counter("service.cache.hits"),
+		mCacheMisses:    cfg.Metrics.Counter("service.cache.misses"),
+		mShardRemote:    cfg.Metrics.Counter("service.shard.remote"),
+		mShardRetries:   cfg.Metrics.Counter("service.shard.dispatch_retries"),
+		mShardFallbacks: cfg.Metrics.Counter("service.shard.local_fallbacks"),
+		mJobMS:          cfg.Metrics.Histogram("service.job_ms"),
+		mQueueMS:        cfg.Metrics.Histogram("service.queue_wait_ms"),
+	}
+	if len(cfg.ShardWorkers) > 0 {
+		s.shard = newShardClient(cfg.ShardWorkers, cfg.ShardAttempts, cfg.ShardPoll, cfg.Logger, s.mShardRetries)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -378,8 +412,15 @@ func (s *Server) runJob(job *Job) {
 // the spec asks for tracing, a per-job tracer seeded from the spec rides
 // the config through crawl and analysis, and the finished trace is
 // rendered alongside the other artifacts (so cache hits replay the exact
-// trace bytes too).
+// trace bytes too). Sharded specs route to the shard worker or the
+// coordinator instead.
 func (s *Server) execute(ctx context.Context, spec JobSpec) (*result, error) {
+	switch {
+	case spec.Shards > 1 && spec.Shard > 0:
+		return s.executeShard(ctx, spec)
+	case spec.Shards > 1:
+		return s.executeCoordinator(ctx, spec)
+	}
 	runner := s.cfg.Runner
 	if runner == nil {
 		runner = webmeasure.Run
@@ -427,6 +468,178 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) (*result, error) {
 		res.spanCount = tracer.SpanCount()
 	}
 	return res, nil
+}
+
+// executeShard runs one shard job: a shard-restricted measurement whose
+// artifact is the encoded partial. The run uses a fresh registry and
+// tracer — the partial carries both, and merging them into the shared
+// registry is the coordinator's decision, not the worker's, so a local
+// fallback never double-counts against a remote dispatch.
+func (s *Server) executeShard(ctx context.Context, spec JobSpec) (*result, error) {
+	runner := s.cfg.Runner
+	if runner == nil {
+		runner = webmeasure.Run
+	}
+	reg := metrics.New()
+	cfg := spec.config(reg)
+	var tracer *trace.Tracer
+	if spec.TraceSample > 0 {
+		tracer = trace.New(trace.Options{
+			Seed:        spec.Seed,
+			SampleEvery: spec.TraceSample,
+			Metrics:     reg,
+		})
+		cfg.Tracer = tracer
+	}
+	r, err := runner(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	part, err := r.Partial()
+	if err != nil {
+		return nil, err
+	}
+	dump := reg.Dump()
+	part.Metrics = &dump
+	part.Traces = tracer.Export()
+	wire, err := part.Encode()
+	if err != nil {
+		return nil, err
+	}
+	// Shard summaries report only crawl-level facts: a slice can hold zero
+	// vetted pages, where the tree-derived means are undefined.
+	cs := r.Analysis().CrawlSummary()
+	return &result{
+		partial: wire,
+		dataset: r.Dataset(),
+		summary: webmeasure.Summary{
+			Sites:            cs.Sites,
+			Pages:            cs.Pages,
+			Visits:           cs.Visits,
+			VettedPages:      cs.VettedPages,
+			VettedShare:      cs.VettedShare,
+			ExcludedPages:    cs.Vetting.Excluded(),
+			ExcludedDegraded: cs.Vetting.ExcludedDegraded,
+		},
+	}, nil
+}
+
+// executeCoordinator fans one shard job per slice out — to the configured
+// shard workers when present, in-process otherwise — then merges the
+// partials: metrics dumps into the server registry, trace exports into
+// one tracer, and the analysis partials into full Results whose rendered
+// artifacts are byte-identical to an unsharded run of the same spec.
+func (s *Server) executeCoordinator(ctx context.Context, spec JobSpec) (*result, error) {
+	parts := make([]*core.Partial, spec.Shards)
+	errs := make([]error, spec.Shards)
+	var wg sync.WaitGroup
+	for i := 1; i <= spec.Shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			parts[shard-1], errs[shard-1] = s.shardPartial(ctx, spec, shard)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, part := range parts {
+		if part.Metrics != nil {
+			if err := s.reg.Merge(*part.Metrics); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res, err := webmeasure.AssembleFromPartials(ctx, spec.config(s.reg), parts)
+	if err != nil {
+		return nil, err
+	}
+	var rep, js, csv bytes.Buffer
+	res.WriteReport(&rep)
+	if err := res.WriteJSON(&js); err != nil {
+		return nil, fmt.Errorf("render json: %w", err)
+	}
+	if err := res.WriteCSV(&csv); err != nil {
+		return nil, fmt.Errorf("render csv: %w", err)
+	}
+	out := &result{
+		report:  rep.Bytes(),
+		json:    js.Bytes(),
+		csv:     csv.Bytes(),
+		dataset: res.Dataset(),
+		summary: res.Summary(),
+	}
+	if spec.TraceSample > 0 {
+		merged := trace.New(trace.Options{Seed: spec.Seed, SampleEvery: spec.TraceSample})
+		for _, part := range parts {
+			if err := merged.Import(part.Traces); err != nil {
+				return nil, err
+			}
+		}
+		var chrome, jsonl bytes.Buffer
+		if err := merged.WriteChromeTrace(&chrome); err != nil {
+			return nil, fmt.Errorf("render trace: %w", err)
+		}
+		if err := merged.WriteJSONL(&jsonl); err != nil {
+			return nil, fmt.Errorf("render trace jsonl: %w", err)
+		}
+		out.traceChrome = chrome.Bytes()
+		out.traceJSONL = jsonl.Bytes()
+		out.traceCount = merged.TraceCount()
+		out.spanCount = merged.SpanCount()
+	}
+	return out, nil
+}
+
+// shardPartial obtains one shard's partial: result cache first, then the
+// remote shard workers, then — when every dispatch attempt fails — an
+// in-process run. Whatever produced the bytes, they land in the result
+// cache under the shard job's own key, so a retried coordinator (or a
+// second coordinator sharing slices) reuses them.
+func (s *Server) shardPartial(ctx context.Context, spec JobSpec, shard int) (*core.Partial, error) {
+	shardSpec := spec
+	shardSpec.Shard = shard
+	key := shardSpec.cacheKey()
+	if res, ok := s.cacheGet(key); ok && res.partial != nil {
+		s.mCacheHits.Inc()
+		return core.DecodePartial(res.partial)
+	}
+	if s.shard != nil {
+		wire, err := s.shard.fetchPartial(ctx, shardSpec)
+		if err == nil {
+			s.mShardRemote.Inc()
+			s.cachePut(key, &result{partial: wire})
+			return core.DecodePartial(wire)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		s.mShardFallbacks.Inc()
+		s.log.Warn("shard dispatch failed, running locally", "shard", shard, "error", err.Error())
+	}
+	res, err := s.executeShard(ctx, shardSpec)
+	if err != nil {
+		return nil, err
+	}
+	s.cachePut(key, res)
+	return core.DecodePartial(res.partial)
+}
+
+// cacheGet / cachePut are the locked cache accessors for paths that do
+// not already hold the server mutex.
+func (s *Server) cacheGet(key string) (*result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.get(key)
+}
+
+func (s *Server) cachePut(key string, res *result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.put(key, res)
 }
 
 // Shutdown stops intake, drains the queued and running jobs, and waits

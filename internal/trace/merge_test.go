@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fakeWork records a deterministic two-trace workload on tr. which selects
+// a subset: bit 0 enables the "alpha" page, bit 1 the "beta" page — so
+// tests can split the same workload across tracers and merge it back.
+func fakeWork(tr *Tracer, which int) {
+	if which&1 != 0 {
+		page := tr.Trace("page", "siteA/alpha")
+		root := page.Span(nil, "visit", "Old", 100)
+		root.SetAttr("profile", "Old")
+		fetch := page.Span(root, "fetch", "1", 110)
+		fetch.AddEvent("retry", 120)
+		fetch.End(150)
+		root.End(200)
+	}
+	if which&2 != 0 {
+		page := tr.Trace("page", "siteB/beta")
+		root := page.Span(nil, "visit", "Sim1", 300)
+		root.SetAttrInt("requests", 7)
+		root.End(450)
+	}
+}
+
+// renderTrace renders both export formats of a tracer.
+func renderTrace(t *testing.T, tr *Tracer) (jsonl, chrome []byte) {
+	t.Helper()
+	var jl, ch bytes.Buffer
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&ch); err != nil {
+		t.Fatal(err)
+	}
+	return jl.Bytes(), ch.Bytes()
+}
+
+// TestExportImportRoundTrip: a tracer rebuilt from its own export must
+// render byte-identical JSONL and Chrome traces — IDs, attrs, events, and
+// ordering all survive the wire.
+func TestExportImportRoundTrip(t *testing.T) {
+	orig := New(Options{Seed: 9, SampleEvery: 1})
+	fakeWork(orig, 3)
+	wantJL, wantCh := renderTrace(t, orig)
+
+	back := New(Options{Seed: 9, SampleEvery: 1})
+	if err := back.Import(orig.Export()); err != nil {
+		t.Fatal(err)
+	}
+	gotJL, gotCh := renderTrace(t, back)
+	if !bytes.Equal(gotJL, wantJL) {
+		t.Error("JSONL differs after export/import round trip")
+	}
+	if !bytes.Equal(gotCh, wantCh) {
+		t.Error("Chrome trace differs after export/import round trip")
+	}
+}
+
+// TestImportMergesShards: the same workload recorded whole on one tracer
+// and split across two shard tracers must render identically once the
+// shard exports are imported into a fresh tracer — the coordinator's merge
+// path. Span and trace IDs are pure seeded hashes, so the shard tracers
+// mint the very IDs the single tracer would.
+func TestImportMergesShards(t *testing.T) {
+	single := New(Options{Seed: 9, SampleEvery: 1})
+	fakeWork(single, 3)
+	wantJL, wantCh := renderTrace(t, single)
+
+	shardA := New(Options{Seed: 9, SampleEvery: 1})
+	fakeWork(shardA, 1)
+	shardB := New(Options{Seed: 9, SampleEvery: 1})
+	fakeWork(shardB, 2)
+
+	merged := New(Options{Seed: 9, SampleEvery: 1})
+	for _, shard := range []*Tracer{shardB, shardA} { // arrival order must not matter
+		if err := merged.Import(shard.Export()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotJL, gotCh := renderTrace(t, merged)
+	if !bytes.Equal(gotJL, wantJL) {
+		t.Error("JSONL differs between whole recording and merged shards")
+	}
+	if !bytes.Equal(gotCh, wantCh) {
+		t.Error("Chrome trace differs between whole recording and merged shards")
+	}
+}
+
+// TestImportRejectsIDConflict: two partials claiming the same (name, key)
+// trace under different IDs come from different seeds — merging them would
+// corrupt parent/child links, so the import must refuse.
+func TestImportRejectsIDConflict(t *testing.T) {
+	a := New(Options{Seed: 1, SampleEvery: 1})
+	fakeWork(a, 1)
+	b := New(Options{Seed: 2, SampleEvery: 1})
+	fakeWork(b, 1)
+
+	merged := New(Options{Seed: 1, SampleEvery: 1})
+	if err := merged.Import(a.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Import(b.Export()); err == nil {
+		t.Error("import accepted the same trace key under a different ID")
+	}
+}
+
+// TestImportIntoNilTracer: a nil tracer swallows imports — workers with
+// tracing off ship empty trace lists and the coordinator must not care.
+func TestImportNilAndEmpty(t *testing.T) {
+	var nilTracer *Tracer
+	if err := nilTracer.Import([]TraceData{{ID: 1, Name: "page", Key: "k"}}); err != nil {
+		t.Errorf("nil tracer import: %v", err)
+	}
+	if data := nilTracer.Export(); len(data) != 0 {
+		t.Error("nil tracer exported traces")
+	}
+	live := New(Options{Seed: 3, SampleEvery: 1})
+	if err := live.Import(nil); err != nil {
+		t.Errorf("empty import: %v", err)
+	}
+}

@@ -81,6 +81,19 @@ type Config struct {
 	// merge is deterministic, so every report/JSON/CSV export is
 	// byte-identical for any worker count. 0 = GOMAXPROCS.
 	Workers int
+	// Shards splits the experiment's page-key space into this many slices
+	// for distributed shard-and-merge analysis (0 or 1 = the whole
+	// experiment in one process). With Shards > 1 the run covers only the
+	// slice ShardIndex selects; one Partial per shard is then assembled
+	// with AssembleFromPartials into results byte-identical to the
+	// single-process run.
+	Shards int
+	// ShardIndex selects this run's slice (0-based, < Shards) when Shards
+	// is set.
+	ShardIndex int
+	// ShardSeed seeds the shard plan's page-key hash; every worker and the
+	// coordinator must agree on it. 0 = Seed.
+	ShardSeed int64
 	// Metrics, if non-nil, collects live crawl and analysis counters and
 	// timing histograms; snapshot it from another goroutine for progress
 	// lines (see metrics.StartProgress).
@@ -109,7 +122,19 @@ func (c Config) withDefaults() Config {
 	if c.PagesPerSite <= 0 {
 		c.PagesPerSite = 10
 	}
+	if c.Shards > 1 && c.ShardSeed == 0 {
+		c.ShardSeed = c.Seed
+	}
 	return c
+}
+
+// shardPlan returns the config's shard plan (Count 1 when unsharded).
+func (c Config) shardPlan() core.ShardPlan {
+	count := c.Shards
+	if count < 1 {
+		count = 1
+	}
+	return core.ShardPlan{Count: count, Seed: c.ShardSeed}
 }
 
 // Results is a completed experiment: the collected dataset plus the full
@@ -123,10 +148,10 @@ type Results struct {
 	stats      crawler.Stats
 }
 
-// Run executes the experiment: generate the universe, sample the ranked
-// site list, crawl with the five profiles of Table 1, vet, and analyze.
-func Run(ctx context.Context, cfg Config) (*Results, error) {
-	cfg = cfg.withDefaults()
+// experimentFrame regenerates the deterministic scaffolding every entry
+// point shares: the universe, the rank-bucket boundaries, and the sampled
+// site list. cfg must already carry defaults.
+func experimentFrame(cfg Config) (*webgen.Universe, []tranco.Entry, []int) {
 	u := webgen.New(webgenConfig(cfg))
 	list := tranco.Generate(cfg.TrancoSize, cfg.Seed)
 	boundaries := tranco.ScaledBoundaries(cfg.TrancoSize)
@@ -135,6 +160,29 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		perBucket = 1
 	}
 	sample := list.Sample(boundaries, perBucket, cfg.Seed)
+	return u, sample, boundaries
+}
+
+// validateShard checks the Shards/ShardIndex pair.
+func (c Config) validateShard() error {
+	if c.Shards > 1 && (c.ShardIndex < 0 || c.ShardIndex >= c.Shards) {
+		return fmt.Errorf("webmeasure: shard index %d out of range for %d shards", c.ShardIndex, c.Shards)
+	}
+	return nil
+}
+
+// Run executes the experiment: generate the universe, sample the ranked
+// site list, crawl with the five profiles of Table 1, vet, and analyze.
+// With Config.Shards > 1 the run restricts itself to shard ShardIndex's
+// slice of the page-key space — every visit is a pure function of (seed,
+// profile, page), so the shard's records are byte-identical to the full
+// crawl's records for the same pages.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validateShard(); err != nil {
+		return nil, err
+	}
+	u, sample, boundaries := experimentFrame(cfg)
 
 	var resume *dataset.Dataset
 	if cfg.ResumeJSONL != nil {
@@ -152,21 +200,31 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: %w", err)
 	}
+	var pageFilter func(site, pageURL string) bool
+	if cfg.Shards > 1 {
+		if cfg.Stateful && resume != nil {
+			// A resumed stateful crawl reuses visits without replaying them,
+			// so the shared cookie jar would diverge from the full crawl's.
+			return nil, fmt.Errorf("webmeasure: sharded crawls cannot combine Stateful with ResumeJSONL")
+		}
+		pageFilter = cfg.shardPlan().Keep(cfg.ShardIndex)
+	}
 	ds, crawlStats, err := crawler.Run(ctx, crawler.Config{
-		Universe:  u,
-		Sites:     sample,
-		MaxPages:  cfg.PagesPerSite,
-		Instances: cfg.Instances,
-		Profiles:  profs,
-		Seed:      cfg.Seed,
-		Epoch:     cfg.Epoch,
-		Stateful:  cfg.Stateful,
-		Faults:    faultProfile,
-		Retry:     cfg.Retry,
-		Progress:  cfg.Progress,
-		Resume:    resume,
-		Metrics:   cfg.Metrics,
-		Tracer:    cfg.Tracer,
+		Universe:   u,
+		Sites:      sample,
+		MaxPages:   cfg.PagesPerSite,
+		Instances:  cfg.Instances,
+		Profiles:   profs,
+		Seed:       cfg.Seed,
+		Epoch:      cfg.Epoch,
+		Stateful:   cfg.Stateful,
+		Faults:     faultProfile,
+		Retry:      cfg.Retry,
+		Progress:   cfg.Progress,
+		Resume:     resume,
+		Metrics:    cfg.Metrics,
+		Tracer:     cfg.Tracer,
+		PageFilter: pageFilter,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: crawl: %w", err)
@@ -213,6 +271,9 @@ func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe
 		Metrics:  cfg.Metrics,
 		Context:  ctx,
 		Tracer:   cfg.Tracer,
+		// One shard's slice can legitimately vet down to nothing; the
+		// coordinator judges emptiness after merging all shards.
+		AllowEmpty: cfg.Shards > 1,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
@@ -401,13 +462,139 @@ func LoadAndAnalyzeContext(ctx context.Context, datasetJSONL io.Reader, cfg Conf
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
 	}
-	u := webgen.New(webgenConfig(cfg))
-	list := tranco.Generate(cfg.TrancoSize, cfg.Seed)
-	boundaries := tranco.ScaledBoundaries(cfg.TrancoSize)
-	perBucket := cfg.Sites / len(boundaries)
-	if perBucket < 1 {
-		perBucket = 1
-	}
-	sample := list.Sample(boundaries, perBucket, cfg.Seed)
+	u, sample, boundaries := experimentFrame(cfg)
 	return AnalyzeContext(ctx, ds, u, sample, boundaries, cfg)
+}
+
+// Partial exports this run's analysis as one shard's contribution to a
+// distributed shard-and-merge analysis. The run must have been sharded
+// (Config.Shards > 1); the partial carries the shard's vetted trees,
+// vetting tally, and raw visits (metrics dumps and trace exports are
+// attached by the caller, which owns those registries).
+func (r *Results) Partial() (*core.Partial, error) {
+	if r.cfg.Shards <= 1 {
+		return nil, fmt.Errorf("webmeasure: Partial requires a sharded run (Shards > 1)")
+	}
+	return r.analysis.Partial(r.cfg.shardPlan(), r.cfg.ShardIndex)
+}
+
+// AssembleFromPartials merges one Partial per shard into full Results,
+// byte-identical in every export to a single-process run of the same
+// config. cfg must carry the same experiment parameters the shard workers
+// used (Seed, Sites, TrancoSize, PagesPerSite, Profiles, Shards,
+// ShardSeed); the union dataset is rebuilt from the partials' visits in
+// shard order.
+func AssembleFromPartials(ctx context.Context, cfg Config, parts []*core.Partial) (*Results, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards <= 1 {
+		return nil, fmt.Errorf("webmeasure: AssembleFromPartials requires Shards > 1")
+	}
+	u, sample, boundaries := experimentFrame(cfg)
+	filter, skipped := filterlist.Parse(u.FilterListText())
+	if skipped != 0 {
+		return nil, fmt.Errorf("webmeasure: generated filter list has %d bad rules", skipped)
+	}
+	ranks := make(map[string]int, len(sample))
+	for _, e := range sample {
+		ranks[e.Site] = e.Rank
+	}
+	profs, err := selectProfiles(cfg.Profiles)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(profs))
+	for i, p := range profs {
+		names[i] = p.Name
+	}
+	// The union dataset: every shard's visits, in shard order. Exports
+	// that depend on visit *grouping* use the page-key-sorted view, so
+	// the concatenation order is invisible to every artifact.
+	byShard := make([]*core.Partial, cfg.Shards)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if p.Shard >= 0 && p.Shard < cfg.Shards && byShard[p.Shard] == nil {
+			byShard[p.Shard] = p
+		}
+	}
+	ds := dataset.New()
+	for _, p := range byShard {
+		if p == nil {
+			continue
+		}
+		for _, v := range p.Visits {
+			ds.Add(v)
+		}
+	}
+	analysis, err := core.NewFromPartials(ds, filter, core.Options{
+		Profiles: names,
+		SiteRank: ranks,
+		Workers:  cfg.Workers,
+		Metrics:  cfg.Metrics,
+	}, cfg.shardPlan(), parts)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: assemble: %w", err)
+	}
+	return &Results{
+		cfg:        cfg,
+		universe:   u,
+		dataset:    ds,
+		analysis:   analysis,
+		boundaries: boundaries,
+	}, nil
+}
+
+// LoadAndAnalyzeSharded is LoadAndAnalyzeShardedContext with a background
+// context.
+func LoadAndAnalyzeSharded(datasetJSONL io.Reader, cfg Config) (*Results, error) {
+	return LoadAndAnalyzeShardedContext(context.Background(), datasetJSONL, cfg)
+}
+
+// LoadAndAnalyzeShardedContext analyzes a loaded dataset through the
+// distributed shard-and-merge pipeline inside one process: it splits the
+// dataset into Config.Shards slices of the page-key space, analyzes each
+// slice independently, round-trips every Partial through its wire
+// encoding, and assembles the merged Results — byte-identical in every
+// export to the unsharded analysis, which is what cmd/analyze -shards
+// exercises. Shards <= 1 falls back to LoadAndAnalyzeContext.
+func LoadAndAnalyzeShardedContext(ctx context.Context, datasetJSONL io.Reader, cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards <= 1 {
+		return LoadAndAnalyzeContext(ctx, datasetJSONL, cfg)
+	}
+	ds, err := dataset.ReadJSONL(datasetJSONL)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	plan := cfg.shardPlan()
+	parts := make([]*core.Partial, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("webmeasure: sharded analysis canceled: %w", err)
+		}
+		shardCfg := cfg
+		shardCfg.ShardIndex = i
+		keep := plan.Keep(i)
+		shardDS := ds.FilterPages(func(k dataset.PageKey) bool { return keep(k.Site, k.PageURL) })
+		u, sample, boundaries := experimentFrame(shardCfg)
+		res, err := AnalyzeContext(ctx, shardDS, u, sample, boundaries, shardCfg)
+		if err != nil {
+			return nil, fmt.Errorf("webmeasure: shard %d/%d: %w", i, cfg.Shards, err)
+		}
+		part, err := res.Partial()
+		if err != nil {
+			return nil, err
+		}
+		// Round-trip through the wire form so the in-process path exercises
+		// exactly what a remote worker ships.
+		wire, err := part.Encode()
+		if err != nil {
+			return nil, err
+		}
+		if parts[i], err = core.DecodePartial(wire); err != nil {
+			return nil, err
+		}
+	}
+	return AssembleFromPartials(ctx, cfg, parts)
 }
