@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-smoke serve-smoke trace-smoke shard-smoke cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-dataset bench-smoke serve-smoke trace-smoke shard-smoke col-smoke cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke trace-smoke shard-smoke cover bench-smoke
+tier2: serve-smoke trace-smoke shard-smoke col-smoke cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRedirectChain$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzShardPlanPartition$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzColBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/colstore
 
 # Crawl with -trace, validate the Chrome trace-event export with
 # cmd/tracecheck (shape + per-stage span coverage), and require the trace
@@ -60,6 +61,16 @@ shard-smoke:
 	sh scripts/shard_smoke.sh ./shard-smoke-bin
 	rm -f ./shard-smoke-bin
 
+# Crawl to the columnar format, round-trip it through JSONL with
+# cmd/convert, and require byte-identical reports from both encodings
+# (whole and sharded); see scripts/col_smoke.sh.
+col-smoke:
+	$(GO) build -o ./col-smoke-crawl ./cmd/crawl
+	$(GO) build -o ./col-smoke-analyze ./cmd/analyze
+	$(GO) build -o ./col-smoke-convert ./cmd/convert
+	sh scripts/col_smoke.sh ./col-smoke-crawl ./col-smoke-analyze ./col-smoke-convert
+	rm -f ./col-smoke-crawl ./col-smoke-analyze ./col-smoke-convert
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
@@ -76,6 +87,14 @@ bench-service:
 bench-json:
 	sh scripts/bench_json.sh BENCH_treediff.json
 	$(GO) test -run '^TestBenchJSONWellFormed$$' .
+
+# Dataset-format measurements recorded as machine-readable JSON
+# (BENCH_dataset.json): decode MB/s, load-and-analyze wall time, and
+# peak RSS, JSONL vs columnar at 1x/4x/16x scale, each case in a fresh
+# process; see cmd/benchdataset.
+bench-dataset:
+	sh scripts/bench_dataset.sh BENCH_dataset.json
+	$(GO) test -run '^TestBenchDatasetJSONWellFormed$$' .
 
 # One iteration of every hot-path benchmark: catches benchmarks that no
 # longer compile or panic, without paying for a full timed run.

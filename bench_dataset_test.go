@@ -1,0 +1,97 @@
+package webmeasure
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// benchDatasetFile is where `make bench-dataset` (cmd/benchdataset via
+// scripts/bench_dataset.sh) records the dataset-format measurements.
+const benchDatasetFile = "BENCH_dataset.json"
+
+type benchDatasetCase struct {
+	Name   string  `json:"name"`
+	Scale  int     `json:"scale"`
+	Format string  `json:"format"`
+	Op     string  `json:"op"`
+	Sites  int     `json:"sites"`
+	Bytes  int64   `json:"bytes"`
+	Visits int     `json:"visits"`
+	WallMS float64 `json:"wall_ms"`
+	MBPerS float64 `json:"mb_per_s"`
+	RSSKB  int64   `json:"max_rss_kb"`
+}
+
+type benchDatasetSummary struct {
+	Scale          int     `json:"scale"`
+	Sites          int     `json:"sites"`
+	JSONLBytes     int64   `json:"jsonl_bytes"`
+	ColBytes       int64   `json:"col_bytes"`
+	SizeRatio      float64 `json:"size_ratio"`
+	LoadSpeedup    float64 `json:"load_speedup"`
+	AnalyzeSpeedup float64 `json:"analyze_speedup"`
+	LoadRSSRatio   float64 `json:"load_rss_ratio"`
+}
+
+// TestBenchDatasetJSONWellFormed guards the shape of BENCH_dataset.json
+// so a broken benchdataset run can't silently record garbage. The file
+// is a build artifact, not a source file, so the test skips when it
+// hasn't been generated (tier-1 stays independent of `make
+// bench-dataset`).
+func TestBenchDatasetJSONWellFormed(t *testing.T) {
+	raw, err := os.ReadFile(benchDatasetFile)
+	if os.IsNotExist(err) {
+		t.Skipf("%s not generated; run `make bench-dataset`", benchDatasetFile)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cases   []benchDatasetCase    `json:"cases"`
+		Summary []benchDatasetSummary `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", benchDatasetFile, err)
+	}
+	if len(doc.Cases) == 0 || len(doc.Summary) == 0 {
+		t.Fatalf("%s holds %d cases and %d summary rows, want both non-empty",
+			benchDatasetFile, len(doc.Cases), len(doc.Summary))
+	}
+	// Every (op, format) cell must be measured at every summarized scale.
+	seen := map[string]bool{}
+	for _, c := range doc.Cases {
+		if c.Name == "" || seen[c.Name] {
+			t.Errorf("missing or duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.WallMS <= 0 || c.Bytes <= 0 || c.Visits <= 0 || c.RSSKB <= 0 || c.MBPerS <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", c.Name, c)
+		}
+	}
+	for _, s := range doc.Summary {
+		for _, op := range []string{"load", "analyze"} {
+			for _, format := range []string{"jsonl", "col"} {
+				name := fmt.Sprintf("%s/%s/%dx", op, format, s.Scale)
+				if !seen[name] {
+					t.Errorf("%s records no case %q", benchDatasetFile, name)
+				}
+			}
+		}
+		if s.JSONLBytes <= 0 || s.ColBytes <= 0 {
+			t.Errorf("scale %dx: non-positive sizes: %+v", s.Scale, s)
+		}
+		// The ratios are properties of the encoding, not of machine load:
+		// the columnar file must be smaller and decode faster.
+		if s.SizeRatio <= 1 {
+			t.Errorf("scale %dx: columnar file is not smaller than JSONL (ratio %.2f)", s.Scale, s.SizeRatio)
+		}
+		if s.LoadSpeedup <= 1 {
+			t.Errorf("scale %dx: columnar decode is not faster than JSONL (speedup %.2f)", s.Scale, s.LoadSpeedup)
+		}
+		if s.AnalyzeSpeedup <= 0 || s.LoadRSSRatio <= 0 {
+			t.Errorf("scale %dx: non-positive ratio: %+v", s.Scale, s)
+		}
+	}
+}

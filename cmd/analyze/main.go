@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"webmeasure"
+	"webmeasure/internal/colstore"
+	"webmeasure/internal/dataset"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
 	"webmeasure/internal/trace"
@@ -41,7 +43,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in        = fs.String("i", "dataset.jsonl", "input JSONL dataset")
+		in        = fs.String("i", "dataset.jsonl", "input dataset (jsonl or columnar)")
+		format    = fs.String("format", "auto", "input dataset format: auto (sniff the magic bytes), jsonl, or col")
 		sites     = fs.Int("sites", 100, "sites used for the crawl")
 		pages     = fs.Int("pages", 10, "pages per site used for the crawl")
 		seed      = fs.Int64("seed", 1, "seed used for the crawl")
@@ -108,6 +111,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer f.Close()
+
+	// -format=jsonl/col asserts the input's detected format; the load
+	// itself always dispatches on the magic bytes.
+	head := make([]byte, len(colstore.Magic))
+	n, _ := f.ReadAt(head, 0)
+	detected := dataset.FormatJSONL
+	if colstore.Sniff(head[:n]) {
+		detected = dataset.FormatCol
+	}
+	switch *format {
+	case "auto":
+	case dataset.FormatJSONL, dataset.FormatCol:
+		if *format != detected {
+			fmt.Fprintf(stderr, "analyze: -format=%s but %s is a %s dataset\n", *format, *in, detected)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "analyze: unknown -format %q (want auto, jsonl, or col)\n", *format)
+		return 2
+	}
 
 	reg := metrics.New()
 	var tracer *trace.Tracer

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"webmeasure"
+	"webmeasure/internal/dataset"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
 	"webmeasure/internal/trace"
@@ -44,8 +45,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "master seed")
 		workers     = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
 		progress    = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
-		out         = fs.String("o", "dataset.jsonl", "output path for the JSONL dataset")
-		resume      = fs.String("resume", "", "checkpoint dataset to continue from (reuses its successful visits)")
+		out         = fs.String("o", "dataset.jsonl", "output path for the dataset")
+		format      = fs.String("format", "jsonl", "dataset output format: jsonl or col (compact columnar)")
+		resume      = fs.String("resume", "", "checkpoint dataset to continue from, jsonl or col (reuses its successful visits)")
 		faults      = fs.String("faults", "", "deterministic fault-injection profile: off, light, or heavy (default off)")
 		traceOut    = fs.String("trace", "", "write a Chrome trace-event JSON of the crawl to this file (chrome://tracing)")
 		traceJSONL  = fs.String("trace-jsonl", "", "write the span trace as JSON Lines to this file")
@@ -54,6 +56,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logJSON     = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != dataset.FormatJSONL && *format != dataset.FormatCol {
+		fmt.Fprintf(stderr, "crawl: unknown -format %q (want jsonl or col)\n", *format)
 		return 2
 	}
 	logger, err := trace.NewLogger(stderr, *logLevel, *logJSON)
@@ -101,7 +107,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logger.Error("crawl failed", "error", err.Error())
 		return 1
 	}
-	if err := res.WriteDataset(f); err != nil {
+	writeDataset := res.WriteDataset
+	if *format == dataset.FormatCol {
+		writeDataset = res.WriteDatasetCol
+	}
+	if err := writeDataset(f); err != nil {
 		logger.Error("dataset write failed", "error", err.Error())
 		return 1
 	}

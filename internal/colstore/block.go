@@ -1,0 +1,363 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/urlutil"
+)
+
+// VisitRow pairs a visit with its global sequence number — the visit's
+// position in the dataset's insertion order. Blocks regroup visits by
+// site, so the sequence column is what lets a full decode reconstruct the
+// original order byte for byte (the JSONL round-trip guarantee).
+type VisitRow struct {
+	Seq   uint64
+	Visit *measurement.Visit
+}
+
+// SiteBlock is one decoded site block: the site's visits (insertion
+// order preserved within the site), their global sequence numbers, and
+// the block's interned string table. Every string field of every decoded
+// visit aliases an entry of Strings, so a URL observed by five profiles
+// across eleven pages is one Go string, not fifty-five.
+type SiteBlock struct {
+	Site    string
+	Seqs    []uint64
+	Visits  []*measurement.Visit
+	Strings []string
+}
+
+// KeyCache builds the pre-interned normalized-key table for the block:
+// urlutil.Normalize evaluated once per distinct string, with dense int32
+// key ids the tree builder indexes directly instead of re-normalizing and
+// re-hashing every request of every visit.
+func (sb *SiteBlock) KeyCache() *urlutil.KeyCache {
+	return urlutil.BuildKeyCache(sb.Strings)
+}
+
+// Pages returns the block's distinct page URLs in ascending order.
+func (sb *SiteBlock) Pages() []string {
+	seen := make(map[string]bool, 16)
+	var out []string
+	for _, v := range sb.Visits {
+		if !seen[v.PageURL] {
+			seen[v.PageURL] = true
+			out = append(out, v.PageURL)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encodeBlock serializes one site's visit rows as a block payload:
+// site, string table, then field-major columns. The table is built while
+// the columns encode (ids are first-seen order, so encoding is fully
+// deterministic) and prepended afterwards.
+func encodeBlock(site string, rows []VisitRow) []byte {
+	in := newInterner()
+	var cols buf
+
+	// Visit-level columns.
+	cols.uvarint(uint64(len(rows)))
+	prevSeq := uint64(0)
+	for i, r := range rows {
+		if i == 0 {
+			cols.uvarint(r.Seq)
+		} else {
+			cols.uvarint(r.Seq - prevSeq) // Writer validated ascending order
+		}
+		prevSeq = r.Seq
+	}
+	for _, r := range rows {
+		cols.uvarint(in.id(r.Visit.PageURL))
+	}
+	for _, r := range rows {
+		cols.uvarint(in.id(r.Visit.Profile))
+	}
+	for _, r := range rows {
+		var flags byte
+		if r.Visit.Success {
+			flags |= 1
+		}
+		if r.Visit.Retryable {
+			flags |= 2
+		}
+		cols.byte(flags)
+	}
+	for _, r := range rows {
+		cols.uvarint(in.id(r.Visit.Status))
+	}
+	for _, r := range rows {
+		cols.uvarint(in.id(r.Visit.Failure))
+	}
+	for _, r := range rows {
+		cols.uvarint(in.id(r.Visit.FaultKind))
+	}
+	for _, r := range rows {
+		cols.varint(int64(r.Visit.Attempts))
+	}
+	for _, r := range rows {
+		cols.u64le(math.Float64bits(r.Visit.StartOffsetS))
+	}
+	for _, r := range rows {
+		cols.varint(int64(r.Visit.DurationMS))
+	}
+	for _, r := range rows {
+		cols.uvarint(uint64(len(r.Visit.Requests)))
+	}
+	for _, r := range rows {
+		cols.uvarint(uint64(len(r.Visit.Cookies)))
+	}
+
+	// Request columns, flattened across visits in visit order.
+	eachReq := func(fn func(req *measurement.Request)) {
+		for _, r := range rows {
+			for i := range r.Visit.Requests {
+				fn(&r.Visit.Requests[i])
+			}
+		}
+	}
+	eachReq(func(q *measurement.Request) { cols.uvarint(in.id(q.URL)) })
+	eachReq(func(q *measurement.Request) { cols.byte(byte(q.Type)) })
+	eachReq(func(q *measurement.Request) { cols.varint(int64(q.FrameID)) })
+	eachReq(func(q *measurement.Request) { cols.uvarint(in.id(q.FrameURL)) })
+	eachReq(func(q *measurement.Request) { cols.uvarint(in.id(q.RedirectFrom)) })
+	eachReq(func(q *measurement.Request) { cols.varint(int64(q.Status)) })
+	eachReq(func(q *measurement.Request) { cols.uvarint(in.id(q.ContentType)) })
+	eachReq(func(q *measurement.Request) { cols.varint(int64(q.BodySize)) })
+	// Time offsets are nondecreasing within a visit in practice, so the
+	// per-visit delta keeps them single-byte; zigzag tolerates exceptions.
+	for _, r := range rows {
+		prev := int64(0)
+		for i := range r.Visit.Requests {
+			t := int64(r.Visit.Requests[i].TimeOffsetMS)
+			cols.varint(t - prev)
+			prev = t
+		}
+	}
+	eachReq(func(q *measurement.Request) { cols.uvarint(in.id(q.TrueParentURL)) })
+	eachReq(func(q *measurement.Request) { cols.uvarint(uint64(len(q.CallStack))) })
+	eachReq(func(q *measurement.Request) {
+		for _, f := range q.CallStack {
+			cols.uvarint(in.id(f.FuncName))
+			cols.uvarint(in.id(f.URL))
+			cols.varint(int64(f.Line))
+		}
+	})
+	eachReq(func(q *measurement.Request) { cols.uvarint(uint64(len(q.SetCookies))) })
+	eachReq(func(q *measurement.Request) {
+		for _, sc := range q.SetCookies {
+			cols.uvarint(in.id(sc))
+		}
+	})
+
+	// Cookie columns, flattened across visits in visit order.
+	eachCookie := func(fn func(c *measurement.CookieObservation)) {
+		for _, r := range rows {
+			for i := range r.Visit.Cookies {
+				fn(&r.Visit.Cookies[i])
+			}
+		}
+	}
+	eachCookie(func(c *measurement.CookieObservation) { cols.uvarint(in.id(c.Name)) })
+	eachCookie(func(c *measurement.CookieObservation) { cols.uvarint(in.id(c.Domain)) })
+	eachCookie(func(c *measurement.CookieObservation) { cols.uvarint(in.id(c.Path)) })
+	eachCookie(func(c *measurement.CookieObservation) { cols.uvarint(in.id(c.SameSite)) })
+	eachCookie(func(c *measurement.CookieObservation) {
+		var flags byte
+		if c.Secure {
+			flags |= 1
+		}
+		if c.HTTPOnly {
+			flags |= 2
+		}
+		cols.byte(flags)
+	})
+
+	// Assemble: site, string table, columns.
+	var payload buf
+	payload.str(site)
+	payload.uvarint(uint64(len(in.strs)))
+	for _, s := range in.strs {
+		payload.str(s)
+	}
+	payload.b = append(payload.b, cols.bytes()...)
+	return payload.bytes()
+}
+
+// decodeBlock parses a block payload. Corrupted or truncated payloads
+// yield an error, never a panic or an unbounded allocation.
+func decodeBlock(payload []byte) (*SiteBlock, error) {
+	c := &cur{b: payload}
+	site := c.str()
+	nstr := c.count("string table")
+	if c.err != nil {
+		return nil, c.err
+	}
+	strs := make([]string, nstr)
+	for i := range strs {
+		strs[i] = c.str()
+	}
+	lookup := func(what string) string {
+		id := c.uvarint()
+		if c.err != nil {
+			return ""
+		}
+		if id >= uint64(len(strs)) {
+			c.fail("colstore: %s string id %d out of range (table holds %d)", what, id, len(strs))
+			return ""
+		}
+		return strs[id]
+	}
+
+	nv := c.count("visit")
+	if c.err != nil {
+		return nil, c.err
+	}
+	sb := &SiteBlock{
+		Site:    site,
+		Seqs:    make([]uint64, nv),
+		Visits:  make([]*measurement.Visit, nv),
+		Strings: strs,
+	}
+	visits := make([]measurement.Visit, nv)
+	for i := range visits {
+		sb.Visits[i] = &visits[i]
+		visits[i].Site = site
+	}
+	prevSeq := uint64(0)
+	for i := 0; i < nv; i++ {
+		d := c.uvarint()
+		if i == 0 {
+			prevSeq = d
+		} else {
+			prevSeq += d
+		}
+		sb.Seqs[i] = prevSeq
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].PageURL = lookup("page URL")
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].Profile = lookup("profile")
+	}
+	for i := 0; i < nv; i++ {
+		flags := c.byte()
+		visits[i].Success = flags&1 != 0
+		visits[i].Retryable = flags&2 != 0
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].Status = lookup("status")
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].Failure = lookup("failure")
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].FaultKind = lookup("fault kind")
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].Attempts = int(c.varint())
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].StartOffsetS = math.Float64frombits(c.u64le())
+	}
+	for i := 0; i < nv; i++ {
+		visits[i].DurationMS = int(c.varint())
+	}
+	for i := 0; i < nv; i++ {
+		if n := c.count("request"); n > 0 {
+			visits[i].Requests = make([]measurement.Request, n)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	for i := 0; i < nv; i++ {
+		if n := c.count("cookie"); n > 0 {
+			visits[i].Cookies = make([]measurement.CookieObservation, n)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+
+	eachReq := func(fn func(q *measurement.Request)) {
+		for i := range visits {
+			for j := range visits[i].Requests {
+				if c.err != nil {
+					return
+				}
+				fn(&visits[i].Requests[j])
+			}
+		}
+	}
+	eachReq(func(q *measurement.Request) { q.URL = lookup("request URL") })
+	eachReq(func(q *measurement.Request) { q.Type = measurement.ResourceType(c.byte()) })
+	eachReq(func(q *measurement.Request) { q.FrameID = int(c.varint()) })
+	eachReq(func(q *measurement.Request) { q.FrameURL = lookup("frame URL") })
+	eachReq(func(q *measurement.Request) { q.RedirectFrom = lookup("redirect source") })
+	eachReq(func(q *measurement.Request) { q.Status = int(c.varint()) })
+	eachReq(func(q *measurement.Request) { q.ContentType = lookup("content type") })
+	eachReq(func(q *measurement.Request) { q.BodySize = int(c.varint()) })
+	for i := range visits {
+		prev := int64(0)
+		for j := range visits[i].Requests {
+			prev += c.varint()
+			visits[i].Requests[j].TimeOffsetMS = int(prev)
+		}
+	}
+	eachReq(func(q *measurement.Request) { q.TrueParentURL = lookup("true parent URL") })
+	eachReq(func(q *measurement.Request) {
+		if n := c.count("call stack"); n > 0 {
+			q.CallStack = make([]measurement.StackFrame, n)
+		}
+	})
+	eachReq(func(q *measurement.Request) {
+		for k := range q.CallStack {
+			q.CallStack[k].FuncName = lookup("stack function")
+			q.CallStack[k].URL = lookup("stack URL")
+			q.CallStack[k].Line = int(c.varint())
+		}
+	})
+	eachReq(func(q *measurement.Request) {
+		if n := c.count("set-cookie"); n > 0 {
+			q.SetCookies = make([]string, n)
+		}
+	})
+	eachReq(func(q *measurement.Request) {
+		for k := range q.SetCookies {
+			q.SetCookies[k] = lookup("set-cookie header")
+		}
+	})
+
+	eachCookie := func(fn func(ck *measurement.CookieObservation)) {
+		for i := range visits {
+			for j := range visits[i].Cookies {
+				if c.err != nil {
+					return
+				}
+				fn(&visits[i].Cookies[j])
+			}
+		}
+	}
+	eachCookie(func(ck *measurement.CookieObservation) { ck.Name = lookup("cookie name") })
+	eachCookie(func(ck *measurement.CookieObservation) { ck.Domain = lookup("cookie domain") })
+	eachCookie(func(ck *measurement.CookieObservation) { ck.Path = lookup("cookie path") })
+	eachCookie(func(ck *measurement.CookieObservation) { ck.SameSite = lookup("cookie samesite") })
+	eachCookie(func(ck *measurement.CookieObservation) {
+		flags := c.byte()
+		ck.Secure = flags&1 != 0
+		ck.HTTPOnly = flags&2 != 0
+	})
+
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(c.b) {
+		return nil, fmt.Errorf("colstore: block payload has %d trailing bytes", len(c.b)-c.off)
+	}
+	return sb, nil
+}

@@ -1,0 +1,296 @@
+package colstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Scan streams the file's site blocks in file order, calling fn for each
+// decoded block, and returns the decoded footer index. It needs only
+// sequential access — each block is self-contained — so it works on pipes
+// and HTTP bodies; memory is bounded by the largest single block. A
+// non-nil error from fn aborts the scan and is returned verbatim.
+func Scan(r io.Reader, fn func(*SiteBlock) error) (*Index, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	hdr := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("colstore: read header: %w", err)
+	}
+	if string(hdr) != Magic {
+		return nil, fmt.Errorf("colstore: bad header magic %q (not a columnar dataset)", hdr)
+	}
+	magic := make([]byte, len(blockMagic))
+	for {
+		if _, err := io.ReadFull(br, magic); err != nil {
+			return nil, fmt.Errorf("colstore: read record magic: %w", err)
+		}
+		switch string(magic) {
+		case blockMagic:
+			payload, err := readRecordBody(br, "block")
+			if err != nil {
+				return nil, err
+			}
+			sb, err := decodeBlock(payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := fn(sb); err != nil {
+				return nil, err
+			}
+		case indexMagic:
+			payload, err := readRecordBody(br, "index")
+			if err != nil {
+				return nil, err
+			}
+			idx, err := decodeIndex(payload)
+			if err != nil {
+				return nil, err
+			}
+			tail := make([]byte, 8+len(tailMagic))
+			if _, err := io.ReadFull(br, tail); err != nil {
+				return nil, fmt.Errorf("colstore: read tail: %w", err)
+			}
+			if string(tail[8:]) != tailMagic {
+				return nil, fmt.Errorf("colstore: bad tail magic %q", tail[8:])
+			}
+			return idx, nil
+		default:
+			return nil, fmt.Errorf("colstore: unknown record magic %q", magic)
+		}
+	}
+}
+
+// readRecordBody reads uvarint(len) + payload + crc32 and verifies the
+// checksum.
+func readRecordBody(br *bufio.Reader, what string) ([]byte, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: read %s length: %w", what, err)
+	}
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("colstore: %s record of %d bytes exceeds the %d-byte limit (corrupt length?)", what, n, maxRecordLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("colstore: read %s payload (%d bytes): %w", what, n, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("colstore: read %s checksum: %w", what, err)
+	}
+	if err := verifyCRC(crc[:], payload, what); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func verifyCRC(crc, payload []byte, what string) error {
+	want := uint32(crc[0]) | uint32(crc[1])<<8 | uint32(crc[2])<<16 | uint32(crc[3])<<24
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return fmt.Errorf("colstore: %s checksum mismatch (got %08x, want %08x): corrupted record", what, got, want)
+	}
+	return nil
+}
+
+// readUvarint reads a varint without over-reading past it.
+func readUvarint(br io.ByteReader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("varint overflows uint64")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func decodeIndex(payload []byte) (*Index, error) {
+	c := &cur{b: payload}
+	idx := &Index{Schema: int(c.uvarint())}
+	if c.err == nil && idx.Schema != SchemaVersion {
+		return nil, fmt.Errorf("colstore: index schema %d, want %d", idx.Schema, SchemaVersion)
+	}
+	nb := c.count("index block")
+	if c.err != nil {
+		return nil, c.err
+	}
+	idx.Blocks = make([]BlockMeta, nb)
+	for i := range idx.Blocks {
+		b := &idx.Blocks[i]
+		b.Site = c.str()
+		b.Offset = c.uvarint()
+		b.Length = c.uvarint()
+		b.Visits = int(c.uvarint())
+		np := c.count("index page")
+		if c.err != nil {
+			return nil, c.err
+		}
+		b.Pages = make([]string, np)
+		for j := range b.Pages {
+			b.Pages[j] = c.str()
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(c.b) {
+		return nil, fmt.Errorf("colstore: index payload has %d trailing bytes", len(c.b)-c.off)
+	}
+	return idx, nil
+}
+
+// Reader random-accesses a columnar file through its footer index: open
+// the footer once, then decode exactly the blocks you need. This is the
+// shard-worker path — the index carries each block's page list, so a
+// worker seeks straight to the blocks holding its pages and never touches
+// the rest of the file.
+type Reader struct {
+	ra  io.ReaderAt
+	idx *Index
+}
+
+// OpenReader validates the header and tail and decodes the footer index.
+func OpenReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	minLen := int64(len(Magic) + 8 + len(tailMagic))
+	if size < minLen {
+		return nil, fmt.Errorf("colstore: file of %d bytes is shorter than the %d-byte envelope", size, minLen)
+	}
+	hdr := make([]byte, len(Magic))
+	if _, err := ra.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("colstore: read header: %w", err)
+	}
+	if string(hdr) != Magic {
+		return nil, fmt.Errorf("colstore: bad header magic %q (not a columnar dataset)", hdr)
+	}
+	tail := make([]byte, 8+len(tailMagic))
+	if _, err := ra.ReadAt(tail, size-int64(len(tail))); err != nil {
+		return nil, fmt.Errorf("colstore: read tail: %w", err)
+	}
+	if string(tail[8:]) != tailMagic {
+		return nil, fmt.Errorf("colstore: bad tail magic %q (truncated file?)", tail[8:])
+	}
+	indexOff := int64(uint64(tail[0]) | uint64(tail[1])<<8 | uint64(tail[2])<<16 | uint64(tail[3])<<24 |
+		uint64(tail[4])<<32 | uint64(tail[5])<<40 | uint64(tail[6])<<48 | uint64(tail[7])<<56)
+	if indexOff < int64(len(Magic)) || indexOff >= size-int64(len(tail)) {
+		return nil, fmt.Errorf("colstore: index offset %d outside file of %d bytes", indexOff, size)
+	}
+	payload, err := readRecordAt(ra, indexOff, size, indexMagic, "index")
+	if err != nil {
+		return nil, err
+	}
+	idx, err := decodeIndex(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{ra: ra, idx: idx}, nil
+}
+
+// Index returns the footer index. Callers must not modify it.
+func (r *Reader) Index() *Index { return r.idx }
+
+// Block seeks to and decodes block i.
+func (r *Reader) Block(i int) (*SiteBlock, error) {
+	if i < 0 || i >= len(r.idx.Blocks) {
+		return nil, fmt.Errorf("colstore: block %d out of range (%d blocks)", i, len(r.idx.Blocks))
+	}
+	meta := r.idx.Blocks[i]
+	payload, err := readRecordAt(r.ra, int64(meta.Offset), int64(meta.Offset+meta.Length), blockMagic, "block")
+	if err != nil {
+		return nil, fmt.Errorf("colstore: site %q: %w", meta.Site, err)
+	}
+	sb, err := decodeBlock(payload)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: site %q: %w", meta.Site, err)
+	}
+	if sb.Site != meta.Site {
+		return nil, fmt.Errorf("colstore: block %d decodes site %q but the index says %q", i, sb.Site, meta.Site)
+	}
+	return sb, nil
+}
+
+// readRecordAt reads and verifies one record starting at off, bounded by
+// limit (exclusive).
+func readRecordAt(ra io.ReaderAt, off, limit int64, wantMagic, what string) ([]byte, error) {
+	// Magic + maximal varint length header.
+	hdr := make([]byte, len(wantMagic)+10)
+	if int64(len(hdr)) > limit-off {
+		hdr = hdr[:limit-off]
+	}
+	if _, err := ra.ReadAt(hdr, off); err != nil {
+		return nil, fmt.Errorf("colstore: read %s record at %d: %w", what, off, err)
+	}
+	if len(hdr) < len(wantMagic) || string(hdr[:len(wantMagic)]) != wantMagic {
+		return nil, fmt.Errorf("colstore: bad %s record magic at offset %d", what, off)
+	}
+	n, used := uvarintFrom(hdr[len(wantMagic):])
+	if used <= 0 {
+		return nil, fmt.Errorf("colstore: truncated %s record length at offset %d", what, off)
+	}
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("colstore: %s record of %d bytes exceeds the %d-byte limit (corrupt length?)", what, n, maxRecordLen)
+	}
+	bodyOff := off + int64(len(wantMagic)) + int64(used)
+	if bodyOff+int64(n)+4 > limit {
+		return nil, fmt.Errorf("colstore: %s record of %d bytes overruns its %d-byte bound", what, n, limit-off)
+	}
+	body := make([]byte, n+4)
+	if _, err := ra.ReadAt(body, bodyOff); err != nil {
+		return nil, fmt.Errorf("colstore: read %s payload at %d: %w", what, bodyOff, err)
+	}
+	payload := body[:n]
+	if err := verifyCRC(body[n:], payload, what); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// uvarintFrom decodes a uvarint from b, returning (value, bytes used);
+// used <= 0 means truncated.
+func uvarintFrom(b []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		if shift >= 64 {
+			return 0, -1
+		}
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}
+
+// DecodeBlockPayload decodes one raw block payload — exported for the
+// fuzz target so corrupted payloads can be thrown at the decoder without
+// the record envelope's CRC rejecting them first.
+func DecodeBlockPayload(payload []byte) (*SiteBlock, error) {
+	return decodeBlock(payload)
+}
+
+// EncodeBlockPayload encodes one site's rows as a raw block payload —
+// the fuzz seed generator and tests use it to produce valid payloads.
+func EncodeBlockPayload(site string, rows []VisitRow) []byte {
+	return encodeBlock(site, rows)
+}
+
+// Sniff reports whether the first bytes look like a columnar file. It
+// needs at least len(Magic) bytes; shorter prefixes report false.
+func Sniff(prefix []byte) bool {
+	return len(prefix) >= len(Magic) && bytes.Equal(prefix[:len(Magic)], []byte(Magic))
+}

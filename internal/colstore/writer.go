@@ -1,0 +1,144 @@
+package colstore
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// Writer emits a columnar dataset file: header, one block per WriteSite
+// call, and the index footer on Close. Sites must be written in ascending
+// order and each site's rows in ascending sequence order — the invariants
+// the delta columns and the footer's binary-searchable block list rely on.
+type Writer struct {
+	bw     *bufio.Writer
+	off    uint64
+	blocks []BlockMeta
+	err    error
+	closed bool
+}
+
+// NewWriter starts a columnar file on w by writing the header magic.
+func NewWriter(w io.Writer) *Writer {
+	cw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := cw.bw.WriteString(Magic); err != nil {
+		cw.err = fmt.Errorf("colstore: write header: %w", err)
+	}
+	cw.off = uint64(len(Magic))
+	return cw
+}
+
+// WriteSite encodes one site's visit rows as a block. Rows must carry
+// ascending sequence numbers and visits whose Site equals site.
+func (w *Writer) WriteSite(site string, rows []VisitRow) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("colstore: WriteSite after Close")
+	}
+	if n := len(w.blocks); n > 0 && w.blocks[n-1].Site >= site {
+		return w.setErr(fmt.Errorf("colstore: block for site %q must follow %q in ascending site order", site, w.blocks[n-1].Site))
+	}
+	pages := make(map[string]bool, 16)
+	for i, r := range rows {
+		if r.Visit.Site != site {
+			return w.setErr(fmt.Errorf("colstore: visit of site %q in block for %q", r.Visit.Site, site))
+		}
+		if i > 0 && rows[i-1].Seq >= r.Seq {
+			return w.setErr(fmt.Errorf("colstore: site %q rows out of sequence order (%d then %d)", site, rows[i-1].Seq, r.Seq))
+		}
+		pages[r.Visit.PageURL] = true
+	}
+	payload := encodeBlock(site, rows)
+	length, err := w.writeRecord(blockMagic, payload)
+	if err != nil {
+		return w.setErr(err)
+	}
+	meta := BlockMeta{
+		Site:   site,
+		Offset: w.off,
+		Length: length,
+		Visits: len(rows),
+		Pages:  make([]string, 0, len(pages)),
+	}
+	for p := range pages {
+		meta.Pages = append(meta.Pages, p)
+	}
+	sort.Strings(meta.Pages)
+	w.blocks = append(w.blocks, meta)
+	w.off += length
+	return nil
+}
+
+// Close writes the index footer and tail and flushes. The Writer cannot
+// be used afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var idx buf
+	idx.uvarint(SchemaVersion)
+	idx.uvarint(uint64(len(w.blocks)))
+	for _, b := range w.blocks {
+		idx.str(b.Site)
+		idx.uvarint(b.Offset)
+		idx.uvarint(b.Length)
+		idx.uvarint(uint64(b.Visits))
+		idx.uvarint(uint64(len(b.Pages)))
+		for _, p := range b.Pages {
+			idx.str(p)
+		}
+	}
+	indexOff := w.off
+	if _, err := w.writeRecord(indexMagic, idx.bytes()); err != nil {
+		return w.setErr(err)
+	}
+	var tail buf
+	tail.u64le(indexOff)
+	tail.b = append(tail.b, tailMagic...)
+	if _, err := w.bw.Write(tail.bytes()); err != nil {
+		return w.setErr(fmt.Errorf("colstore: write tail: %w", err))
+	}
+	if err := w.bw.Flush(); err != nil {
+		return w.setErr(fmt.Errorf("colstore: flush: %w", err))
+	}
+	return nil
+}
+
+func (w *Writer) setErr(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// writeRecord writes magic + uvarint(len) + payload + crc32 and returns
+// the record's total byte length.
+func (w *Writer) writeRecord(magic string, payload []byte) (uint64, error) {
+	var hdr buf
+	hdr.b = append(hdr.b, magic...)
+	hdr.uvarint(uint64(len(payload)))
+	if _, err := w.bw.Write(hdr.bytes()); err != nil {
+		return 0, fmt.Errorf("colstore: write record header: %w", err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return 0, fmt.Errorf("colstore: write record payload: %w", err)
+	}
+	var crc buf
+	crc.b = binary32le(crc.b, crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(crc.bytes()); err != nil {
+		return 0, fmt.Errorf("colstore: write record checksum: %w", err)
+	}
+	return uint64(len(hdr.b)) + uint64(len(payload)) + 4, nil
+}
+
+func binary32le(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

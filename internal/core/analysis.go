@@ -18,6 +18,7 @@ import (
 	"webmeasure/internal/trace"
 	"webmeasure/internal/tree"
 	"webmeasure/internal/treediff"
+	"webmeasure/internal/urlutil"
 )
 
 // PageAnalysis holds one vetted page's trees and their cross-comparison.
@@ -48,6 +49,12 @@ type Analysis struct {
 
 	pages   []*PageAnalysis
 	vetting Vetting
+	// siteKeys retains each streamed site block's pre-interned key cache
+	// (columnar inputs only), so derived analyses that rebuild trees —
+	// attribution scoring — reuse the int32-id fast path instead of
+	// re-normalizing every URL. Nil for JSONL inputs and merged partials;
+	// consumers fall back to plain normalization.
+	siteKeys map[string]*urlutil.KeyCache
 	// siteRank maps site → Tranco rank for the Appendix F bucket analysis
 	// (may be empty when unknown).
 	siteRank map[string]int
@@ -121,6 +128,51 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	if len(profiles) == 0 {
 		profiles = ds.Profiles()
 	}
+	s, err := newStream(ds, filter, opts, profiles)
+	if err != nil {
+		return nil, err
+	}
+	// ds.Pages() is sorted by (site, page URL); the pool writes each
+	// page's result into its matching slot, so the merge preserves that
+	// deterministic order.
+	if err := s.addBatch(ds.Pages(), nil); err != nil {
+		return nil, err
+	}
+	return s.Finish()
+}
+
+// Stream builds an Analysis incrementally, one batch of page groups at a
+// time — the columnar-format path, where the facade decodes one site
+// block, hands its page groups (plus the block's pre-interned key cache)
+// to AddSite, and lets the decoder's transient memory be reclaimed
+// before the next block. Batches must arrive in ascending site order so
+// the accumulated pages match the page-key order the batch-free New
+// produces; the result is then byte-identical in every export.
+type Stream struct {
+	a        *Analysis
+	w        pageWorker
+	ctx      context.Context
+	workers  int
+	opts     Options
+	lastSite string
+	seenSite bool
+	done     bool
+}
+
+// NewStream starts an incremental analysis over ds, which the caller
+// fills (dataset.Add) with the same visits whose page groups it feeds to
+// AddSite — the derived analyses (timing, static/dynamic, case studies)
+// read raw visits back from the dataset after the per-page pool runs.
+// Unlike New, the profile order cannot be inferred from a dataset that
+// does not exist yet, so Options.Profiles is required.
+func NewStream(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Stream, error) {
+	if len(opts.Profiles) == 0 {
+		return nil, fmt.Errorf("core: streaming analysis requires Options.Profiles (the dataset is not yet loaded to infer them)")
+	}
+	return newStream(ds, filter, opts, opts.Profiles)
+}
+
+func newStream(ds *dataset.Dataset, filter *filterlist.List, opts Options, profiles []string) (*Stream, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("core: dataset has no profiles")
 	}
@@ -140,39 +192,79 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	if minSuccess <= 0 || minSuccess > len(profiles) {
 		minSuccess = len(profiles)
 	}
-
-	// ds.Pages() is sorted by (site, page URL); each worker claims the
-	// next unclaimed index and writes its result into the matching slot,
-	// so the merge below preserves that deterministic order.
-	pages := ds.Pages()
-	results := make([]pageResult, len(pages))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pages) {
-		workers = len(pages)
 	}
 	tracer := opts.Tracer
 	if tracer == nil {
 		tracer = trace.TracerFrom(opts.Context)
 	}
-	w := pageWorker{
-		profiles:      profiles,
-		builder:       builder,
-		minSuccess:    minSuccess,
-		allowDegraded: opts.AllowDegraded,
-		tracer:        tracer,
-		pagesSeen:     opts.Metrics.Counter("analysis.pages"),
-		pagesOK:       opts.Metrics.Counter("analysis.pages.vetted"),
-		trees:         opts.Metrics.Counter("analysis.trees"),
-		treesFail:     opts.Metrics.Counter("analysis.trees.failed"),
-		pageMS:        opts.Metrics.Histogram("analysis.page_ms"),
-	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	return &Stream{
+		a: a,
+		w: pageWorker{
+			profiles:      profiles,
+			builder:       builder,
+			minSuccess:    minSuccess,
+			allowDegraded: opts.AllowDegraded,
+			tracer:        tracer,
+			pagesSeen:     opts.Metrics.Counter("analysis.pages"),
+			pagesOK:       opts.Metrics.Counter("analysis.pages.vetted"),
+			trees:         opts.Metrics.Counter("analysis.trees"),
+			treesFail:     opts.Metrics.Counter("analysis.trees.failed"),
+			pageMS:        opts.Metrics.Histogram("analysis.page_ms"),
+		},
+		ctx:     ctx,
+		workers: workers,
+		opts:    opts,
+	}, nil
+}
+
+// AddSite analyzes one site's page groups. pages must be sorted by page
+// URL (dataset block order) and sites must arrive in ascending order —
+// together these make the accumulated page order equal to the global
+// page-key order. keys, when non-nil, is the site's pre-interned
+// normalization cache (SiteBlock.KeyCache), which routes tree building
+// through the int32-id fast path.
+func (s *Stream) AddSite(site string, pages []*dataset.PageVisits, keys *urlutil.KeyCache) error {
+	if s.done {
+		return fmt.Errorf("core: AddSite after Finish")
+	}
+	if s.seenSite && site <= s.lastSite {
+		return fmt.Errorf("core: site %q arrived after %q; streaming analysis requires ascending site order", site, s.lastSite)
+	}
+	s.lastSite, s.seenSite = site, true
+	for _, pv := range pages {
+		if pv.Key.Site != site {
+			return fmt.Errorf("core: page of site %q in batch for %q", pv.Key.Site, site)
+		}
+	}
+	if keys != nil {
+		if s.a.siteKeys == nil {
+			s.a.siteKeys = make(map[string]*urlutil.KeyCache)
+		}
+		s.a.siteKeys[site] = keys
+	}
+	return s.addBatch(pages, keys)
+}
+
+// addBatch fans one batch of page groups over the worker pool and merges
+// the results in slot order. Per-page work carries no cross-page state
+// (the trace cost model runs on a per-page cursor), so splitting the
+// page list into batches cannot change any output.
+func (s *Stream) addBatch(pages []*dataset.PageVisits, keys *urlutil.KeyCache) error {
+	results := make([]pageResult, len(pages))
+	w := s.w
+	w.keys = keys
+	workers := s.workers
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	ctx := s.ctx
 	if workers <= 1 {
 		for i, pv := range pages {
 			if ctx.Err() != nil {
@@ -199,17 +291,27 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 		wg.Wait()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: analysis canceled: %w", err)
+		return fmt.Errorf("core: analysis canceled: %w", err)
 	}
 	// Merge in slot order (= page-key order) and aggregate the vetting
 	// tally; doing both after the pool drains keeps the result — counts
 	// included — independent of worker scheduling.
 	for _, r := range results {
-		a.vetting.count(r.excluded)
+		s.a.vetting.count(r.excluded)
 		if r.pa != nil {
-			a.pages = append(a.pages, r.pa)
+			s.a.pages = append(s.a.pages, r.pa)
 		}
 	}
+	return nil
+}
+
+// Finish seals the stream and returns the analysis.
+func (s *Stream) Finish() (*Analysis, error) {
+	if s.done {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	s.done = true
+	a, opts := s.a, s.opts
 	for reason, n := range map[string]int{
 		ExcludeMissing:  a.vetting.ExcludedMissing,
 		ExcludeFailed:   a.vetting.ExcludedFailed,
@@ -220,7 +322,7 @@ func New(ds *dataset.Dataset, filter *filterlist.List, opts Options) (*Analysis,
 	}
 	if len(a.pages) == 0 && !opts.AllowEmpty {
 		return nil, fmt.Errorf("core: no page was crawled cleanly by all %d profiles (%d excluded: %d missing, %d failed, %d degraded, %d build)",
-			len(profiles), a.vetting.Excluded(), a.vetting.ExcludedMissing,
+			len(a.profiles), a.vetting.Excluded(), a.vetting.ExcludedMissing,
 			a.vetting.ExcludedFailed, a.vetting.ExcludedDegraded, a.vetting.ExcludedBuild)
 	}
 	return a, nil
@@ -235,6 +337,9 @@ type pageWorker struct {
 	minSuccess    int
 	allowDegraded bool
 	tracer        *trace.Tracer
+	// keys, when non-nil, is the current site block's pre-interned
+	// normalization cache; tree builds then take the int32-id fast path.
+	keys *urlutil.KeyCache
 
 	pagesSeen, pagesOK, trees, treesFail *metrics.Counter
 	pageMS                               *metrics.Histogram
@@ -372,7 +477,7 @@ func (w *pageWorker) analyze(pv *dataset.PageVisits) pageResult {
 	spans.vet(len(w.profiles), len(eligible), worst)
 	// Tree construction, one tree per eligible profile.
 	for _, c := range eligible {
-		t, err := w.builder.Build(c.v)
+		t, err := w.builder.BuildKeyed(c.v, w.keys)
 		spans.build(c.profile, len(c.v.Requests), t, err)
 		if err != nil {
 			// Success flags guarantee requests; a build failure means

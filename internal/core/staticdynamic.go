@@ -166,7 +166,7 @@ func (a *Analysis) Attribution() AttributionReport {
 			if !hasTruth {
 				continue
 			}
-			r, err := builder.EvaluateAttribution(v)
+			r, err := builder.EvaluateAttributionKeyed(v, a.siteKeys[pa.Key.Site])
 			if err != nil {
 				continue
 			}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"webmeasure/internal/colstore"
+	"webmeasure/internal/measurement"
+)
+
+// Format names the on-disk encodings a dataset can round-trip through.
+// JSONL is the interchange format (human-greppable, line-per-visit);
+// columnar is the compact analysis format (per-site blocks, interned
+// strings, delta-coded columns).
+const (
+	FormatJSONL = "jsonl"
+	FormatCol   = "col"
+)
+
+// WriteCol writes the dataset in the columnar format: one block per
+// site, sites in ascending order, each visit tagged with its insertion
+// sequence number so ReadCol can restore the exact insertion order the
+// JSONL form preserves positionally.
+func (d *Dataset) WriteCol(w io.Writer) error {
+	visits := d.Visits()
+	bySite := make(map[string][]colstore.VisitRow)
+	for i, v := range visits {
+		bySite[v.Site] = append(bySite[v.Site], colstore.VisitRow{Seq: uint64(i), Visit: v})
+	}
+	sites := make([]string, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	cw := colstore.NewWriter(w)
+	for _, site := range sites {
+		if err := cw.WriteSite(site, bySite[site]); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+// ReadCol loads a columnar dataset, restoring the original insertion
+// order from the per-visit sequence numbers.
+func ReadCol(r io.Reader) (*Dataset, error) {
+	var rows []colstore.VisitRow
+	if _, err := colstore.Scan(r, func(sb *colstore.SiteBlock) error {
+		for i, v := range sb.Visits {
+			rows = append(rows, colstore.VisitRow{Seq: sb.Seqs[i], Visit: v})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].Seq < rows[b].Seq })
+	d := New()
+	for _, r := range rows {
+		d.Add(r.Visit)
+	}
+	return d, nil
+}
+
+// ScanColSites streams a columnar dataset site by site without holding
+// more than one site's visits in memory at once: fn receives each site's
+// visits in sequence order. The streaming analysis path uses this to
+// bound transient decode memory by the largest site block.
+func ScanColSites(r io.Reader, fn func(sb *colstore.SiteBlock) error) (*colstore.Index, error) {
+	return colstore.Scan(r, fn)
+}
+
+// DetectFormat sniffs the first bytes of r and reports which dataset
+// format it holds, returning a reader that still yields the full stream
+// (the sniffed prefix is not consumed). Empty input reports JSONL — an
+// empty JSONL file is a valid empty dataset, while an empty columnar
+// file is impossible (the envelope is mandatory).
+func DetectFormat(r io.Reader) (format string, rd io.Reader, err error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	prefix, err := br.Peek(len(colstore.Magic))
+	if err != nil && err != io.EOF {
+		return "", nil, fmt.Errorf("dataset: sniff format: %w", err)
+	}
+	if colstore.Sniff(prefix) {
+		return FormatCol, br, nil
+	}
+	return FormatJSONL, br, nil
+}
+
+// ReadAuto loads a dataset in either format, auto-detected from the
+// magic bytes.
+func ReadAuto(r io.Reader) (*Dataset, error) {
+	format, rd, err := DetectFormat(r)
+	if err != nil {
+		return nil, err
+	}
+	if format == FormatCol {
+		return ReadCol(rd)
+	}
+	return ReadJSONL(rd)
+}
+
+// OpenCol opens a columnar dataset for random access through its footer
+// index — the shard-worker path, which decodes only the blocks whose
+// page lists intersect the shard's assignment.
+func OpenCol(ra io.ReaderAt, size int64) (*colstore.Reader, error) {
+	return colstore.OpenReader(ra, size)
+}
+
+// GroupVisits builds per-page visit groups from a flat visit slice,
+// sorted by (site, page URL) — the grouping a site block's visits need
+// before they can enter the per-page analysis pool.
+func GroupVisits(visits []*measurement.Visit) []*PageVisits {
+	byPage := make(map[PageKey]*PageVisits, 16)
+	var out []*PageVisits
+	for _, v := range visits {
+		key := PageKey{Site: v.Site, PageURL: v.PageURL}
+		pv := byPage[key]
+		if pv == nil {
+			pv = &PageVisits{Key: key, ByProfile: make(map[string]*measurement.Visit)}
+			byPage[key] = pv
+			out = append(out, pv)
+		}
+		pv.ByProfile[v.Profile] = v
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Key.Site != out[b].Key.Site {
+			return out[a].Key.Site < out[b].Key.Site
+		}
+		return out[a].Key.PageURL < out[b].Key.PageURL
+	})
+	return out
+}

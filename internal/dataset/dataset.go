@@ -7,6 +7,7 @@ package dataset
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -204,11 +205,16 @@ func (d *Dataset) StreamJSONL(w io.Writer, flushEvery int) error {
 	return bw.Flush()
 }
 
+// maxJSONLLine caps a single JSONL visit record. A visit with tens of
+// thousands of requests fits comfortably; anything larger is almost
+// certainly a corrupted or concatenated file.
+const maxJSONLLine = 64 << 20
+
 // ReadJSONL loads a dataset written by WriteJSONL.
 func ReadJSONL(r io.Reader) (*Dataset, error) {
 	d := New()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	sc.Buffer(make([]byte, 1<<20), maxJSONLLine)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -222,7 +228,11 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		d.Add(&v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: read: %w", err)
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("dataset: line %d: visit record exceeds the %d MiB per-line limit (corrupt file, or use the columnar format): %w",
+				line+1, maxJSONLLine>>20, err)
+		}
+		return nil, fmt.Errorf("dataset: line %d: read: %w", line+1, err)
 	}
 	return d, nil
 }

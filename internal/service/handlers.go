@@ -21,6 +21,7 @@ const datasetFlushEvery = 256
 //	GET    /v1/jobs/{id}/result.json JSON result bundle
 //	GET    /v1/jobs/{id}/result.csv  concatenated CSV tables
 //	GET    /v1/jobs/{id}/dataset.jsonl streamed raw visits
+//	GET    /v1/jobs/{id}/dataset.col   raw visits in the columnar format
 //	GET    /v1/jobs/{id}/trace.json  Chrome trace-event JSON (404 if untraced)
 //	GET    /v1/jobs/{id}/trace.jsonl span-per-line trace export
 //	GET    /healthz                  liveness + queue stats
@@ -54,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 		return r.csv, "text/csv; charset=utf-8"
 	}))
 	mux.HandleFunc("GET /v1/jobs/{id}/dataset.jsonl", s.handleDataset)
+	mux.HandleFunc("GET /v1/jobs/{id}/dataset.col", s.handleDatasetCol)
 	mux.HandleFunc("GET /v1/jobs/{id}/partial.json", s.handlePartial)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace.json", s.traceArtifact(func(r *result) ([]byte, string) {
 		return r.traceChrome, "application/json"
@@ -187,6 +189,23 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = res.dataset.StreamJSONL(w, datasetFlushEvery)
+}
+
+// handleDatasetCol serves the job's visits in the compact columnar
+// format — available for every job that holds a dataset, whatever its
+// requested DatasetFormat, since the encoding is a pure function of the
+// visits.
+func (s *Server) handleDatasetCol(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.finishedResult(w, r)
+	if !ok {
+		return
+	}
+	if res.dataset == nil {
+		writeError(w, http.StatusNotFound, "job holds no dataset")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = res.dataset.WriteCol(w)
 }
 
 // handlePartial serves a shard job's encoded partial. Whole-experiment

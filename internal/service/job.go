@@ -55,6 +55,12 @@ type JobSpec struct {
 	// the cache key together with Shards and Shard: the same slice under a
 	// different plan is a different result.
 	ShardSeed int64 `json:"shard_seed,omitempty"`
+	// DatasetFormat selects the job's primary dataset artifact encoding:
+	// "jsonl" (the default, canonicalized to empty) or "col" (the compact
+	// columnar format, published as dataset.col). It IS part of the cache
+	// key — like TraceSample, a columnar job advertises an artifact a
+	// JSONL job lacks — though the visits underneath are identical.
+	DatasetFormat string `json:"dataset_format,omitempty"`
 }
 
 // normalize fills every defaulted field with its concrete value (the same
@@ -94,6 +100,15 @@ func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
 		// "off" and "" mean the same experiment; canonicalize so they
 		// share a cache key.
 		s.FaultProfile = ""
+	}
+	switch s.DatasetFormat {
+	case "", dataset.FormatCol:
+	case dataset.FormatJSONL:
+		// "jsonl" and "" mean the same artifact set; canonicalize so they
+		// share a cache key.
+		s.DatasetFormat = ""
+	default:
+		return s, fmt.Errorf("unknown dataset_format %q (want jsonl or col)", s.DatasetFormat)
 	}
 	if s.Sites > limits.MaxSites {
 		return s, fmt.Errorf("sites %d exceeds the server limit %d", s.Sites, limits.MaxSites)
@@ -327,6 +342,9 @@ func (j *Job) view() jobJSON {
 		}
 		if j.res.dataset != nil {
 			v.Artifacts["dataset"] = base + "dataset.jsonl"
+			if j.Spec.DatasetFormat == dataset.FormatCol {
+				v.Artifacts["dataset_col"] = base + "dataset.col"
+			}
 		}
 		if j.res.partial != nil {
 			v.Artifacts["partial"] = base + "partial.json"

@@ -1,6 +1,9 @@
 package tree
 
-import "webmeasure/internal/measurement"
+import (
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/urlutil"
+)
 
 // AttributionAccuracy evaluates the paper's parent-attribution heuristics
 // (§3.2) against the simulator's ground truth. §6 concedes two lossy
@@ -35,20 +38,38 @@ func (r AttributionAccuracy) Accuracy() float64 {
 // EvaluateAttribution rebuilds the visit's tree and scores every request's
 // reconstructed parent against measurement.Request.TrueParentURL.
 func (b *Builder) EvaluateAttribution(v *measurement.Visit) (AttributionAccuracy, error) {
+	return b.EvaluateAttributionKeyed(v, nil)
+}
+
+// EvaluateAttributionKeyed is EvaluateAttribution consuming a
+// pre-interned key cache (see BuildKeyed): both the rebuild and the
+// per-request scoring lookups resolve through the cache instead of
+// re-normalizing every URL. keys may be nil; the result is identical
+// either way.
+func (b *Builder) EvaluateAttributionKeyed(v *measurement.Visit, keys *urlutil.KeyCache) (AttributionAccuracy, error) {
 	var rep AttributionAccuracy
-	t, err := b.Build(v)
+	t, err := b.BuildKeyed(v, keys)
 	if err != nil {
 		return rep, err
+	}
+	lookup := b.key
+	if keys != nil && !b.RawURLIdentity {
+		lookup = func(raw string) (string, bool) {
+			if key, _, stripped, ok := keys.Lookup(raw); ok {
+				return key, stripped
+			}
+			return b.key(raw)
+		}
 	}
 	rootKey := t.Root.Key
 	seen := map[string]bool{rootKey: true}
 	for _, req := range v.Requests {
-		key, _ := b.key(req.URL)
+		key, _ := lookup(req.URL)
 		if key == rootKey || req.TrueParentURL == "" {
 			continue
 		}
 		rep.Attributable++
-		trueKey, _ := b.key(req.TrueParentURL)
+		trueKey, _ := lookup(req.TrueParentURL)
 		node := t.Node(key)
 		if node == nil || node.Parent == nil {
 			continue

@@ -282,9 +282,63 @@ func (b *Builder) key(rawURL string) (string, bool) {
 	return urlutil.Normalize(rawURL)
 }
 
+// keyed is the per-Build lookup state. With a KeyCache (columnar inputs)
+// node identities resolve to pre-interned int32 ids and node lookups are
+// array indexes; without one (JSONL inputs, ablations) every lookup goes
+// through Normalize and the string-keyed node map as before. Both paths
+// produce identical trees.
+type keyed struct {
+	b    *Builder
+	keys *urlutil.KeyCache
+	byID []*Node // key id → node, nil where absent
+	// pageSite is the visited page's eTLD+1, resolved once per build so
+	// the cached per-key sites classify first- vs third-party without
+	// re-parsing either URL. Valid only when haveSite.
+	pageSite string
+	haveSite bool
+}
+
+// key resolves a raw URL to (node key, key id, stripped); id is -1 when
+// the URL is outside the cache's universe (or no cache is attached).
+func (k *keyed) key(rawURL string) (string, int32, bool) {
+	if k.keys != nil {
+		if key, id, stripped, ok := k.keys.Lookup(rawURL); ok {
+			return key, id, stripped
+		}
+	}
+	key, stripped := k.b.key(rawURL)
+	return key, -1, stripped
+}
+
+// node looks a key up, by id when pre-interned.
+func (k *keyed) node(t *Tree, key string, id int32) *Node {
+	if id >= 0 {
+		return k.byID[id]
+	}
+	return t.nodes[key]
+}
+
+// insert publishes a node under its key (and id when pre-interned).
+func (k *keyed) insert(t *Tree, n *Node, id int32) {
+	if id >= 0 {
+		k.byID[id] = n
+	}
+	t.nodes[n.Key] = n
+}
+
 // Build constructs the dependency tree of a successful visit. It returns
 // an error for failed or empty visits.
 func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
+	return b.BuildKeyed(v, nil)
+}
+
+// BuildKeyed is Build consuming a pre-interned key cache (one per
+// columnar site block): node identities arrive as int32 key ids, so the
+// hot loop skips both the per-request URL normalization and the string
+// hashing of the node map — the re-interning the int32 comparison kernel
+// otherwise pays again. keys may be nil; the RawURLIdentity ablation
+// ignores it (raw identities are not what the cache holds).
+func (b *Builder) BuildKeyed(v *measurement.Visit, keys *urlutil.KeyCache) (*Tree, error) {
 	if !v.Success {
 		return nil, fmt.Errorf("tree: visit of %s by %s failed: %s", v.PageURL, v.Profile, v.Failure)
 	}
@@ -302,9 +356,22 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 		Profile: v.Profile,
 		nodes:   make(map[string]*Node, len(v.Requests)),
 	}
-	rootKey, stripped := b.key(v.PageURL)
+	k := &keyed{b: b}
+	if keys != nil && !b.RawURLIdentity {
+		k.keys = keys
+		k.byID = make([]*Node, keys.NumKeys())
+	}
+	rootKey, rootID, stripped := k.key(v.PageURL)
 	if stripped {
 		t.StrippedURLs++
+	}
+	if k.keys != nil {
+		if rootID >= 0 {
+			k.pageSite = k.keys.SiteByID(rootID)
+		} else {
+			k.pageSite = urlutil.Site(v.PageURL)
+		}
+		k.haveSite = true
 	}
 	t.Root = &Node{
 		Key:      rootKey,
@@ -313,29 +380,29 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 		Party:    FirstParty,
 		chainKey: rootKey + "\x00",
 	}
-	t.nodes[rootKey] = t.Root
+	k.insert(t, t.Root, rootID)
 
 	for _, req := range v.Requests {
 		t.TotalRequests++
-		key, wasStripped := b.key(req.URL)
+		key, id, wasStripped := k.key(req.URL)
 		if wasStripped {
 			t.StrippedURLs++
 		}
 		if key == rootKey {
 			continue // the navigation request is the root itself
 		}
-		if t.nodes[key] != nil {
+		if k.node(t, key, id) != nil {
 			// Equal or near-equal resources loaded via different URLs (or
 			// repeatedly) merge into one node; the first observed branch
 			// wins (§3.2, limitations §6).
 			continue
 		}
-		parent := b.resolveParent(t, req, rootKey)
+		parent := k.resolveParent(t, req, rootKey)
 		node := &Node{
 			Key:         key,
 			RawURL:      req.URL,
 			Type:        req.Type,
-			Party:       partyOf(req.URL, v.PageURL),
+			Party:       k.party(req.URL, id, v.PageURL),
 			Status:      req.Status,
 			ContentType: req.ContentType,
 			BodySize:    req.BodySize,
@@ -353,7 +420,7 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 			})
 		}
 		parent.Children = append(parent.Children, node)
-		t.nodes[key] = node
+		k.insert(t, node, id)
 	}
 	t.Finalize()
 	return t, nil
@@ -361,21 +428,21 @@ func (b *Builder) Build(v *measurement.Visit) (*Tree, error) {
 
 // resolveParent implements §3.2's attribution order: redirects, then the
 // latest call-stack entry, then the parent frame, then the root.
-func (b *Builder) resolveParent(t *Tree, req measurement.Request, rootKey string) *Node {
+func (k *keyed) resolveParent(t *Tree, req measurement.Request, rootKey string) *Node {
 	if req.RedirectFrom != "" {
-		if key, _ := b.key(req.RedirectFrom); t.nodes[key] != nil {
-			return t.nodes[key]
+		if key, id, _ := k.key(req.RedirectFrom); k.node(t, key, id) != nil {
+			return k.node(t, key, id)
 		}
 	}
-	if len(req.CallStack) > 0 && !b.IgnoreCallStacks {
+	if len(req.CallStack) > 0 && !k.b.IgnoreCallStacks {
 		last := req.CallStack[len(req.CallStack)-1]
-		if key, _ := b.key(last.URL); t.nodes[key] != nil {
-			return t.nodes[key]
+		if key, id, _ := k.key(last.URL); k.node(t, key, id) != nil {
+			return k.node(t, key, id)
 		}
 	}
 	if req.FrameID != measurement.TopFrameID && req.FrameURL != "" {
-		if key, _ := b.key(req.FrameURL); t.nodes[key] != nil {
-			return t.nodes[key]
+		if key, id, _ := k.key(req.FrameURL); k.node(t, key, id) != nil {
+			return k.node(t, key, id)
 		}
 	}
 	return t.nodes[rootKey]
@@ -386,6 +453,20 @@ func partyOf(resourceURL, pageURL string) Party {
 		return ThirdParty
 	}
 	return FirstParty
+}
+
+// party is partyOf reading both eTLD+1s from the key cache when the
+// request resolved to a cached id — the same classification without the
+// two URL parses per request.
+func (k *keyed) party(resourceURL string, id int32, pageURL string) Party {
+	if k.haveSite && id >= 0 {
+		rs := k.keys.SiteByID(id)
+		if rs == "" || k.pageSite == "" || rs != k.pageSite {
+			return ThirdParty
+		}
+		return FirstParty
+	}
+	return partyOf(resourceURL, pageURL)
 }
 
 // filterType maps measurement resource types onto ABP option types.

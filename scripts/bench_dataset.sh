@@ -1,0 +1,19 @@
+#!/bin/sh
+# bench_dataset.sh — measure the dataset formats end to end and record
+# the numbers as machine-readable JSON.
+#
+# cmd/benchdataset crawls the same universe at 1x/4x/16x scale, writes
+# each dataset in both formats, and measures decode throughput, full
+# load-and-analyze wall time, and peak RSS per (format, op, scale) case
+# in a fresh child process each. The JSON shape is guarded by
+# TestBenchDatasetJSONWellFormed.
+#
+# Usage: sh scripts/bench_dataset.sh [out.json]
+set -e
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_dataset.json}"
+
+"$GO" build -o ./bench-dataset-bin ./cmd/benchdataset
+./bench-dataset-bin -out "$OUT"
+rm -f ./bench-dataset-bin

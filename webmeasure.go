@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"webmeasure/internal/browser"
+	"webmeasure/internal/colstore"
 	"webmeasure/internal/core"
 	"webmeasure/internal/crawler"
 	"webmeasure/internal/dataset"
@@ -73,7 +74,8 @@ type Config struct {
 	// Progress, if non-nil, receives crawl progress (sites done, total).
 	Progress func(done, total int)
 	// ResumeJSONL, if non-nil, streams a previously written dataset
-	// (WriteDataset output); successful visits found there are reused so
+	// (WriteDataset or WriteDatasetCol output — the format is sniffed
+	// from the magic bytes); successful visits found there are reused so
 	// an interrupted crawl continues where it stopped.
 	ResumeJSONL io.Reader
 	// Workers bounds the analysis worker pool that fans per-page work
@@ -187,7 +189,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	var resume *dataset.Dataset
 	if cfg.ResumeJSONL != nil {
 		var err error
-		resume, err = dataset.ReadJSONL(cfg.ResumeJSONL)
+		resume, err = dataset.ReadAuto(cfg.ResumeJSONL)
 		if err != nil {
 			return nil, fmt.Errorf("webmeasure: resume dataset: %w", err)
 		}
@@ -244,13 +246,13 @@ func Analyze(ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, bou
 	return AnalyzeContext(context.Background(), ds, u, sample, boundaries, cfg)
 }
 
-// AnalyzeContext is Analyze with cancellation: the context aborts the
-// per-page analysis pool between pages (a canceled job server request
-// stops burning CPU mid-analysis).
-func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, boundaries []int, cfg Config) (*Results, error) {
+// analysisEnv derives the analysis inputs every entry point shares from
+// the regenerated universe: the filter list, the site→rank map, and the
+// ordered profile names.
+func analysisEnv(u *webgen.Universe, sample []tranco.Entry, cfg Config) (*filterlist.List, map[string]int, []string, error) {
 	filter, skipped := filterlist.Parse(u.FilterListText())
 	if skipped != 0 {
-		return nil, fmt.Errorf("webmeasure: generated filter list has %d bad rules", skipped)
+		return nil, nil, nil, fmt.Errorf("webmeasure: generated filter list has %d bad rules", skipped)
 	}
 	ranks := make(map[string]int, len(sample))
 	for _, e := range sample {
@@ -258,13 +260,19 @@ func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe
 	}
 	profs, err := selectProfiles(cfg.Profiles)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	names := make([]string, len(profs))
 	for i, p := range profs {
 		names[i] = p.Name
 	}
-	analysis, err := core.New(ds, filter, core.Options{
+	return filter, ranks, names, nil
+}
+
+// analysisOptions assembles the core options shared by the batch and
+// streaming analysis paths.
+func analysisOptions(ctx context.Context, names []string, ranks map[string]int, cfg Config) core.Options {
+	return core.Options{
 		Profiles: names,
 		SiteRank: ranks,
 		Workers:  cfg.Workers,
@@ -274,7 +282,18 @@ func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe
 		// One shard's slice can legitimately vet down to nothing; the
 		// coordinator judges emptiness after merging all shards.
 		AllowEmpty: cfg.Shards > 1,
-	})
+	}
+}
+
+// AnalyzeContext is Analyze with cancellation: the context aborts the
+// per-page analysis pool between pages (a canceled job server request
+// stops burning CPU mid-analysis).
+func AnalyzeContext(ctx context.Context, ds *dataset.Dataset, u *webgen.Universe, sample []tranco.Entry, boundaries []int, cfg Config) (*Results, error) {
+	filter, ranks, names, err := analysisEnv(u, sample, cfg)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := core.New(ds, filter, analysisOptions(ctx, names, ranks, cfg))
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
 	}
@@ -336,6 +355,14 @@ func (r *Results) WriteReport(w io.Writer) {
 // raw-data artifact of Appendix A).
 func (r *Results) WriteDataset(w io.Writer) error {
 	return r.dataset.WriteJSONL(w)
+}
+
+// WriteDatasetCol writes the raw visit records in the compact columnar
+// format (internal/colstore): one block per site with interned strings
+// and delta-coded columns, plus a footer index for site-granular seeks.
+// ReadCol of the output reproduces WriteDataset's JSONL byte for byte.
+func (r *Results) WriteDatasetCol(w io.Writer) error {
+	return r.dataset.WriteCol(w)
 }
 
 // WriteJSON exports every analysis result as one machine-readable JSON
@@ -446,24 +473,73 @@ func (r *Results) RankBoundaries() []int { return r.boundaries }
 // loaded rather than crawled).
 func (r *Results) CrawlStats() crawler.Stats { return r.stats }
 
-// LoadAndAnalyze reads a dataset written by WriteDataset and analyzes it.
-// cfg must carry the same Seed/Sites/TrancoSize/PagesPerSite the crawl
-// used, so the universe (and with it the filter list and rank sample) can
-// be regenerated deterministically.
-func LoadAndAnalyze(datasetJSONL io.Reader, cfg Config) (*Results, error) {
-	return LoadAndAnalyzeContext(context.Background(), datasetJSONL, cfg)
+// LoadAndAnalyze reads a dataset written by WriteDataset or
+// WriteDatasetCol — the format is auto-detected from the magic bytes —
+// and analyzes it. cfg must carry the same Seed/Sites/TrancoSize/
+// PagesPerSite the crawl used, so the universe (and with it the filter
+// list and rank sample) can be regenerated deterministically.
+func LoadAndAnalyze(datasetIn io.Reader, cfg Config) (*Results, error) {
+	return LoadAndAnalyzeContext(context.Background(), datasetIn, cfg)
 }
 
 // LoadAndAnalyzeContext is LoadAndAnalyze with cancellation (see
-// AnalyzeContext).
-func LoadAndAnalyzeContext(ctx context.Context, datasetJSONL io.Reader, cfg Config) (*Results, error) {
+// AnalyzeContext). A columnar dataset is analyzed site by site as it
+// decodes: each block's page groups enter the worker pool while only
+// that block occupies transient decode memory, and the retained visits
+// share the block's interned strings.
+func LoadAndAnalyzeContext(ctx context.Context, datasetIn io.Reader, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
-	ds, err := dataset.ReadJSONL(datasetJSONL)
+	format, rd, err := dataset.DetectFormat(datasetIn)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	if format == dataset.FormatCol {
+		return loadAndAnalyzeCol(ctx, rd, cfg)
+	}
+	ds, err := dataset.ReadJSONL(rd)
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
 	}
 	u, sample, boundaries := experimentFrame(cfg)
 	return AnalyzeContext(ctx, ds, u, sample, boundaries, cfg)
+}
+
+// loadAndAnalyzeCol streams a columnar dataset through the incremental
+// analysis: decode one site block, analyze its pages (through the
+// block's pre-interned key cache), move to the next. The decoded visits
+// are retained — the derived analyses read raw requests back after the
+// page pool — but they alias each block's string table, and no
+// JSONL-sized row buffers ever exist.
+func loadAndAnalyzeCol(ctx context.Context, r io.Reader, cfg Config) (*Results, error) {
+	u, sample, boundaries := experimentFrame(cfg)
+	filter, ranks, names, err := analysisEnv(u, sample, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := dataset.New()
+	stream, err := core.NewStream(ds, filter, analysisOptions(ctx, names, ranks, cfg))
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
+	}
+	if _, err := dataset.ScanColSites(r, func(sb *colstore.SiteBlock) error {
+		for _, v := range sb.Visits {
+			ds.Add(v)
+		}
+		return stream.AddSite(sb.Site, dataset.GroupVisits(sb.Visits), sb.KeyCache())
+	}); err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	analysis, err := stream.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
+	}
+	return &Results{
+		cfg:        cfg,
+		universe:   u,
+		dataset:    ds,
+		analysis:   analysis,
+		boundaries: boundaries,
+	}, nil
 }
 
 // Partial exports this run's analysis as one shard's contribution to a
@@ -547,8 +623,8 @@ func AssembleFromPartials(ctx context.Context, cfg Config, parts []*core.Partial
 
 // LoadAndAnalyzeSharded is LoadAndAnalyzeShardedContext with a background
 // context.
-func LoadAndAnalyzeSharded(datasetJSONL io.Reader, cfg Config) (*Results, error) {
-	return LoadAndAnalyzeShardedContext(context.Background(), datasetJSONL, cfg)
+func LoadAndAnalyzeSharded(datasetIn io.Reader, cfg Config) (*Results, error) {
+	return LoadAndAnalyzeShardedContext(context.Background(), datasetIn, cfg)
 }
 
 // LoadAndAnalyzeShardedContext analyzes a loaded dataset through the
@@ -557,44 +633,129 @@ func LoadAndAnalyzeSharded(datasetJSONL io.Reader, cfg Config) (*Results, error)
 // slice independently, round-trips every Partial through its wire
 // encoding, and assembles the merged Results — byte-identical in every
 // export to the unsharded analysis, which is what cmd/analyze -shards
-// exercises. Shards <= 1 falls back to LoadAndAnalyzeContext.
-func LoadAndAnalyzeShardedContext(ctx context.Context, datasetJSONL io.Reader, cfg Config) (*Results, error) {
+// exercises. Shards <= 1 falls back to LoadAndAnalyzeContext. The input
+// format is auto-detected; a seekable columnar input (an *os.File) is
+// read through its footer index, so each shard decodes only the blocks
+// whose page lists intersect its slice.
+func LoadAndAnalyzeShardedContext(ctx context.Context, datasetIn io.Reader, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Shards <= 1 {
-		return LoadAndAnalyzeContext(ctx, datasetJSONL, cfg)
+		return LoadAndAnalyzeContext(ctx, datasetIn, cfg)
 	}
-	ds, err := dataset.ReadJSONL(datasetJSONL)
+	if ra, size, ok := readerAtSize(datasetIn); ok {
+		head := make([]byte, len(colstore.Magic))
+		if n, _ := ra.ReadAt(head, 0); colstore.Sniff(head[:n]) {
+			return loadAndAnalyzeShardedCol(ctx, ra, size, cfg)
+		}
+	}
+	ds, err := dataset.ReadAuto(datasetIn)
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
 	}
 	plan := cfg.shardPlan()
 	parts := make([]*core.Partial, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("webmeasure: sharded analysis canceled: %w", err)
-		}
-		shardCfg := cfg
-		shardCfg.ShardIndex = i
 		keep := plan.Keep(i)
 		shardDS := ds.FilterPages(func(k dataset.PageKey) bool { return keep(k.Site, k.PageURL) })
-		u, sample, boundaries := experimentFrame(shardCfg)
-		res, err := AnalyzeContext(ctx, shardDS, u, sample, boundaries, shardCfg)
-		if err != nil {
-			return nil, fmt.Errorf("webmeasure: shard %d/%d: %w", i, cfg.Shards, err)
-		}
-		part, err := res.Partial()
-		if err != nil {
-			return nil, err
-		}
-		// Round-trip through the wire form so the in-process path exercises
-		// exactly what a remote worker ships.
-		wire, err := part.Encode()
-		if err != nil {
-			return nil, err
-		}
-		if parts[i], err = core.DecodePartial(wire); err != nil {
+		if err := analyzeShard(ctx, cfg, i, shardDS, parts); err != nil {
 			return nil, err
 		}
 	}
 	return AssembleFromPartials(ctx, cfg, parts)
+}
+
+// loadAndAnalyzeShardedCol runs the in-process shard-and-merge pipeline
+// against a random-access columnar dataset: each shard consults the
+// footer index's per-block page lists and decodes only the blocks
+// holding pages of its slice — the I/O pattern a remote shard worker
+// with the file on shared storage would use.
+func loadAndAnalyzeShardedCol(ctx context.Context, ra io.ReaderAt, size int64, cfg Config) (*Results, error) {
+	colr, err := dataset.OpenCol(ra, size)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	plan := cfg.shardPlan()
+	parts := make([]*core.Partial, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		keep := plan.Keep(i)
+		shardDS := dataset.New()
+		for bi, meta := range colr.Index().Blocks {
+			hit := false
+			for _, page := range meta.Pages {
+				if keep(meta.Site, page) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			sb, err := colr.Block(bi)
+			if err != nil {
+				return nil, fmt.Errorf("webmeasure: shard %d/%d: %w", i, cfg.Shards, err)
+			}
+			for _, v := range sb.Visits {
+				if keep(v.Site, v.PageURL) {
+					shardDS.Add(v)
+				}
+			}
+		}
+		if err := analyzeShard(ctx, cfg, i, shardDS, parts); err != nil {
+			return nil, err
+		}
+	}
+	return AssembleFromPartials(ctx, cfg, parts)
+}
+
+// analyzeShard analyzes one shard's slice and stores its wire-round-
+// tripped Partial in parts[i].
+func analyzeShard(ctx context.Context, cfg Config, i int, shardDS *dataset.Dataset, parts []*core.Partial) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("webmeasure: sharded analysis canceled: %w", err)
+	}
+	shardCfg := cfg
+	shardCfg.ShardIndex = i
+	u, sample, boundaries := experimentFrame(shardCfg)
+	res, err := AnalyzeContext(ctx, shardDS, u, sample, boundaries, shardCfg)
+	if err != nil {
+		return fmt.Errorf("webmeasure: shard %d/%d: %w", i, cfg.Shards, err)
+	}
+	part, err := res.Partial()
+	if err != nil {
+		return err
+	}
+	// Round-trip through the wire form so the in-process path exercises
+	// exactly what a remote worker ships.
+	wire, err := part.Encode()
+	if err != nil {
+		return err
+	}
+	parts[i], err = core.DecodePartial(wire)
+	return err
+}
+
+// readerAtSize reports whether r supports random access from its start,
+// returning the ReaderAt view and total size. Only a reader positioned
+// at offset zero qualifies — a partially-consumed stream cannot be
+// safely re-read by offset.
+func readerAtSize(r io.Reader) (io.ReaderAt, int64, bool) {
+	ras, ok := r.(interface {
+		io.ReaderAt
+		io.Seeker
+	})
+	if !ok {
+		return nil, 0, false
+	}
+	cur, err := ras.Seek(0, io.SeekCurrent)
+	if err != nil || cur != 0 {
+		return nil, 0, false
+	}
+	size, err := ras.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, 0, false
+	}
+	if _, err := ras.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, false
+	}
+	return ras, size, true
 }
