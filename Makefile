@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service bench-json bench-dataset bench-smoke serve-smoke trace-smoke shard-smoke col-smoke cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-throughput bench-json bench-dataset bench-smoke serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,9 +15,24 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke trace-smoke shard-smoke col-smoke cover bench-smoke
+tier2: serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# Race-harden the serving layer specifically: the autoscaling pool
+# (grow/shrink/drain under concurrent submits and cancels), the scaler,
+# and the load harness, at full length (-short elides the long soak).
+race-service:
+	$(GO) test -race -count=1 ./internal/service ./internal/service/scaler ./internal/loadgen
+
+# Run the golden loadgen scenario twice and require byte-identical SLO
+# reports, then drive a freshly booted autoscaling cmd/serve in live
+# mode; see scripts/loadgen_smoke.sh.
+load-smoke:
+	$(GO) build -o ./load-smoke-gen ./cmd/loadgen
+	$(GO) build -o ./load-smoke-serve ./cmd/serve
+	sh scripts/loadgen_smoke.sh ./load-smoke-gen ./load-smoke-serve
+	rm -f ./load-smoke-gen ./load-smoke-serve
 
 # Per-package coverage floor (default 80%) over the packages the fault
 # injection and analysis correctness lean on; see scripts/cover_gate.sh.
@@ -35,6 +50,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzShardPlanPartition$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzColBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/colstore
+	$(GO) test -run '^$$' -fuzz '^FuzzSpecCanonical$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzConfigParse$$' -fuzztime $(FUZZTIME) ./internal/loadgen
 
 # Crawl with -trace, validate the Chrome trace-event export with
 # cmd/tracecheck (shape + per-stage span coverage), and require the trace
@@ -78,8 +95,18 @@ bench:
 bench-workers:
 	$(GO) test -run '^$$' -bench BenchmarkAnalysisWorkers -benchmem .
 
-# Job-server throughput (workers 1/4/8 × cache off/on).
+# Service load scenarios recorded as machine-readable JSON
+# (BENCH_service.json) via the deterministic loadgen simulator — four
+# seeded sim runs (steady poisson, burst autoscale, closed loop,
+# overload), byte-reproducible across machines, shape-checked by
+# TestBenchServiceJSONWellFormed. The wall-clock throughput benchmark
+# remains available as `make bench-throughput`.
 bench-service:
+	sh scripts/bench_service.sh BENCH_service.json
+	$(GO) test -run '^TestBenchServiceJSONWellFormed$$' .
+
+# Job-server throughput (workers 1/4/8 × cache off/on), wall-clock.
+bench-throughput:
 	$(GO) test -run '^$$' -bench BenchmarkServiceThroughput -benchmem .
 
 # Tree-diff hot-path benchmarks recorded as machine-readable JSON

@@ -1,0 +1,79 @@
+package webmeasure_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"webmeasure/internal/loadgen"
+)
+
+// benchServiceFile is where `make bench-service` (cmd/loadgen via
+// scripts/bench_service.sh) records the service load scenarios.
+const benchServiceFile = "BENCH_service.json"
+
+// TestBenchServiceJSONWellFormed guards the shape of BENCH_service.json
+// so a broken bench run can't silently record garbage. The file is a
+// build artifact, not a source file, so the test skips when it hasn't
+// been generated (tier-1 stays independent of `make bench-service`).
+func TestBenchServiceJSONWellFormed(t *testing.T) {
+	raw, err := os.ReadFile(benchServiceFile)
+	if os.IsNotExist(err) {
+		t.Skipf("%s not generated; run `make bench-service`", benchServiceFile)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Scenarios []struct {
+			Name   string          `json:"name"`
+			Report *loadgen.Report `json:"report"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", benchServiceFile, err)
+	}
+	if len(doc.Scenarios) < 4 {
+		t.Fatalf("%s holds %d scenarios, want at least 4", benchServiceFile, len(doc.Scenarios))
+	}
+	seen := map[string]bool{}
+	var sawScaling, sawRejection bool
+	for _, s := range doc.Scenarios {
+		if s.Name == "" || seen[s.Name] {
+			t.Errorf("missing or duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		r := s.Report
+		if r == nil {
+			t.Errorf("%s: no report recorded", s.Name)
+			continue
+		}
+		if r.Mode != "sim" {
+			t.Errorf("%s: mode %q — bench scenarios must be reproducible sim runs", s.Name, r.Mode)
+		}
+		if r.Submitted <= 0 || r.Completed <= 0 {
+			t.Errorf("%s: no traffic recorded: %+v", s.Name, r)
+		}
+		if r.Submitted != r.Completed+r.CacheHits+r.Rejected {
+			t.Errorf("%s: traffic does not balance: submitted %d != completed %d + hits %d + rejected %d",
+				s.Name, r.Submitted, r.Completed, r.CacheHits, r.Rejected)
+		}
+		if len(r.Checks) == 0 {
+			t.Errorf("%s: no SLO checks recorded", s.Name)
+		}
+		if r.ScaleUps > 0 && r.ScaleDowns > 0 {
+			sawScaling = true
+		}
+		if r.Rejected > 0 {
+			sawRejection = true
+		}
+	}
+	// The matrix must cover both headline behaviors: a scenario where the
+	// pool scales both ways, and one where backpressure rejects.
+	if !sawScaling {
+		t.Errorf("%s: no scenario exercises scale-up and scale-down", benchServiceFile)
+	}
+	if !sawRejection {
+		t.Errorf("%s: no scenario exercises 429 backpressure", benchServiceFile)
+	}
+}

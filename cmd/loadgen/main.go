@@ -1,0 +1,113 @@
+// Command loadgen is the deterministic load harness for the job service.
+// By default it runs the seeded discrete-event simulator and prints an
+// SLO report — same seed and config, byte-identical report — which makes
+// capacity questions scriptable: exit status 3 means the run completed
+// but an SLO target failed. With -target it drives a real cmd/serve over
+// HTTP with the same arrival schedule and job mix, scraping /metrics and
+// /debug/scale into the same report format.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"webmeasure/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		configPath = fs.String("config", "", "JSON config file ('-' for stdin); flags below override it")
+		seed       = fs.Int64("seed", 0, "override the config's seed")
+		target     = fs.String("target", "", "live server base URL (implies live mode)")
+		loop       = fs.String("loop", "", "override the loop: open or closed")
+		arrival    = fs.String("arrival", "", "override the arrival process: fixed, poisson, or burst")
+		rate       = fs.Float64("rate", 0, "override the open-loop arrival rate (jobs/sec)")
+		clients    = fs.Int("clients", 0, "override the closed-loop client count")
+		duration   = fs.Int64("duration-ms", 0, "override how long arrivals run (ms)")
+		workers    = fs.Int("workers", 0, "override the per-job analysis worker count (never changes sim reports)")
+		asJSON     = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg loadgen.Config
+	if *configPath != "" {
+		data, err := readConfig(*configPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
+		if cfg, err = loadgen.Parse(data); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *target != "" {
+		cfg.Target = *target
+		cfg.Mode = "live"
+	}
+	if *loop != "" {
+		cfg.Loop = *loop
+	}
+	if *arrival != "" {
+		cfg.Arrival = *arrival
+	}
+	if *rate != 0 {
+		cfg.RatePerSec = *rate
+	}
+	if *clients != 0 {
+		cfg.Clients = *clients
+	}
+	if *duration != 0 {
+		cfg.DurationMS = *duration
+	}
+	if *workers != 0 {
+		cfg.Mix.AnalysisWorkers = *workers
+	}
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	} else {
+		rep.WriteText(stdout)
+	}
+	if !rep.Pass {
+		return 3
+	}
+	return 0
+}
+
+func readConfig(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "loadgen.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// goldenConfig is a small burst scenario that scales and passes its SLO.
+const goldenConfig = `{
+  "seed": 42, "arrival": "burst", "rate_per_sec": 60,
+  "burst_on_ms": 3000, "burst_off_ms": 9000, "duration_ms": 40000,
+  "mix": {"cached_share": 0.3, "fault_light_share": 0.2, "fault_heavy_share": 0.1, "sharded_share": 0.1},
+  "service": {
+    "min_workers": 1, "max_workers": 6, "queue_depth": 32,
+    "job_base_us": 20000, "job_per_visit_us": 4000,
+    "scaler": {"up_cooldown_ms": 500, "down_cooldown_ms": 2000, "down_stable_ms": 1000}
+  },
+  "slo": {"queue_wait_p95_ms": 2000, "e2e_p99_ms": 5000, "max_rejected_share": 0.2, "min_cache_hit_ratio": 0.05}
+}`
+
+// TestCLIDeterministic: the CLI's stdout is byte-identical across runs of
+// the same config, in both text and JSON form.
+func TestCLIDeterministic(t *testing.T) {
+	cfgPath := writeConfig(t, goldenConfig)
+	code1, out1, stderr1 := runCLI(t, "-config", cfgPath)
+	if code1 != 0 {
+		t.Fatalf("exit %d, stderr: %s", code1, stderr1)
+	}
+	code2, out2, _ := runCLI(t, "-config", cfgPath)
+	if code2 != 0 || out1 != out2 {
+		t.Fatalf("same config, different output:\n--- 1 ---\n%s\n--- 2 ---\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "=== loadgen SLO report ===") || !strings.Contains(out1, "overall: PASS") {
+		t.Fatalf("unexpected report:\n%s", out1)
+	}
+
+	codeJ, outJ, _ := runCLI(t, "-config", cfgPath, "-json")
+	if codeJ != 0 {
+		t.Fatalf("-json exit %d", codeJ)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(outJ), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, outJ)
+	}
+	if rep["mode"] != "sim" || rep["pass"] != true {
+		t.Fatalf("json report: mode=%v pass=%v", rep["mode"], rep["pass"])
+	}
+	codeJ2, outJ2, _ := runCLI(t, "-config", cfgPath, "-json")
+	if codeJ2 != 0 || outJ != outJ2 {
+		t.Fatal("-json output is not deterministic")
+	}
+}
+
+// TestCLIFlagOverrides: -seed changes the report; -workers never does.
+func TestCLIFlagOverrides(t *testing.T) {
+	cfgPath := writeConfig(t, goldenConfig)
+	_, base, _ := runCLI(t, "-config", cfgPath)
+	_, reseeded, _ := runCLI(t, "-config", cfgPath, "-seed", "43")
+	if base == reseeded {
+		t.Fatal("-seed 43 produced the same report as the config's seed 42")
+	}
+	code, workers8, _ := runCLI(t, "-config", cfgPath, "-workers", "8")
+	if code != 0 || base != workers8 {
+		t.Fatalf("-workers 8 changed the sim report (exit %d)", code)
+	}
+}
+
+// TestCLISLOFailureExitCode: a hopeless SLO target exits 3, and the
+// report says FAIL — so scripts can tell "SLO missed" from "broke".
+func TestCLISLOFailureExitCode(t *testing.T) {
+	cfgPath := writeConfig(t, `{
+	  "seed": 1, "arrival": "fixed", "rate_per_sec": 50, "duration_ms": 5000,
+	  "service": {"min_workers": 1, "max_workers": 1, "queue_depth": 4, "job_base_us": 200000},
+	  "slo": {"e2e_p99_ms": 1}
+	}`)
+	code, out, _ := runCLI(t, "-config", cfgPath)
+	if code != 3 {
+		t.Fatalf("SLO failure exit = %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "overall: FAIL") {
+		t.Fatalf("report should FAIL:\n%s", out)
+	}
+}
+
+// TestCLIBadInput: unparseable flags, configs, and files exit 2 before
+// any run starts.
+func TestCLIBadInput(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "-config", writeConfig(t, `{"sede": 3}`)); code != 2 || !strings.Contains(stderr, "invalid config") {
+		t.Fatalf("typoed config field: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := runCLI(t, "-config", filepath.Join(t.TempDir(), "absent.json")); code != 2 {
+		t.Fatal("missing config file should exit 2")
+	}
+	if code, _, stderr := runCLI(t, "-config", writeConfig(t, `{"mode": "chaos"}`)); code != 1 || !strings.Contains(stderr, "unknown mode") {
+		t.Fatalf("invalid mode: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -36,8 +36,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		workers  = fs.Int("workers", 2, "concurrent job executors")
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers    = fs.Int("workers", 2, "concurrent job executors at start")
+		minWorkers = fs.Int("min-workers", 0, "autoscaling floor (0 = pin the pool at -workers)")
+		maxWorkers = fs.Int("max-workers", 0, "autoscaling ceiling (0 = pin the pool at -workers)")
+		scaleEvery = fs.Duration("scale-interval", 250*time.Millisecond, "autoscaler evaluation period")
 		queue    = fs.Int("queue", 16, "queued-job bound before submissions get 429")
 		cache    = fs.Int("cache", 64, "LRU result cache entries (negative disables)")
 		maxSites = fs.Int("max-sites", 2000, "largest per-job site count accepted")
@@ -65,12 +68,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		}
 	}
 	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		Limits:       service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages, MaxShards: *maxShards},
-		Logger:       logger,
-		ShardWorkers: peers,
+		Workers:       *workers,
+		MinWorkers:    *minWorkers,
+		MaxWorkers:    *maxWorkers,
+		ScaleInterval: *scaleEvery,
+		QueueDepth:    *queue,
+		CacheSize:     *cache,
+		Limits:        service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages, MaxShards: *maxShards},
+		Logger:        logger,
+		ShardWorkers:  peers,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -79,8 +85,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return 1
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "serving on http://%s (workers=%d queue=%d cache=%d)\n",
-		ln.Addr(), *workers, *queue, *cache)
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "serving on http://%s (workers=%d..%d queue=%d cache=%d)\n",
+		ln.Addr(), st.MinWorkers, st.MaxWorkers, *queue, *cache)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -1,0 +1,262 @@
+// Package loadgen is the deterministic load harness for the job service:
+// seeded open- and closed-loop arrival processes driving a configurable
+// job mix, with an SLO report (latency quantiles vs targets, rejection
+// rate, cache hit ratio) computed from the same Prometheus exposition the
+// service serves at /metrics.
+//
+// Two modes share one report format. Sim mode (the default) runs a
+// discrete-event simulation on seeded simulated time: it reuses the real
+// scaler decision function, the real spec canonicalization (so cache-hit
+// modeling agrees with the server byte-for-byte), and the real metrics
+// registry + exposition, which makes the whole run a pure function of
+// (config, seed) — same seed, byte-identical report, identical
+// scale-event sequence. That is what lets capacity questions ("will
+// min=1/max=8 hold 50 jobs/s under p95 < 500ms?") sit inside a golden
+// test. Live mode points the same arrival processes at a real cmd/serve
+// over HTTP; wall-clock numbers vary run to run, but the report shape and
+// the SLO verdicts read the same.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"webmeasure/internal/service/scaler"
+)
+
+// Mix is the job-mix recipe: what share of submissions are cacheable
+// repeats, faulted, or sharded, and how big each measurement is.
+type Mix struct {
+	// HotSpecs is how many distinct specs the cacheable "hot set" holds;
+	// CachedShare of submissions draw from it (repeats hit the result
+	// cache once warmed), the rest get a fresh never-seen seed.
+	HotSpecs    int     `json:"hot_specs,omitempty"`
+	CachedShare float64 `json:"cached_share,omitempty"`
+	// Sites and PagesPerSite size each measurement job.
+	Sites        int `json:"sites,omitempty"`
+	PagesPerSite int `json:"pages_per_site,omitempty"`
+	// FaultLightShare and FaultHeavyShare route that share of submissions
+	// through the light/heavy fault-injection profiles.
+	FaultLightShare float64 `json:"fault_light_share,omitempty"`
+	FaultHeavyShare float64 `json:"fault_heavy_share,omitempty"`
+	// ShardedShare submits that share as sharded coordinator jobs over
+	// Shards slices.
+	ShardedShare float64 `json:"sharded_share,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
+	// AnalysisWorkers is the analysis worker-pool size stamped on every
+	// spec. It must never change the SLO report in sim mode — the service
+	// excludes it from the cache key for the same reason (results are
+	// byte-identical for every worker count).
+	AnalysisWorkers int `json:"analysis_workers,omitempty"`
+}
+
+// Service shapes the simulated service (sim mode) or documents the live
+// target's expected shape (live mode reports it as configured).
+type Service struct {
+	MinWorkers      int           `json:"min_workers,omitempty"`
+	MaxWorkers      int           `json:"max_workers,omitempty"`
+	QueueDepth      int           `json:"queue_depth,omitempty"`
+	ScaleIntervalMS int64         `json:"scale_interval_ms,omitempty"`
+	Scaler          scaler.Config `json:"scaler,omitempty"`
+	// JobBaseUS and JobPerVisitUS are the sim cost model: a job executes
+	// for JobBaseUS + visits·JobPerVisitUS microseconds (±20% seeded
+	// jitter), visits = sites × pages × 5 profiles.
+	JobBaseUS     int64 `json:"job_base_us,omitempty"`
+	JobPerVisitUS int64 `json:"job_per_visit_us,omitempty"`
+	// CacheSize bounds the simulated result cache (default 64, matching
+	// the service default).
+	CacheSize int `json:"cache_size,omitempty"`
+}
+
+// SLO is the pass/fail targets of the report. Zero-valued targets are
+// not asserted.
+type SLO struct {
+	QueueWaitP95MS   float64 `json:"queue_wait_p95_ms,omitempty"`
+	QueueWaitP99MS   float64 `json:"queue_wait_p99_ms,omitempty"`
+	E2EP95MS         float64 `json:"e2e_p95_ms,omitempty"`
+	E2EP99MS         float64 `json:"e2e_p99_ms,omitempty"`
+	MaxRejectedShare float64 `json:"max_rejected_share,omitempty"`
+	MinCacheHitRatio float64 `json:"min_cache_hit_ratio,omitempty"`
+}
+
+// Config is the full harness configuration, parseable from JSON (the
+// -config flag) with every field optional.
+type Config struct {
+	// Seed pins the arrival processes, the job mix, and the cost jitter.
+	Seed int64 `json:"seed,omitempty"`
+	// Mode is "sim" (default: deterministic discrete-event simulation) or
+	// "live" (drive a real server at Target over HTTP).
+	Mode string `json:"mode,omitempty"`
+	// Target is the live server's base URL; setting it implies live mode.
+	Target string `json:"target,omitempty"`
+	// Loop is "open" (arrivals fire on the arrival process regardless of
+	// completions; default) or "closed" (Clients submitters each wait for
+	// completion plus ThinkMS before the next submission).
+	Loop string `json:"loop,omitempty"`
+	// Arrival is the open-loop process: "fixed", "poisson", or "burst".
+	Arrival    string  `json:"arrival,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// BurstOnMS/BurstOffMS are the burst process's on/off window lengths;
+	// during off windows arrivals run at BurstIdleFrac of RatePerSec.
+	BurstOnMS     int64   `json:"burst_on_ms,omitempty"`
+	BurstOffMS    int64   `json:"burst_off_ms,omitempty"`
+	BurstIdleFrac float64 `json:"burst_idle_frac,omitempty"`
+	// Clients and ThinkMS shape the closed loop.
+	Clients int   `json:"clients,omitempty"`
+	ThinkMS int64 `json:"think_ms,omitempty"`
+	// DurationMS is how long arrivals run; in-flight jobs then drain.
+	DurationMS int64 `json:"duration_ms,omitempty"`
+
+	Mix     Mix     `json:"mix,omitempty"`
+	Service Service `json:"service,omitempty"`
+	SLO     SLO     `json:"slo,omitempty"`
+}
+
+// Parse decodes a JSON config strictly: unknown fields are errors, so a
+// typoed knob fails loudly instead of silently running the defaults.
+func Parse(data []byte) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("loadgen: invalid config: %w", err)
+	}
+	// Trailing garbage after the object is also a config mistake.
+	if dec.More() {
+		return Config{}, fmt.Errorf("loadgen: invalid config: trailing data after JSON object")
+	}
+	return c, nil
+}
+
+// Normalize fills defaults and validates; the returned config is what a
+// run actually uses, and normalizing it again is the identity.
+func (c Config) Normalize() (Config, error) {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Target != "" && c.Mode == "" {
+		c.Mode = "live"
+	}
+	if c.Mode == "" {
+		c.Mode = "sim"
+	}
+	if c.Mode != "sim" && c.Mode != "live" {
+		return c, fmt.Errorf("loadgen: unknown mode %q (want sim or live)", c.Mode)
+	}
+	if c.Mode == "live" && c.Target == "" {
+		return c, fmt.Errorf("loadgen: live mode needs a target URL")
+	}
+	if c.Loop == "" {
+		c.Loop = "open"
+	}
+	if c.Loop != "open" && c.Loop != "closed" {
+		return c, fmt.Errorf("loadgen: unknown loop %q (want open or closed)", c.Loop)
+	}
+	if c.Arrival == "" {
+		c.Arrival = "poisson"
+	}
+	switch c.Arrival {
+	case "fixed", "poisson", "burst":
+	default:
+		return c, fmt.Errorf("loadgen: unknown arrival %q (want fixed, poisson, or burst)", c.Arrival)
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 20
+	}
+	if c.RatePerSec < 0 {
+		return c, fmt.Errorf("loadgen: rate_per_sec must be positive")
+	}
+	if c.Arrival == "burst" {
+		if c.BurstOnMS <= 0 {
+			c.BurstOnMS = 2000
+		}
+		if c.BurstOffMS <= 0 {
+			c.BurstOffMS = 4000
+		}
+		if c.BurstIdleFrac < 0 || c.BurstIdleFrac >= 1 {
+			return c, fmt.Errorf("loadgen: burst_idle_frac must be in [0, 1)")
+		}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.ThinkMS < 0 {
+		return c, fmt.Errorf("loadgen: think_ms must be non-negative")
+	}
+	if c.DurationMS <= 0 {
+		c.DurationMS = 30_000
+	}
+
+	if c.Mix.HotSpecs <= 0 {
+		c.Mix.HotSpecs = 4
+	}
+	if c.Mix.Sites <= 0 {
+		c.Mix.Sites = 5
+	}
+	if c.Mix.PagesPerSite <= 0 {
+		c.Mix.PagesPerSite = 2
+	}
+	if c.Mix.Shards <= 0 {
+		c.Mix.Shards = 2
+	}
+	if c.Mix.AnalysisWorkers <= 0 {
+		c.Mix.AnalysisWorkers = 2
+	}
+	for name, share := range map[string]float64{
+		"cached_share":      c.Mix.CachedShare,
+		"fault_light_share": c.Mix.FaultLightShare,
+		"fault_heavy_share": c.Mix.FaultHeavyShare,
+		"sharded_share":     c.Mix.ShardedShare,
+	} {
+		if share < 0 || share > 1 {
+			return c, fmt.Errorf("loadgen: mix %s must be in [0, 1]", name)
+		}
+	}
+	if c.Mix.FaultLightShare+c.Mix.FaultHeavyShare > 1 {
+		return c, fmt.Errorf("loadgen: fault shares sum past 1")
+	}
+
+	if c.Service.MinWorkers <= 0 {
+		c.Service.MinWorkers = 1
+	}
+	if c.Service.MaxWorkers <= 0 {
+		c.Service.MaxWorkers = 8
+	}
+	if c.Service.MaxWorkers < c.Service.MinWorkers {
+		return c, fmt.Errorf("loadgen: max_workers %d below min_workers %d",
+			c.Service.MaxWorkers, c.Service.MinWorkers)
+	}
+	if c.Service.QueueDepth <= 0 {
+		c.Service.QueueDepth = 16
+	}
+	if c.Service.ScaleIntervalMS <= 0 {
+		c.Service.ScaleIntervalMS = 250
+	}
+	if c.Service.JobBaseUS <= 0 {
+		c.Service.JobBaseUS = 5_000
+	}
+	if c.Service.JobPerVisitUS <= 0 {
+		c.Service.JobPerVisitUS = 400
+	}
+	if c.Service.CacheSize <= 0 {
+		c.Service.CacheSize = 64
+	}
+	c.Service.Scaler.MinWorkers = c.Service.MinWorkers
+	c.Service.Scaler.MaxWorkers = c.Service.MaxWorkers
+	c.Service.Scaler = c.Service.Scaler.WithDefaults()
+
+	for name, target := range map[string]float64{
+		"queue_wait_p95_ms":   c.SLO.QueueWaitP95MS,
+		"queue_wait_p99_ms":   c.SLO.QueueWaitP99MS,
+		"e2e_p95_ms":          c.SLO.E2EP95MS,
+		"e2e_p99_ms":          c.SLO.E2EP99MS,
+		"max_rejected_share":  c.SLO.MaxRejectedShare,
+		"min_cache_hit_ratio": c.SLO.MinCacheHitRatio,
+	} {
+		if target < 0 {
+			return c, fmt.Errorf("loadgen: slo %s must be non-negative", name)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,73 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// FuzzConfigParse hammers the config entry point with arbitrary bytes:
+// Parse must never panic, and any config it accepts must either be
+// rejected by Normalize with an error or normalize to something
+// self-consistent — valid enums, ordered worker bounds, shares inside
+// [0,1], and a scaler policy completed against those bounds. Normalize
+// must also be idempotent, since cmd/loadgen normalizes once and the
+// simulator trusts the result.
+func FuzzConfigParse(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 42, "arrival": "burst", "burst_on_ms": 3000, "burst_off_ms": 9000}`))
+	f.Add([]byte(`{"mode": "live", "target": "http://localhost:8080", "loop": "closed", "clients": 4}`))
+	f.Add([]byte(`{"mix": {"cached_share": 0.5, "fault_light_share": 0.2}, "service": {"min_workers": 1, "max_workers": 8}}`))
+	f.Add([]byte(`{"slo": {"queue_wait_p95_ms": 500, "min_cache_hit_ratio": 0.1}}`))
+	f.Add([]byte(`{"seed": -1, "rate_per_sec": 1e308, "duration_ms": -5}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		norm, err := cfg.Normalize()
+		if err != nil {
+			return
+		}
+		switch norm.Mode {
+		case "sim", "live":
+		default:
+			t.Fatalf("Normalize accepted mode %q", norm.Mode)
+		}
+		switch norm.Loop {
+		case "open", "closed":
+		default:
+			t.Fatalf("Normalize accepted loop %q", norm.Loop)
+		}
+		switch norm.Arrival {
+		case "fixed", "poisson", "burst":
+		default:
+			t.Fatalf("Normalize accepted arrival %q", norm.Arrival)
+		}
+		if norm.Service.MinWorkers < 1 || norm.Service.MaxWorkers < norm.Service.MinWorkers {
+			t.Fatalf("Normalize accepted worker bounds %d..%d", norm.Service.MinWorkers, norm.Service.MaxWorkers)
+		}
+		if norm.Service.Scaler.MinWorkers != norm.Service.MinWorkers ||
+			norm.Service.Scaler.MaxWorkers != norm.Service.MaxWorkers {
+			t.Fatalf("scaler policy bounds %d..%d drifted from service bounds %d..%d",
+				norm.Service.Scaler.MinWorkers, norm.Service.Scaler.MaxWorkers,
+				norm.Service.MinWorkers, norm.Service.MaxWorkers)
+		}
+		for name, share := range map[string]float64{
+			"cached_share":      norm.Mix.CachedShare,
+			"fault_light_share": norm.Mix.FaultLightShare,
+			"fault_heavy_share": norm.Mix.FaultHeavyShare,
+			"sharded_share":     norm.Mix.ShardedShare,
+		} {
+			if share < 0 || share > 1 {
+				t.Fatalf("Normalize accepted %s = %v", name, share)
+			}
+		}
+		again, err := norm.Normalize()
+		if err != nil {
+			t.Fatalf("Normalize rejected its own output: %v", err)
+		}
+		if again != norm {
+			t.Fatalf("Normalize is not idempotent:\n%+v\n%+v", norm, again)
+		}
+	})
+}

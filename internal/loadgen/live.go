@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"webmeasure/internal/metrics"
+	"webmeasure/internal/service"
+	"webmeasure/internal/service/scaler"
+)
+
+// Run executes the harness per the (already normalized) config: the
+// deterministic simulator by default, the HTTP driver when the config
+// targets a live server. Live numbers are wall-clock and vary run to
+// run; the report format and SLO verdicts are shared with sim mode.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode == "sim" {
+		return runSim(cfg), nil
+	}
+	return runLive(ctx, cfg)
+}
+
+// runLive drives a real server over HTTP with the same seeded arrival
+// schedule and job mix as the simulator. Client-side end-to-end latency
+// lands in a local registry; the server-side families come from scraping
+// the target's /metrics at the end, and the scale events from
+// /debug/scale — so the report covers the target's lifetime counters
+// (point it at a freshly started server for clean numbers).
+func runLive(ctx context.Context, cfg Config) (*Report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if _, err := fetch(ctx, client, cfg.Target+"/healthz"); err != nil {
+		return nil, fmt.Errorf("loadgen: target not reachable: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mix := newMixer(cfg, rng)
+	reg := metrics.New()
+	hE2E := reg.Histogram("loadgen.e2e_ms")
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(time.Duration(cfg.DurationMS) * time.Millisecond)
+	runOne := func(spec service.JobSpec) {
+		defer wg.Done()
+		t0 := time.Now()
+		if done := submitAndWait(ctx, client, cfg.Target, spec); done {
+			hE2E.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		}
+	}
+
+	if cfg.Loop == "open" {
+		// The arrival schedule is drawn up front on the same rng stream as
+		// the mixer draws interleave per submission in sim mode; here the
+		// schedule and the specs come from one stream sequentially, which
+		// keeps the live driver simple (its numbers are wall-clock anyway).
+		arrivals := newArrivals(cfg, rng)
+		for {
+			at := arrivals.next()
+			if at < 0 || ctx.Err() != nil {
+				break
+			}
+			sleepUntil(ctx, start.Add(time.Duration(at)*time.Microsecond))
+			wg.Add(1)
+			go runOne(mix.spec())
+		}
+	} else {
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) && ctx.Err() == nil {
+					wg.Add(1)
+					runOne(mix.specLocked())
+					sleepUntil(ctx, time.Now().Add(time.Duration(cfg.ThinkMS)*time.Millisecond))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	scraped, err := fetch(ctx, client, cfg.Target+"/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics: %w", err)
+	}
+	events, workers, err := fetchScale(ctx, client, cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /debug/scale: %w", err)
+	}
+	durMS := time.Since(start).Milliseconds()
+	exposition := string(scraped) + expositionOf(reg)
+	return buildReport(cfg, exposition, events, durMS, workers), nil
+}
+
+// specLocked serializes mixer draws for the concurrent closed-loop
+// clients (the sim and the open loop draw from a single goroutine).
+var mixMu sync.Mutex
+
+func (m *mixer) specLocked() service.JobSpec {
+	mixMu.Lock()
+	defer mixMu.Unlock()
+	return m.spec()
+}
+
+// submitAndWait posts one job and polls it to a terminal state. Returns
+// whether an end-to-end latency was actually measured (cache hits and
+// completions; rejections and errors are server-counted, not timed).
+func submitAndWait(ctx context.Context, client *http.Client, target string, spec service.JobSpec) bool {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode == http.StatusTooManyRequests {
+		return false
+	}
+	if resp.StatusCode == http.StatusOK { // cache hit answered instantly
+		return true
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return false
+	}
+	for ctx.Err() == nil {
+		b, err := fetch(ctx, client, target+"/v1/jobs/"+view.ID)
+		if err != nil {
+			return false
+		}
+		if err := json.Unmarshal(b, &view); err != nil {
+			return false
+		}
+		switch view.State {
+		case "done":
+			return true
+		case "failed", "canceled":
+			return false
+		}
+		sleepUntil(ctx, time.Now().Add(25*time.Millisecond))
+	}
+	return false
+}
+
+func fetch(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// fetchScale reads the target's applied scale events and current pool
+// size from /debug/scale.
+func fetchScale(ctx context.Context, client *http.Client, target string) ([]scaler.Event, int, error) {
+	b, err := fetch(ctx, client, target+"/debug/scale")
+	if err != nil {
+		return nil, 0, err
+	}
+	var view struct {
+		WorkersCurrent int            `json:"workers_current"`
+		Events         []scaler.Event `json:"events"`
+	}
+	if err := json.Unmarshal(b, &view); err != nil {
+		return nil, 0, err
+	}
+	return view.Events, view.WorkersCurrent, nil
+}
+
+// sleepUntil sleeps to a deadline, returning early when ctx ends.
+func sleepUntil(ctx context.Context, t time.Time) {
+	d := time.Until(t)
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}

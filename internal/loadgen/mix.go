@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"math/rand"
+
+	"webmeasure/internal/service"
+)
+
+// mixLimits is what the harness validates specs against — the service's
+// own defaults, so a spec loadgen emits is a spec cmd/serve accepts.
+var mixLimits = service.Limits{MaxSites: 2000, MaxPagesPerSite: 100, MaxShards: 16}
+
+// mixer draws the job mix in submission order from the run's seeded rng:
+// a CachedShare of submissions repeat one of HotSpecs hot specs (cache
+// hits once warmed), the rest are cold — fresh seeds, optionally faulted
+// or sharded per the configured shares.
+type mixer struct {
+	cfg     Config
+	rng     *rand.Rand
+	coldSeq int64
+}
+
+func newMixer(cfg Config, rng *rand.Rand) *mixer {
+	return &mixer{cfg: cfg, rng: rng}
+}
+
+// spec draws the next submission's spec. Hot draws are plain repeats (no
+// faults, no shards) so their cache keys actually collide; cold draws
+// carry the fault and shard variety.
+func (m *mixer) spec() service.JobSpec {
+	mix := m.cfg.Mix
+	spec := service.JobSpec{
+		Sites:        mix.Sites,
+		PagesPerSite: mix.PagesPerSite,
+		Workers:      mix.AnalysisWorkers,
+	}
+	if m.rng.Float64() < mix.CachedShare {
+		spec.Seed = 1000 + int64(m.rng.Intn(mix.HotSpecs))
+		return spec
+	}
+	m.coldSeq++
+	spec.Seed = 1_000_000 + m.coldSeq
+	switch u := m.rng.Float64(); {
+	case u < mix.FaultLightShare:
+		spec.FaultProfile = "light"
+	case u < mix.FaultLightShare+mix.FaultHeavyShare:
+		spec.FaultProfile = "heavy"
+	}
+	if m.rng.Float64() < mix.ShardedShare {
+		spec.Shards = mix.Shards
+	}
+	return spec
+}
+
+// costUS is the sim's job cost model: base plus per-visit work over
+// sites × pages × the five Table 1 profiles, a fault-profile multiplier
+// (faulted visits retry), a coordinator overhead for sharded jobs, and a
+// ±20% seeded jitter drawn per job in submission order.
+func (m *mixer) costUS(spec service.JobSpec) int64 {
+	visits := int64(spec.Sites) * int64(spec.PagesPerSite) * 5
+	us := float64(m.cfg.Service.JobBaseUS + visits*m.cfg.Service.JobPerVisitUS)
+	switch spec.FaultProfile {
+	case "light":
+		us *= 1.25
+	case "heavy":
+		us *= 1.6
+	}
+	if spec.Shards > 1 {
+		us *= 1.1
+	}
+	us *= 0.8 + 0.4*m.rng.Float64()
+	if us < 1 {
+		us = 1
+	}
+	return int64(us)
+}

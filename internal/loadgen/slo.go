@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"webmeasure/internal/metrics"
+	"webmeasure/internal/service/scaler"
+)
+
+// The SLO report. Both modes feed it the same way: a Prometheus text
+// exposition (the simulator's registry, or the live server's /metrics
+// scrape concatenated with the client-side registry) is parsed back into
+// samples, and the report's traffic, latency, and pass/fail sections are
+// computed from those. Going through the exposition instead of reading
+// registries directly means the bytes a scraper would see are exactly
+// what the SLO verdicts are judged on.
+
+// promSamples maps "family" or `family{k="v",...}` to the sample value.
+type promSamples map[string]float64
+
+// parsePrometheus reads a text exposition (0.0.4), ignoring comments and
+// anything it cannot parse — the report only needs the families it asks
+// for by exact name.
+func parsePrometheus(text string) promSamples {
+	out := make(promSamples)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "name{labels} value" or "name value"; the label block may hold
+		// spaces inside quotes, so split on the last space.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		name, valueStr := line[:cut], line[cut+1:]
+		v, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// q returns the quantile-companion gauge of a histogram family.
+func (p promSamples) q(family, quantile string) float64 {
+	return p[family+`_quantile{q="`+quantile+`"}`]
+}
+
+// expositionOf renders a registry the way /metrics would.
+func expositionOf(reg *metrics.Registry) string {
+	var b strings.Builder
+	_ = reg.Snapshot().WritePrometheus(&b)
+	return b.String()
+}
+
+// p95Of estimates the 95th percentile of a sample window (0 when empty),
+// with the same arithmetic the service pool uses.
+func p95Of(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	idx := int(math.Ceil(0.95*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// Quantiles is one latency family's headline numbers, in milliseconds.
+type Quantiles struct {
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+	Count int64   `json:"count"`
+}
+
+func quantilesOf(p promSamples, family string) Quantiles {
+	return Quantiles{
+		P50:   p.q(family, "0.5"),
+		P95:   p.q(family, "0.95"),
+		P99:   p.q(family, "0.99"),
+		Max:   p.q(family, "max"),
+		Count: int64(p[family+"_count"]),
+	}
+}
+
+// Check is one SLO assertion: actual vs target, with direction.
+type Check struct {
+	Name   string  `json:"name"`
+	Target float64 `json:"target"`
+	Actual float64 `json:"actual"`
+	// AtLeast inverts the comparison (cache hit ratio wants actual >=
+	// target; every latency/rate target wants actual <= target).
+	AtLeast bool `json:"at_least,omitempty"`
+	Pass    bool `json:"pass"`
+}
+
+// Report is the harness's output: traffic, latency, SLO verdicts, and
+// the scale-event sequence, all derived from the exposition text.
+type Report struct {
+	Mode    string `json:"mode"`
+	Loop    string `json:"loop"`
+	Arrival string `json:"arrival"`
+	Seed    int64  `json:"seed"`
+	// DurationMS covers arrivals plus drain (simulated in sim mode).
+	DurationMS int64 `json:"duration_ms"`
+
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// RejectedShare is rejected/submitted; CacheHitRatio is hits over
+	// (hits + misses); Throughput counts completions plus cache hits.
+	RejectedShare  float64 `json:"rejected_share"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	ThroughputJobs float64 `json:"throughput_jobs_per_sec"`
+
+	QueueWait Quantiles `json:"queue_wait"`
+	JobRun    Quantiles `json:"job_run"`
+	E2E       Quantiles `json:"e2e"`
+
+	WorkersFinal int            `json:"workers_final"`
+	ScaleUps     int64          `json:"scale_ups"`
+	ScaleDowns   int64          `json:"scale_downs"`
+	Events       []scaler.Event `json:"events"`
+
+	Checks []Check `json:"checks"`
+	Pass   bool    `json:"pass"`
+}
+
+// buildReport computes the report from an exposition text plus the run's
+// scale-event log.
+func buildReport(cfg Config, exposition string, events []scaler.Event, durMS int64, workersFinal int) *Report {
+	p := parsePrometheus(exposition)
+	r := &Report{
+		Mode:       cfg.Mode,
+		Loop:       cfg.Loop,
+		Arrival:    cfg.Arrival,
+		Seed:       cfg.Seed,
+		DurationMS: durMS,
+
+		Submitted:   int64(p["service_jobs_submitted"]),
+		Completed:   int64(p["service_jobs_completed"]),
+		Rejected:    int64(p["service_jobs_rejected"]),
+		CacheHits:   int64(p["service_cache_hits"]),
+		CacheMisses: int64(p["service_cache_misses"]),
+
+		QueueWait: quantilesOf(p, "service_queue_wait_ms"),
+		JobRun:    quantilesOf(p, "service_job_ms"),
+		E2E:       quantilesOf(p, "loadgen_e2e_ms"),
+
+		WorkersFinal: workersFinal,
+		ScaleUps:     int64(p[`service_scale_events_total{dir="up"}`]),
+		ScaleDowns:   int64(p[`service_scale_events_total{dir="down"}`]),
+		Events:       events,
+	}
+	if r.Submitted > 0 {
+		r.RejectedShare = float64(r.Rejected) / float64(r.Submitted)
+	}
+	if lookups := r.CacheHits + r.CacheMisses; lookups > 0 {
+		r.CacheHitRatio = float64(r.CacheHits) / float64(lookups)
+	}
+	if durMS > 0 {
+		r.ThroughputJobs = float64(r.Completed+r.CacheHits) / (float64(durMS) / 1000)
+	}
+
+	add := func(name string, target, actual float64, atLeast bool) {
+		if target == 0 {
+			return
+		}
+		pass := actual <= target
+		if atLeast {
+			pass = actual >= target
+		}
+		r.Checks = append(r.Checks, Check{Name: name, Target: target, Actual: actual, AtLeast: atLeast, Pass: pass})
+	}
+	add("queue_wait_p95_ms", cfg.SLO.QueueWaitP95MS, r.QueueWait.P95, false)
+	add("queue_wait_p99_ms", cfg.SLO.QueueWaitP99MS, r.QueueWait.P99, false)
+	add("e2e_p95_ms", cfg.SLO.E2EP95MS, r.E2E.P95, false)
+	add("e2e_p99_ms", cfg.SLO.E2EP99MS, r.E2E.P99, false)
+	add("max_rejected_share", cfg.SLO.MaxRejectedShare, r.RejectedShare, false)
+	add("min_cache_hit_ratio", cfg.SLO.MinCacheHitRatio, r.CacheHitRatio, true)
+	r.Pass = true
+	for _, c := range r.Checks {
+		if !c.Pass {
+			r.Pass = false
+		}
+	}
+	return r
+}
+
+// WriteText renders the human-readable report. Every number is formatted
+// with fixed precision, so for a deterministic run the bytes are stable.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "=== loadgen SLO report ===\n")
+	fmt.Fprintf(w, "mode=%s loop=%s arrival=%s seed=%d duration_ms=%d\n\n",
+		r.Mode, r.Loop, r.Arrival, r.Seed, r.DurationMS)
+
+	fmt.Fprintf(w, "--- traffic ---\n")
+	fmt.Fprintf(w, "submitted    %d\n", r.Submitted)
+	fmt.Fprintf(w, "completed    %d\n", r.Completed)
+	fmt.Fprintf(w, "rejected     %d (%.2f%%)\n", r.Rejected, 100*r.RejectedShare)
+	fmt.Fprintf(w, "cache hits   %d (hit ratio %.2f%%)\n", r.CacheHits, 100*r.CacheHitRatio)
+	fmt.Fprintf(w, "throughput   %.2f jobs/s\n\n", r.ThroughputJobs)
+
+	fmt.Fprintf(w, "--- latency (ms) ---\n")
+	writeQ(w, "queue wait", r.QueueWait)
+	writeQ(w, "job run   ", r.JobRun)
+	writeQ(w, "end-to-end", r.E2E)
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "--- autoscaling (workers end at %d; %d up, %d down) ---\n",
+		r.WorkersFinal, r.ScaleUps, r.ScaleDowns)
+	if len(r.Events) == 0 {
+		fmt.Fprintf(w, "(no scale events)\n")
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(w, "%s\n", e.String())
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "--- SLO ---\n")
+	if len(r.Checks) == 0 {
+		fmt.Fprintf(w, "(no targets configured)\n")
+	}
+	for _, c := range r.Checks {
+		op := "<="
+		if c.AtLeast {
+			op = ">="
+		}
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%-20s %.3f %s %.3f: %s\n", c.Name, c.Actual, op, c.Target, verdict)
+	}
+	overall := "PASS"
+	if !r.Pass {
+		overall = "FAIL"
+	}
+	fmt.Fprintf(w, "overall: %s\n", overall)
+}
+
+func writeQ(w io.Writer, label string, q Quantiles) {
+	fmt.Fprintf(w, "%s  p50=%.3f p95=%.3f p99=%.3f max=%.3f (n=%d)\n",
+		label, q.P50, q.P95, q.P99, q.Max, q.Count)
+}

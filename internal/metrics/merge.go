@@ -27,7 +27,11 @@ type HistogramDump struct {
 // Dump is a registry's mergeable state: every counter value and every
 // histogram's raw buckets.
 type Dump struct {
-	Counters   map[string]int64         `json:"counters,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges merge additively like counters: the shard pipeline never
+	// publishes gauges, so summing is only ever applied to disjoint
+	// contributions (e.g. per-component capacity levels).
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
 	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
 }
 
@@ -42,6 +46,10 @@ func (r *Registry) Dump() Dump {
 	for name, c := range r.counters {
 		counters[name] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -53,6 +61,12 @@ func (r *Registry) Dump() Dump {
 		d.Counters = make(map[string]int64, len(counters))
 		for name, c := range counters {
 			d.Counters[name] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		d.Gauges = make(map[string]int64, len(gauges))
+		for name, g := range gauges {
+			d.Gauges[name] = g.Value()
 		}
 	}
 	if len(hists) > 0 {
@@ -91,6 +105,9 @@ func (r *Registry) Merge(d Dump) error {
 	}
 	for name, v := range d.Counters {
 		r.Counter(name).Add(v)
+	}
+	for name, v := range d.Gauges {
+		r.Gauge(name).Add(v)
 	}
 	for name, hd := range d.Histograms {
 		if err := r.Histogram(name).mergeDump(hd); err != nil {

@@ -107,6 +107,38 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a settable level — a value that goes up and down, like the
+// autoscaling pool's current worker count, as opposed to a Counter's
+// monotone total. The zero value is ready to use; a nil Gauge ignores
+// writes and reads as zero.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram bucket layout: geometric buckets growing by histGrowth per
 // step starting at histMin. 320 buckets at 15% growth cover histMin up to
 // ~histMin·1.15^318 ≈ 2e16, far beyond any duration in milliseconds.
@@ -288,6 +320,7 @@ func quantileFrom(counts []int64, total int64, q float64) float64 {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -295,6 +328,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -312,6 +346,21 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -335,6 +384,12 @@ type CounterStat struct {
 	Value int64
 }
 
+// GaugeStat is one gauge's level in a snapshot.
+type GaugeStat struct {
+	Name  string
+	Value int64
+}
+
 // HistogramStat is one histogram's summary in a snapshot.
 type HistogramStat struct {
 	Name string
@@ -345,6 +400,7 @@ type HistogramStat struct {
 // for deterministic rendering.
 type Snapshot struct {
 	Counters   []CounterStat
+	Gauges     []GaugeStat
 	Histograms []HistogramStat
 }
 
@@ -359,6 +415,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.counters {
 		counters[name] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -369,10 +429,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range counters {
 		s.Counters = append(s.Counters, CounterStat{Name: name, Value: c.Value()})
 	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: g.Value()})
+	}
 	for name, h := range hists {
 		s.Histograms = append(s.Histograms, HistogramStat{Name: name, Stats: h.Stats()})
 	}
 	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	sort.Slice(s.Gauges, func(a, b int) bool { return s.Gauges[a].Name < s.Gauges[b].Name })
 	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
 	return s
 }
@@ -388,8 +452,14 @@ func (s Snapshot) String() string {
 		}
 		fmt.Fprintf(&b, "%s=%d", c.Name, c.Value)
 	}
+	for i, g := range s.Gauges {
+		if i > 0 || len(s.Counters) > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", g.Name, g.Value)
+	}
 	for i, h := range s.Histograms {
-		if i == 0 && len(s.Counters) > 0 {
+		if i == 0 && len(s.Counters)+len(s.Gauges) > 0 {
 			b.WriteString(" | ")
 		} else if i > 0 {
 			b.WriteString(" | ")

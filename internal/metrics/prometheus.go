@@ -105,6 +105,8 @@ var helpText = map[string]string{
 	"trace.span_us":         "Simulated span duration in microseconds per stage.",
 	"service.jobs.total":    "Jobs accepted by the service.",
 	"service.cache_hits":    "Jobs served from the result cache.",
+	"service.workers_current":    "Current size of the autoscaling job worker pool.",
+	"service.scale_events.total": "Applied autoscaling decisions, by direction.",
 }
 
 // helpFor returns the HELP text of a family's internal base name.
@@ -150,7 +152,7 @@ func resolveSeries(names []string) []series {
 }
 
 // WritePrometheus renders the snapshot in Prometheus text exposition
-// format. Counters become counter families; each histogram becomes a
+// format. Counters become counter families, gauges gauge families; each histogram becomes a
 // histogram family (cumulative le-buckets over the non-empty log buckets,
 // plus _sum and _count) and a companion <name>_quantile gauge family
 // carrying the estimated p50/p95/p99 and the exact max, so dashboards get
@@ -172,6 +174,23 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			lastFamily = se.family
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(se.family, se.inner), s.Counters[se.idx].Value); err != nil {
+			return err
+		}
+	}
+
+	names = make([]string, len(s.Gauges))
+	for i, g := range s.Gauges {
+		names[i] = g.Name
+	}
+	lastFamily = ""
+	for _, se := range resolveSeries(names) {
+		if se.family != lastFamily {
+			if err := familyHeader(w, se.family, se.base, "gauge"); err != nil {
+				return err
+			}
+			lastFamily = se.family
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(se.family, se.inner), s.Gauges[se.idx].Value); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // datasetFlushEvery is how many visits a streamed JSONL download writes
@@ -29,6 +30,7 @@ const datasetFlushEvery = 256
 //	GET    /debug/pprof/             live profiling (go tool pprof)
 //	GET    /debug/traces             recent traced jobs, newest first
 //	GET    /debug/traces/{id}        trace.json by job ID (chrome://tracing)
+//	GET    /debug/scale              recent autoscaling events + pool state
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Live profiling of the serving process: `go tool pprof
@@ -66,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	mux.HandleFunc("GET /debug/scale", s.handleScale)
 	mux.HandleFunc("GET /debug/traces/{id}", s.traceArtifact(func(r *result) ([]byte, string) {
 		return r.traceChrome, "application/json"
 	}))
@@ -101,7 +104,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Tell the client when a slot should open, from the pool's current
+		// drain rate (recent mean job duration over busy workers).
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrDraining):
@@ -274,6 +279,22 @@ func (s *Server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
 	copy(entries, s.traces)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"traces": entries})
+}
+
+// handleScale serves the autoscaler's recent applied events (oldest
+// first) plus the pool's current state — the live counterpart of the
+// loadgen SLO report's scale-event section.
+func (s *Server) handleScale(w http.ResponseWriter, _ *http.Request) {
+	events, total := s.pool.snapshotEvents()
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers_current": st.Workers,
+		"min_workers":     st.MinWorkers,
+		"max_workers":     st.MaxWorkers,
+		"busy_workers":    st.BusyWorkers,
+		"events_total":    total,
+		"events":          events,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,352 @@
+package service
+
+// The autoscaling worker pool: the Server's job executors are no longer a
+// fixed set but a pool that grows toward Config.MaxWorkers under backlog
+// or latency pressure and shrinks toward Config.MinWorkers when idle. The
+// policy itself lives in the scaler package as a pure decision function;
+// this file is the plumbing — observing the pool, applying verdicts by
+// spawning workers or handing out quit tokens, and publishing the
+// workers_current gauge, scale_events_total counters, scale-event spans,
+// and the /debug/scale listing.
+//
+// Scale-down is cooperative: a quit token sits in a buffered channel
+// until an idle worker picks it up between jobs, so a running measurement
+// is never interrupted by a shrink. A later scale-up first cancels
+// pending tokens before spawning, so the logical pool size (what the
+// decision function sees) and the goroutine count converge without ever
+// overshooting.
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"webmeasure/internal/metrics"
+	"webmeasure/internal/service/scaler"
+)
+
+// ringSize is the recent-sample window for queue waits and job durations
+// — the "recent p95" the scaler sees and the drain rate behind 429
+// Retry-After. 128 samples is a few seconds of history under load.
+const ringSize = 128
+
+// WaitWindowMS ages queue-wait samples out of the "recent p95": without
+// it, the last waits observed during a burst would pin the p95 high long
+// after arrivals stopped, and an idle pool could never scale down. The
+// loadgen simulator uses the same window so its scale-event sequences
+// match the service's behavior.
+const WaitWindowMS = 5000
+
+// maxScaleEvents bounds the /debug/scale listing on a long-running
+// server; the totals keep counting past it.
+const maxScaleEvents = 512
+
+// ring is a fixed-capacity sample window with per-sample timestamps.
+type ring struct {
+	buf [ringSize]float64
+	at  [ringSize]int64 // sample time, pool milliseconds
+	n   int             // samples ever added
+}
+
+func (r *ring) add(v float64, atMS int64) {
+	r.buf[r.n%ringSize] = v
+	r.at[r.n%ringSize] = atMS
+	r.n++
+}
+
+// size returns how many samples the window currently holds.
+func (r *ring) size() int {
+	if r.n < ringSize {
+		return r.n
+	}
+	return ringSize
+}
+
+// p95Since estimates the 95th percentile over samples no older than
+// windowMS (0 when none qualify). Samples stamped after nowMS — a test's
+// fabricated clock lagging the wall — count as current.
+func (r *ring) p95Since(nowMS, windowMS int64) float64 {
+	n := r.size()
+	s := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if nowMS-r.at[i] <= windowMS {
+			s = append(s, r.buf[i])
+		}
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Float64s(s)
+	idx := int(math.Ceil(0.95*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// mean returns the window's mean (0 when empty).
+func (r *ring) mean() float64 {
+	n := r.size()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.buf[:n] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// pool is the Server's autoscaling worker pool state. It has its own
+// mutex, never held together with Server.mu, so the hot job path and the
+// supervisor never contend on one lock.
+type pool struct {
+	s      *Server
+	policy scaler.Config
+	start  time.Time
+
+	mu          sync.Mutex
+	closed      bool // drain began: apply nothing, spawn nothing
+	cur         int  // logical size: live workers minus pending quits
+	busy        int  // workers mid-job right now
+	lastScaleMS int64
+	lowSinceMS  int64
+	evalSeq     int
+	eventsTotal int
+	events      []scaler.Event
+	waits       ring // recent queue-wait samples (ms)
+	jobs        ring // recent job durations (ms)
+
+	quit        chan struct{}
+	pendingQuit int
+
+	gWorkers *metrics.Gauge
+	cUp      *metrics.Counter
+	cDown    *metrics.Counter
+}
+
+func newPool(s *Server, cfg Config) *pool {
+	p := &pool{
+		s:           s,
+		policy:      cfg.Scaler,
+		start:       time.Now(),
+		cur:         cfg.Workers,
+		lastScaleMS: -1,
+		lowSinceMS:  -1,
+		quit:        make(chan struct{}, 2*cfg.MaxWorkers+16),
+		gWorkers:    cfg.Metrics.Gauge("service.workers_current"),
+		cUp:         cfg.Metrics.Counter(metrics.Labeled("service.scale_events.total", "dir", "up")),
+		cDown:       cfg.Metrics.Counter(metrics.Labeled("service.scale_events.total", "dir", "down")),
+	}
+	p.gWorkers.Set(int64(p.cur))
+	return p
+}
+
+// nowMS is the supervisor's clock: wall milliseconds since the pool
+// started. Tests and the loadgen harness bypass it and feed evaluateScale
+// their own (simulated) clock.
+func (p *pool) nowMS() int64 { return time.Since(p.start).Milliseconds() }
+
+func (p *pool) jobStarted() {
+	p.mu.Lock()
+	p.busy++
+	p.mu.Unlock()
+}
+
+func (p *pool) jobFinished() {
+	p.mu.Lock()
+	p.busy--
+	p.mu.Unlock()
+}
+
+// observeWait records one job's queue wait into the recent window.
+func (p *pool) observeWait(ms float64) {
+	now := p.nowMS()
+	p.mu.Lock()
+	p.waits.add(ms, now)
+	p.mu.Unlock()
+}
+
+// observeJob records one finished job's duration into the recent window.
+func (p *pool) observeJob(ms float64) {
+	now := p.nowMS()
+	p.mu.Lock()
+	p.jobs.add(ms, now)
+	p.mu.Unlock()
+}
+
+// quitConsumed is called by a worker that picked up a quit token and is
+// about to exit.
+func (p *pool) quitConsumed() {
+	p.mu.Lock()
+	p.pendingQuit--
+	p.mu.Unlock()
+}
+
+// snapshotEvents copies the recent applied scale events (oldest first)
+// and the lifetime total.
+func (p *pool) snapshotEvents() ([]scaler.Event, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]scaler.Event, len(p.events))
+	copy(out, p.events)
+	return out, p.eventsTotal
+}
+
+// evaluateScale runs one scaling evaluation at nowMS (any millisecond
+// clock: the supervisor's wall clock or a harness's simulated one),
+// applies the verdict, and returns the decision. Safe to call
+// concurrently with submissions and job execution.
+func (s *Server) evaluateScale(nowMS int64) scaler.Decision {
+	p := s.pool
+	p.mu.Lock()
+	if p.closed {
+		// Shutdown owns the pool now: spawning a worker here could race
+		// the drain's WaitGroup.Wait (Add-after-Wait). Hold forever.
+		d := scaler.Decision{Verdict: scaler.Hold, Target: p.cur, Reason: "draining"}
+		p.mu.Unlock()
+		return d
+	}
+	in := scaler.Inputs{
+		NowMS:                nowMS,
+		QueueDepth:           len(s.queue),
+		BusyWorkers:          p.busy,
+		CurrentWorkers:       p.cur,
+		RecentP95QueueWaitMS: p.waits.p95Since(nowMS, WaitWindowMS),
+		LastScaleMS:          p.lastScaleMS,
+	}
+	// Maintain the flap damper's window: LowLoadSince survives only while
+	// the low-load condition holds continuously.
+	if scaler.LowLoad(p.policy, in) {
+		if p.lowSinceMS < 0 {
+			p.lowSinceMS = nowMS
+		}
+	} else {
+		p.lowSinceMS = -1
+	}
+	in.LowLoadSinceMS = p.lowSinceMS
+
+	d := scaler.Decide(p.policy, in)
+	if d.Target != p.cur {
+		p.applyLocked(d, in)
+	}
+	p.mu.Unlock()
+	return d
+}
+
+// applyLocked moves the pool to the decision's target. Callers hold p.mu.
+func (p *pool) applyLocked(d scaler.Decision, in scaler.Inputs) {
+	from, to := p.cur, d.Target
+	if to > from {
+		delta := to - from
+		// Cancel pending quit tokens before spawning: a worker that was
+		// told to exit but hasn't yet is cheaper than a fresh goroutine.
+		for delta > 0 && p.pendingQuit > 0 {
+			select {
+			case <-p.quit:
+				p.pendingQuit--
+				delta--
+			default:
+				// Token already claimed by a worker that is mid-exit;
+				// spawn a replacement instead.
+				delta--
+				p.pendingQuit--
+				p.s.wg.Add(1)
+				go p.s.worker()
+			}
+		}
+		for i := 0; i < delta; i++ {
+			p.s.wg.Add(1)
+			go p.s.worker()
+		}
+		p.cUp.Inc()
+	} else {
+		for i := 0; i < from-to; i++ {
+			select {
+			case p.quit <- struct{}{}:
+				p.pendingQuit++
+			default:
+				// Channel full: more tokens outstanding than workers could
+				// ever consume; dropping one keeps cur honest anyway.
+			}
+		}
+		p.cDown.Inc()
+	}
+	p.cur = to
+	p.gWorkers.Set(int64(to))
+	p.lastScaleMS = in.NowMS
+
+	ev := scaler.Event{
+		AtMS:           in.NowMS,
+		From:           from,
+		To:             to,
+		Reason:         d.Reason,
+		QueueDepth:     in.QueueDepth,
+		P95QueueWaitMS: in.RecentP95QueueWaitMS,
+	}
+	p.eventsTotal++
+	p.events = append(p.events, ev)
+	if len(p.events) > maxScaleEvents {
+		p.events = p.events[len(p.events)-maxScaleEvents:]
+	}
+	p.evalSeq++
+	if tracer := p.s.cfg.Tracer; tracer != nil {
+		startUS := in.NowMS * 1000
+		span := tracer.Trace("scaler", "pool").Span(nil, "scale", strconv.Itoa(p.evalSeq), startUS)
+		span.SetAttr("verdict", string(d.Verdict)).
+			SetAttrInt("from", from).
+			SetAttrInt("to", to).
+			SetAttrInt("queue_depth", in.QueueDepth).
+			SetAttrFloat("p95_queue_wait_ms", in.RecentP95QueueWaitMS).
+			SetAttr("reason", d.Reason)
+		span.End(startUS)
+	}
+	p.s.log.Info("scale event", "verdict", string(d.Verdict), "from", from, "to", to,
+		"queue_depth", in.QueueDepth, "p95_queue_wait_ms", in.RecentP95QueueWaitMS, "reason", d.Reason)
+}
+
+// scaleLoop is the wall-clock supervisor: evaluate every ScaleInterval
+// until shutdown. Only started when the bounds leave room to scale.
+func (s *Server) scaleLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ScaleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.scaleStop:
+			return
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.evaluateScale(s.pool.nowMS())
+		}
+	}
+}
+
+// retryAfterSeconds estimates when the full queue will have room again,
+// from the current drain rate: the pool completes busy/meanJobMS jobs per
+// millisecond, so the next slot opens in about meanJobMS/busy. Clamped to
+// [1s, 60s]; with no completed jobs yet there is no rate, so 1s.
+func (s *Server) retryAfterSeconds() int {
+	p := s.pool
+	p.mu.Lock()
+	meanMS := p.jobs.mean()
+	busy := p.busy
+	p.mu.Unlock()
+	if meanMS <= 0 {
+		return 1
+	}
+	if busy < 1 {
+		busy = 1
+	}
+	secs := int(math.Ceil(meanMS / float64(busy) / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webmeasure/internal/service/scaler"
+)
+
+// scaleTestConfig is the pool shape the autoscaling tests share: room to
+// grow 1→4, supervisor disabled so each test drives evaluateScale on its
+// own fabricated clock.
+func scaleTestConfig() Config {
+	return Config{
+		Workers:       1,
+		MinWorkers:    1,
+		MaxWorkers:    4,
+		QueueDepth:    16,
+		ScaleInterval: -1,
+	}
+}
+
+// poolSize reads the pool's logical size under its lock.
+func poolSize(s *Server) int {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	return s.pool.cur
+}
+
+// TestAutoscalePoolGrowsUnderBacklog parks the single worker, stacks a
+// backlog, and checks one evaluation grows the pool — and that the new
+// workers are real: they drain the backlog while the first stays parked.
+func TestAutoscalePoolGrowsUnderBacklog(t *testing.T) {
+	release := make(chan struct{})
+	s := blockingServer(t, scaleTestConfig(), release)
+	defer s.Shutdown(context.Background())
+	defer close(release)
+
+	first, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-first.Started():
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never claimed")
+	}
+	backlog := make([]*Job, 0, 6)
+	for seed := int64(2); seed < 8; seed++ {
+		j, err := s.Submit(tinySpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		backlog = append(backlog, j)
+	}
+
+	d := s.evaluateScale(1000)
+	if d.Verdict != scaler.Up {
+		t.Fatalf("decision = %+v, want up", d)
+	}
+	if got := poolSize(s); got != d.Target || got <= 1 {
+		t.Fatalf("pool size = %d after up decision to %d", got, d.Target)
+	}
+	if g := s.Metrics().Gauge("service.workers_current").Value(); g != int64(d.Target) {
+		t.Fatalf("workers_current gauge = %d, want %d", g, d.Target)
+	}
+
+	// The spawned workers must actually pick up the queued jobs even
+	// though the first worker is still parked on the blocking runner.
+	// (They park too — started is enough.)
+	started := 0
+	for _, j := range backlog {
+		select {
+		case <-j.Started():
+			started++
+		case <-time.After(10 * time.Second):
+		}
+		if started >= d.Target-1 {
+			break
+		}
+	}
+	if started < d.Target-1 {
+		t.Fatalf("only %d backlog jobs started on a pool of %d", started, d.Target)
+	}
+
+	events, total := s.pool.snapshotEvents()
+	if total != 1 || len(events) != 1 || events[0].From != 1 || events[0].To != d.Target {
+		t.Fatalf("scale events = %+v (total %d)", events, total)
+	}
+	if !strings.Contains(events[0].Reason, "queue depth") {
+		t.Fatalf("event reason = %q, want a queue-depth reason", events[0].Reason)
+	}
+	if c := s.Metrics().Counter(`service.scale_events.total|dir=up`).Value(); c != 1 {
+		t.Fatalf("scale_events_total{dir=up} = %d, want 1", c)
+	}
+}
+
+// TestAutoscalePoolShrinksWhenIdle grows the pool by decision, then walks
+// simulated time through flap damping and the down cooldown, checking the
+// shrink happens one worker at a time and stops at min-workers.
+func TestAutoscalePoolShrinksWhenIdle(t *testing.T) {
+	cfg := scaleTestConfig()
+	cfg.Workers = 3
+	cfg.Scaler = scaler.Config{DownStableMS: 100, DownCooldownMS: 200}
+	s := New(cfg)
+	defer s.Shutdown(context.Background())
+
+	// Idle pool: queue empty, nobody busy, p95 zero. First evaluation only
+	// opens the low-load window, so it must hold.
+	if d := s.evaluateScale(0); d.Verdict != scaler.Down && d.Verdict != scaler.Hold {
+		t.Fatalf("decision at t=0: %+v", d)
+	} else if d.Verdict == scaler.Down {
+		t.Fatalf("scale-down before low load was stable: %+v", d)
+	}
+	if d := s.evaluateScale(150); d.Verdict != scaler.Down || d.Target != 2 {
+		t.Fatalf("decision at t=150 = %+v, want down to 2", d)
+	}
+	if got := poolSize(s); got != 2 {
+		t.Fatalf("pool size = %d, want 2", got)
+	}
+	// Within the down cooldown: held even though load is still low.
+	if d := s.evaluateScale(250); d.Verdict != scaler.Hold {
+		t.Fatalf("decision inside cooldown = %+v, want hold", d)
+	}
+	if d := s.evaluateScale(400); d.Verdict != scaler.Down || d.Target != 1 {
+		t.Fatalf("decision at t=400 = %+v, want down to 1", d)
+	}
+	// At min-workers: held forever after.
+	if d := s.evaluateScale(10_000); d.Verdict != scaler.Hold {
+		t.Fatalf("decision at min-workers = %+v, want hold", d)
+	}
+	if got := poolSize(s); got != 1 {
+		t.Fatalf("pool size = %d, want 1", got)
+	}
+	if c := s.Metrics().Counter(`service.scale_events.total|dir=down`).Value(); c != 2 {
+		t.Fatalf("scale_events_total{dir=down} = %d, want 2", c)
+	}
+
+	// The shrink must be real: the quit tokens outstanding plus the live
+	// workers reconcile once jobs flow again — a submission still runs.
+	job, err := s.Submit(tinySpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never finished on the shrunk pool")
+	}
+}
+
+// TestRetryAfterDrainEstimate pins the 429 Retry-After arithmetic: the
+// next slot opens in about meanJobMS/busyWorkers, rounded up to whole
+// seconds and clamped to [1, 60].
+func TestRetryAfterDrainEstimate(t *testing.T) {
+	s := New(Config{Workers: 2, ScaleInterval: -1})
+	defer s.Shutdown(context.Background())
+
+	// No completed jobs yet: no drain rate to derive, so the floor.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("retry-after with no history = %d, want 1", got)
+	}
+
+	s.pool.observeJob(2000)
+	s.pool.observeJob(4000) // mean 3000ms
+	s.pool.mu.Lock()
+	s.pool.busy = 2
+	s.pool.mu.Unlock()
+	if got := s.retryAfterSeconds(); got != 2 { // ceil(3000/2/1000)
+		t.Fatalf("retry-after = %d, want 2", got)
+	}
+
+	// Huge jobs clamp at the 60s ceiling rather than telling clients to
+	// come back in an hour.
+	for i := 0; i < ringSize; i++ {
+		s.pool.observeJob(10 * 60 * 1000)
+	}
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("retry-after = %d, want clamped 60", got)
+	}
+	s.pool.mu.Lock()
+	s.pool.busy = 0
+	s.pool.mu.Unlock()
+}
+
+// TestAutoscaleRaceSubmitCancelDrain hammers an autoscaling pool with
+// concurrent submissions, cancellations, and scale evaluations, then
+// shuts down mid-flight. Run under -race (make race-service) this is the
+// data-race probe for the grow/shrink plumbing.
+func TestAutoscaleRaceSubmitCancelDrain(t *testing.T) {
+	cfg := scaleTestConfig()
+	cfg.MaxWorkers = 6
+	cfg.QueueDepth = 64
+	cfg.Scaler = scaler.Config{DownStableMS: 1, DownCooldownMS: 1, UpCooldownMS: 1}
+	s := New(cfg)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scaling churn: fabricated clocks marching forward concurrently with
+	// the real job traffic, so grows and shrinks interleave with runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for now := int64(0); ; now += 50 {
+			select {
+			case <-stop:
+				return
+			default:
+				s.evaluateScale(now)
+			}
+		}
+	}()
+	const submitters = 6
+	ids := make(chan string, submitters*8)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				job, err := s.Submit(tinySpec(int64(g*8 + i + 1)))
+				if err != nil {
+					continue // queue-full under churn is fine
+				}
+				ids <- job.ID
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < submitters*4; i++ {
+			select {
+			case id := <-ids:
+				s.Cancel(id)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let the churn overlap, then drain while it is still possible a
+	// scale-down token is in flight.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("test goroutines never finished")
+	}
+}
+
+// TestGracefulDrainDuringScaleDown shuts down right after a scale-down
+// put a quit token in flight: the drain must terminate every worker
+// regardless of whether it exits via the token or the closed queue, and
+// the still-running job must finish cleanly.
+func TestGracefulDrainDuringScaleDown(t *testing.T) {
+	cfg := scaleTestConfig()
+	cfg.Workers = 3
+	cfg.Scaler = scaler.Config{DownStableMS: 1, DownCooldownMS: 1}
+	release := make(chan struct{})
+	s := blockingServer(t, cfg, release)
+
+	// Park one worker on a real job so "busy < current" holds and the
+	// idle evaluation scales down.
+	job, err := s.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, job.ID)
+	if d := s.evaluateScale(0); d.Verdict == scaler.Down {
+		t.Fatalf("low-load window must open before a down: %+v", d)
+	}
+	if d := s.evaluateScale(10); d.Verdict != scaler.Down {
+		t.Fatalf("decision = %+v, want down with a token in flight", d)
+	}
+
+	// Shutdown with the quit token still undelivered: one idle worker may
+	// consume it, the others leave via the closed queue; either way the
+	// drain completes once the runner is released.
+	errCh := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		errCh <- s.Shutdown(ctx)
+	}()
+	close(release)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain hung with a scale-down in flight")
+	}
+	if j := pollView(t, s, job.ID); j != StateDone {
+		t.Fatalf("parked job state after drain = %q, want done", j)
+	}
+}
+
+// pollView returns the job's terminal state after its done channel closed.
+func pollView(t *testing.T, s *Server, id string) State {
+	t.Helper()
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s never finished", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.state
+}
+
+// TestScaleDebugEndpoint checks GET /debug/scale reports the pool state
+// and the applied events, and that healthz carries the pool fields.
+func TestScaleDebugEndpoint(t *testing.T) {
+	cfg := scaleTestConfig()
+	cfg.Workers = 2
+	cfg.Scaler = scaler.Config{DownStableMS: 1, DownCooldownMS: 1}
+	s := New(cfg)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.evaluateScale(0)
+	if d := s.evaluateScale(10); d.Verdict != scaler.Down {
+		t.Fatalf("setup decision = %+v, want down", d)
+	}
+
+	code, body := get(t, ts.URL+"/debug/scale")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/scale code = %d", code)
+	}
+	var view struct {
+		WorkersCurrent int            `json:"workers_current"`
+		MinWorkers     int            `json:"min_workers"`
+		MaxWorkers     int            `json:"max_workers"`
+		EventsTotal    int            `json:"events_total"`
+		Events         []scaler.Event `json:"events"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.WorkersCurrent != 1 || view.MinWorkers != 1 || view.MaxWorkers != 4 {
+		t.Fatalf("/debug/scale pool state = %+v", view)
+	}
+	if view.EventsTotal != 1 || len(view.Events) != 1 || view.Events[0].From != 2 || view.Events[0].To != 1 {
+		t.Fatalf("/debug/scale events = %+v", view)
+	}
+
+	st := s.Stats()
+	if st.Workers != 1 || st.ScaleEvents != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if g := s.Metrics().Gauge("service.workers_current").Value(); g != 1 {
+		t.Fatalf("workers_current gauge = %d, want 1", g)
+	}
+}

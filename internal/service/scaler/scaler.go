@@ -1,0 +1,225 @@
+// Package scaler is the decision core of the job service's autoscaling
+// worker pool. It is deliberately a pure function: every input the
+// decision depends on — queue depth, the recent p95 queue wait, the
+// current pool size, when the pool last scaled, how long load has been
+// low — arrives in an explicit Inputs value, and time is whatever
+// millisecond clock the caller runs on (wall time in the live server,
+// simulated time in the loadgen harness). Same inputs, same verdict,
+// which is what makes every transition table-testable and the loadgen
+// golden suite able to pin an exact scale-event sequence.
+//
+// The policy is conventional queue-theoretic autoscaling:
+//
+//   - scale UP when the backlog exceeds UpQueuePerWorker jobs per worker,
+//     or when the recent p95 queue wait breaches the SLO target;
+//   - scale DOWN one worker at a time, only when the queue is empty, part
+//     of the pool is idle, the p95 is comfortably under target, and that
+//     low-load state has persisted for DownStableMS (flap damping);
+//   - both directions respect a cooldown since the last applied scaling
+//     in either direction, up's shorter than down's, so bursts grow the
+//     pool quickly but shrinking is deliberate.
+package scaler
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config tunes the decision policy. The zero value is completed by
+// withDefaults; MinWorkers/MaxWorkers must be set by the caller (the
+// service's -min-workers/-max-workers flags).
+type Config struct {
+	// MinWorkers and MaxWorkers bound the pool. Decide clamps a pool that
+	// is outside the bounds back inside them before anything else.
+	MinWorkers int `json:"min_workers"`
+	MaxWorkers int `json:"max_workers"`
+	// UpQueuePerWorker is the backlog tolerated per worker before a
+	// scale-up (default 2.0): depth > ceil(UpQueuePerWorker·current).
+	UpQueuePerWorker float64 `json:"up_queue_per_worker,omitempty"`
+	// TargetP95QueueWaitMS is the latency trigger: a recent p95 queue
+	// wait above it scales up even with a short queue (default 500).
+	TargetP95QueueWaitMS float64 `json:"target_p95_queue_wait_ms,omitempty"`
+	// DownP95Frac gates scale-down on latency being comfortably under
+	// target: p95 ≤ DownP95Frac·TargetP95QueueWaitMS (default 0.25).
+	DownP95Frac float64 `json:"down_p95_frac,omitempty"`
+	// UpCooldownMS suppresses a scale-up within this window of the last
+	// applied scaling in either direction (default 2000).
+	UpCooldownMS int64 `json:"up_cooldown_ms,omitempty"`
+	// DownCooldownMS does the same for scale-down; longer than up so the
+	// pool prefers staying big over oscillating (default 10000).
+	DownCooldownMS int64 `json:"down_cooldown_ms,omitempty"`
+	// DownStableMS is the flap damper: low load must have persisted this
+	// long before the first worker is removed (default 5000).
+	DownStableMS int64 `json:"down_stable_ms,omitempty"`
+}
+
+// WithDefaults fills the zero policy fields (bounds excluded) with the
+// documented defaults and normalizes inverted bounds.
+func (c Config) WithDefaults() Config {
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
+	}
+	if c.UpQueuePerWorker <= 0 {
+		c.UpQueuePerWorker = 2.0
+	}
+	if c.TargetP95QueueWaitMS <= 0 {
+		c.TargetP95QueueWaitMS = 500
+	}
+	if c.DownP95Frac <= 0 {
+		c.DownP95Frac = 0.25
+	}
+	if c.UpCooldownMS <= 0 {
+		c.UpCooldownMS = 2000
+	}
+	if c.DownCooldownMS <= 0 {
+		c.DownCooldownMS = 10000
+	}
+	if c.DownStableMS <= 0 {
+		c.DownStableMS = 5000
+	}
+	return c
+}
+
+// Inputs is one observation of the pool, on whatever millisecond clock
+// the caller runs (wall or simulated). The three timestamps use -1 for
+// "never"/"not currently".
+type Inputs struct {
+	// NowMS is the observation time.
+	NowMS int64
+	// QueueDepth is the number of jobs waiting to run (excludes running).
+	QueueDepth int
+	// BusyWorkers is how many workers are mid-job right now.
+	BusyWorkers int
+	// CurrentWorkers is the pool size the last decision left behind.
+	CurrentWorkers int
+	// RecentP95QueueWaitMS is the p95 queue wait over the recent sample
+	// window (0 when nothing completed recently).
+	RecentP95QueueWaitMS float64
+	// LastScaleMS is when the pool last applied a scaling in either
+	// direction (-1 = never).
+	LastScaleMS int64
+	// LowLoadSinceMS is when the pool's low-load condition (empty queue,
+	// idle capacity, p95 under the down threshold) last became true and
+	// has held since (-1 = load is not currently low).
+	LowLoadSinceMS int64
+}
+
+// Verdict is the direction of a decision.
+type Verdict string
+
+const (
+	Up   Verdict = "up"
+	Down Verdict = "down"
+	Hold Verdict = "hold"
+)
+
+// Decision is the outcome of one evaluation: the direction, the worker
+// count the pool should move to (== CurrentWorkers on Hold), and a
+// human-readable reason that lands in logs, spans, and SLO reports.
+type Decision struct {
+	Verdict Verdict
+	Target  int
+	Reason  string
+}
+
+// Event is one applied scaling, as recorded by the service pool and the
+// loadgen simulator — the unit of the "identical scale-event sequence"
+// golden guarantee.
+type Event struct {
+	AtMS           int64   `json:"at_ms"`
+	From           int     `json:"from"`
+	To             int     `json:"to"`
+	Reason         string  `json:"reason"`
+	QueueDepth     int     `json:"queue_depth"`
+	P95QueueWaitMS float64 `json:"p95_queue_wait_ms"`
+}
+
+// String renders the event the way the SLO report prints it.
+func (e Event) String() string {
+	return fmt.Sprintf("t=+%dms %d->%d (queue=%d p95=%.0fms): %s",
+		e.AtMS, e.From, e.To, e.QueueDepth, e.P95QueueWaitMS, e.Reason)
+}
+
+// upThreshold is the queue depth a pool of cur workers tolerates before
+// scaling up.
+func upThreshold(c Config, cur int) int {
+	return int(math.Ceil(c.UpQueuePerWorker * float64(cur)))
+}
+
+// LowLoad reports whether the inputs satisfy the scale-down precondition
+// (before damping and cooldowns). Callers use it to maintain
+// Inputs.LowLoadSinceMS between evaluations.
+func LowLoad(c Config, in Inputs) bool {
+	c = c.WithDefaults()
+	return in.QueueDepth == 0 &&
+		in.BusyWorkers < in.CurrentWorkers &&
+		in.RecentP95QueueWaitMS <= c.DownP95Frac*c.TargetP95QueueWaitMS
+}
+
+// Decide evaluates the policy. It is a pure function of (c, in): no
+// clocks, no randomness, no hidden state.
+func Decide(c Config, in Inputs) Decision {
+	c = c.WithDefaults()
+	cur := in.CurrentWorkers
+
+	// Bound clamping outranks every other rule, cooldowns included: a
+	// pool outside its configured bounds is misconfigured, not scaling.
+	if cur < c.MinWorkers {
+		return Decision{Up, c.MinWorkers, fmt.Sprintf("clamp: %d workers below min-workers %d", cur, c.MinWorkers)}
+	}
+	if cur > c.MaxWorkers {
+		return Decision{Down, c.MaxWorkers, fmt.Sprintf("clamp: %d workers above max-workers %d", cur, c.MaxWorkers)}
+	}
+
+	inCooldown := func(window int64) bool {
+		return in.LastScaleMS >= 0 && in.NowMS-in.LastScaleMS < window
+	}
+
+	depthHigh := in.QueueDepth > upThreshold(c, cur)
+	waitHigh := in.RecentP95QueueWaitMS > c.TargetP95QueueWaitMS
+	if depthHigh || waitHigh {
+		if cur >= c.MaxWorkers {
+			return Decision{Hold, cur, fmt.Sprintf("overloaded but at max-workers %d", c.MaxWorkers)}
+		}
+		if inCooldown(c.UpCooldownMS) {
+			return Decision{Hold, cur, fmt.Sprintf("up suppressed: cooldown (%dms since last scale < %dms)",
+				in.NowMS-in.LastScaleMS, c.UpCooldownMS)}
+		}
+		// Target enough workers to put the backlog back under the per-
+		// worker tolerance, at least one more than now; monotone (and
+		// non-decreasing) in QueueDepth by construction.
+		target := cur + 1
+		if byDepth := int(math.Ceil(float64(in.QueueDepth) / c.UpQueuePerWorker)); byDepth > target {
+			target = byDepth
+		}
+		if target > c.MaxWorkers {
+			target = c.MaxWorkers
+		}
+		reason := fmt.Sprintf("queue depth %d > %d", in.QueueDepth, upThreshold(c, cur))
+		if !depthHigh {
+			reason = fmt.Sprintf("p95 queue wait %.0fms > target %.0fms", in.RecentP95QueueWaitMS, c.TargetP95QueueWaitMS)
+		}
+		return Decision{Up, target, reason}
+	}
+
+	if !LowLoad(c, in) {
+		return Decision{Hold, cur, "steady"}
+	}
+	if cur <= c.MinWorkers {
+		return Decision{Hold, cur, fmt.Sprintf("idle but at min-workers %d", c.MinWorkers)}
+	}
+	if in.LowLoadSinceMS < 0 || in.NowMS-in.LowLoadSinceMS < c.DownStableMS {
+		return Decision{Hold, cur, fmt.Sprintf("down suppressed: low load not yet stable for %dms", c.DownStableMS)}
+	}
+	if inCooldown(c.DownCooldownMS) {
+		return Decision{Hold, cur, fmt.Sprintf("down suppressed: cooldown (%dms since last scale < %dms)",
+			in.NowMS-in.LastScaleMS, c.DownCooldownMS)}
+	}
+	// One worker at a time: shrinking is cheap to redo and expensive to
+	// regret, so the pool never cliff-drops.
+	return Decision{Down, cur - 1, fmt.Sprintf("idle: queue empty, %d/%d workers busy, p95 %.0fms <= %.0fms",
+		in.BusyWorkers, cur, in.RecentP95QueueWaitMS, c.DownP95Frac*c.TargetP95QueueWaitMS)}
+}

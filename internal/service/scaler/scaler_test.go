@@ -1,0 +1,295 @@
+package scaler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// cfg is the policy every table case runs under: bounds 1..8, one extra
+// queued job per worker tolerated, 500ms p95 target, 2s/10s cooldowns,
+// 5s flap damper. Explicit (not defaulted) so the cases read literally.
+var cfg = Config{
+	MinWorkers:           1,
+	MaxWorkers:           8,
+	UpQueuePerWorker:     2.0,
+	TargetP95QueueWaitMS: 500,
+	DownP95Frac:          0.25,
+	UpCooldownMS:         2000,
+	DownCooldownMS:       10000,
+	DownStableMS:         5000,
+}
+
+// TestDecideTable asserts every transition of the decision function from
+// explicit input tuples: scale-up on depth, scale-up on p95, scale-down
+// on idle, cooldown suppression in both directions, min/max clamping,
+// and flap damping.
+func TestDecideTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		in         Inputs
+		verdict    Verdict
+		target     int
+		reasonPart string
+	}{
+		// --- scale-up on queue depth ---
+		{
+			name:       "up on depth: backlog over per-worker tolerance",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 5, BusyWorkers: 2, CurrentWorkers: 2, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Up,
+			target:     3, // ceil(5/2.0)=3
+			reasonPart: "queue depth 5 > 4",
+		},
+		{
+			name:       "up on depth: deep backlog jumps several workers at once",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 12, BusyWorkers: 2, CurrentWorkers: 2, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Up,
+			target:     6, // ceil(12/2.0)
+			reasonPart: "queue depth",
+		},
+		{
+			name:       "depth at exactly the threshold holds",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 4, BusyWorkers: 2, CurrentWorkers: 2, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Hold,
+			target:     2,
+			reasonPart: "steady",
+		},
+		// --- scale-up on p95 queue wait ---
+		{
+			name:       "up on p95: latency breach with a short queue",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 1, BusyWorkers: 3, CurrentWorkers: 3, RecentP95QueueWaitMS: 900, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Up,
+			target:     4,
+			reasonPart: "p95 queue wait 900ms > target 500ms",
+		},
+		{
+			name:       "p95 at target holds",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 1, BusyWorkers: 3, CurrentWorkers: 3, RecentP95QueueWaitMS: 500, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Hold,
+			target:     3,
+			reasonPart: "steady",
+		},
+		// --- scale-down on idle ---
+		{
+			name:       "down on idle: stable low load, cooldown clear",
+			in:         Inputs{NowMS: 60_000, QueueDepth: 0, BusyWorkers: 1, CurrentWorkers: 4, RecentP95QueueWaitMS: 50, LastScaleMS: 20_000, LowLoadSinceMS: 50_000},
+			verdict:    Down,
+			target:     3, // one at a time
+			reasonPart: "idle: queue empty, 1/4 workers busy",
+		},
+		{
+			name:       "no down while every worker is busy",
+			in:         Inputs{NowMS: 60_000, QueueDepth: 0, BusyWorkers: 4, CurrentWorkers: 4, RecentP95QueueWaitMS: 50, LastScaleMS: 20_000, LowLoadSinceMS: 50_000},
+			verdict:    Hold,
+			target:     4,
+			reasonPart: "steady",
+		},
+		{
+			name:       "no down while p95 above the down fraction",
+			in:         Inputs{NowMS: 60_000, QueueDepth: 0, BusyWorkers: 1, CurrentWorkers: 4, RecentP95QueueWaitMS: 200, LastScaleMS: 20_000, LowLoadSinceMS: 50_000},
+			verdict:    Hold,
+			target:     4,
+			reasonPart: "steady", // 200 > 0.25*500=125 → not low load
+		},
+		// --- cooldown suppression ---
+		{
+			name:       "up suppressed inside the up cooldown",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 9, BusyWorkers: 2, CurrentWorkers: 2, LastScaleMS: 9_000, LowLoadSinceMS: -1},
+			verdict:    Hold,
+			target:     2,
+			reasonPart: "up suppressed: cooldown (1000ms since last scale < 2000ms)",
+		},
+		{
+			name:       "up allowed once the cooldown expires",
+			in:         Inputs{NowMS: 11_001, QueueDepth: 9, BusyWorkers: 2, CurrentWorkers: 2, LastScaleMS: 9_000, LowLoadSinceMS: -1},
+			verdict:    Up,
+			target:     5,
+			reasonPart: "queue depth",
+		},
+		{
+			name:       "down suppressed inside the down cooldown",
+			in:         Inputs{NowMS: 25_000, QueueDepth: 0, BusyWorkers: 0, CurrentWorkers: 4, RecentP95QueueWaitMS: 0, LastScaleMS: 20_000, LowLoadSinceMS: 15_000},
+			verdict:    Hold,
+			target:     4,
+			reasonPart: "down suppressed: cooldown (5000ms since last scale < 10000ms)",
+		},
+		// --- flap damping ---
+		{
+			name:       "down suppressed until low load is stable",
+			in:         Inputs{NowMS: 60_000, QueueDepth: 0, BusyWorkers: 1, CurrentWorkers: 4, RecentP95QueueWaitMS: 50, LastScaleMS: 20_000, LowLoadSinceMS: 57_000},
+			verdict:    Hold,
+			target:     4,
+			reasonPart: "low load not yet stable for 5000ms",
+		},
+		{
+			name:       "down suppressed when low load just flipped (never observed)",
+			in:         Inputs{NowMS: 60_000, QueueDepth: 0, BusyWorkers: 1, CurrentWorkers: 4, RecentP95QueueWaitMS: 50, LastScaleMS: 20_000, LowLoadSinceMS: -1},
+			verdict:    Hold,
+			target:     4,
+			reasonPart: "low load not yet stable",
+		},
+		// --- min/max clamping ---
+		{
+			name:       "up capped at max-workers",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 100, BusyWorkers: 7, CurrentWorkers: 7, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Up,
+			target:     8, // ceil(100/2)=50, clamped
+			reasonPart: "queue depth",
+		},
+		{
+			name:       "overloaded at max holds",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 100, BusyWorkers: 8, CurrentWorkers: 8, LastScaleMS: -1, LowLoadSinceMS: -1},
+			verdict:    Hold,
+			target:     8,
+			reasonPart: "at max-workers 8",
+		},
+		{
+			name:       "idle at min holds",
+			in:         Inputs{NowMS: 60_000, QueueDepth: 0, BusyWorkers: 0, CurrentWorkers: 1, RecentP95QueueWaitMS: 0, LastScaleMS: -1, LowLoadSinceMS: 40_000},
+			verdict:    Hold,
+			target:     1,
+			reasonPart: "at min-workers 1",
+		},
+		{
+			name:       "below min clamps up, ignoring cooldown",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 0, BusyWorkers: 0, CurrentWorkers: 0, LastScaleMS: 9_999, LowLoadSinceMS: -1},
+			verdict:    Up,
+			target:     1,
+			reasonPart: "clamp: 0 workers below min-workers 1",
+		},
+		{
+			name:       "above max clamps down, ignoring cooldown and damping",
+			in:         Inputs{NowMS: 10_000, QueueDepth: 3, BusyWorkers: 9, CurrentWorkers: 9, LastScaleMS: 9_999, LowLoadSinceMS: -1},
+			verdict:    Down,
+			target:     8,
+			reasonPart: "clamp: 9 workers above max-workers 8",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Decide(cfg, tc.in)
+			if d.Verdict != tc.verdict || d.Target != tc.target {
+				t.Fatalf("Decide(%+v) = %q target %d (%s), want %q target %d",
+					tc.in, d.Verdict, d.Target, d.Reason, tc.verdict, tc.target)
+			}
+			if !strings.Contains(d.Reason, tc.reasonPart) {
+				t.Fatalf("reason %q does not contain %q", d.Reason, tc.reasonPart)
+			}
+		})
+	}
+}
+
+// rank orders verdicts for the monotonicity property: more load must
+// never move the decision toward shrinking.
+func rank(v Verdict) int {
+	switch v {
+	case Down:
+		return -1
+	case Up:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestDecideMonotoneInQueueDepth is the property test: holding every
+// other input fixed, increasing the queue depth never lowers the verdict
+// rank (down < hold < up) and never lowers the target worker count.
+func TestDecideMonotoneInQueueDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20_000; i++ {
+		in := Inputs{
+			NowMS:                rng.Int63n(120_000),
+			QueueDepth:           rng.Intn(40),
+			BusyWorkers:          rng.Intn(10),
+			CurrentWorkers:       rng.Intn(10),
+			RecentP95QueueWaitMS: float64(rng.Intn(1200)),
+			LastScaleMS:          rng.Int63n(120_000) - 1, // includes -1
+			LowLoadSinceMS:       rng.Int63n(120_000) - 1,
+		}
+		bumped := in
+		bumped.QueueDepth += 1 + rng.Intn(20)
+
+		a, b := Decide(cfg, in), Decide(cfg, bumped)
+		if rank(b.Verdict) < rank(a.Verdict) {
+			t.Fatalf("verdict not monotone: depth %d → %q but depth %d → %q (in=%+v)",
+				in.QueueDepth, a.Verdict, bumped.QueueDepth, b.Verdict, in)
+		}
+		if b.Target < a.Target {
+			t.Fatalf("target not monotone: depth %d → %d but depth %d → %d (in=%+v)",
+				in.QueueDepth, a.Target, bumped.QueueDepth, b.Target, in)
+		}
+	}
+}
+
+// TestDecideDeterministic: the same inputs must yield byte-identical
+// decisions — the property the golden loadgen suite builds on.
+func TestDecideDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		in := Inputs{
+			NowMS:                rng.Int63n(120_000),
+			QueueDepth:           rng.Intn(40),
+			BusyWorkers:          rng.Intn(10),
+			CurrentWorkers:       1 + rng.Intn(8),
+			RecentP95QueueWaitMS: float64(rng.Intn(1200)),
+			LastScaleMS:          rng.Int63n(120_000) - 1,
+			LowLoadSinceMS:       rng.Int63n(120_000) - 1,
+		}
+		a, b := Decide(cfg, in), Decide(cfg, in)
+		if a != b {
+			t.Fatalf("Decide not deterministic: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// TestDecideTargetStaysInBounds: whatever the inputs, the target the
+// decision asks for is inside [MinWorkers, MaxWorkers].
+func TestDecideTargetStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20_000; i++ {
+		in := Inputs{
+			NowMS:                rng.Int63n(120_000),
+			QueueDepth:           rng.Intn(200),
+			BusyWorkers:          rng.Intn(16),
+			CurrentWorkers:       rng.Intn(16),
+			RecentP95QueueWaitMS: float64(rng.Intn(5000)),
+			LastScaleMS:          rng.Int63n(120_000) - 1,
+			LowLoadSinceMS:       rng.Int63n(120_000) - 1,
+		}
+		d := Decide(cfg, in)
+		if d.Target < cfg.MinWorkers || d.Target > cfg.MaxWorkers {
+			// A Hold outside the bounds can only echo an out-of-bounds
+			// CurrentWorkers, which the clamp branches prevent.
+			t.Fatalf("target %d outside [%d,%d] for %+v (%s)",
+				d.Target, cfg.MinWorkers, cfg.MaxWorkers, in, d.Reason)
+		}
+	}
+}
+
+// TestWithDefaults pins the documented defaults and bound normalization.
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.MinWorkers != 1 || c.MaxWorkers != 1 {
+		t.Fatalf("zero bounds defaulted to %d..%d, want 1..1", c.MinWorkers, c.MaxWorkers)
+	}
+	if c.UpQueuePerWorker != 2.0 || c.TargetP95QueueWaitMS != 500 || c.DownP95Frac != 0.25 {
+		t.Fatalf("policy defaults wrong: %+v", c)
+	}
+	if c.UpCooldownMS != 2000 || c.DownCooldownMS != 10000 || c.DownStableMS != 5000 {
+		t.Fatalf("cooldown defaults wrong: %+v", c)
+	}
+	inv := Config{MinWorkers: 5, MaxWorkers: 2}.WithDefaults()
+	if inv.MaxWorkers != 5 {
+		t.Fatalf("inverted bounds normalized to max=%d, want 5", inv.MaxWorkers)
+	}
+}
+
+// TestEventString pins the rendering the SLO report embeds.
+func TestEventString(t *testing.T) {
+	e := Event{AtMS: 1500, From: 2, To: 3, Reason: "queue depth 5 > 4", QueueDepth: 5, P95QueueWaitMS: 321.4}
+	want := "t=+1500ms 2->3 (queue=5 p95=321ms): queue depth 5 > 4"
+	if got := e.String(); got != want {
+		t.Fatalf("Event.String() = %q, want %q", got, want)
+	}
+}

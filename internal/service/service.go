@@ -27,6 +27,7 @@ import (
 	"webmeasure"
 	"webmeasure/internal/core"
 	"webmeasure/internal/metrics"
+	"webmeasure/internal/service/scaler"
 	"webmeasure/internal/trace"
 )
 
@@ -72,6 +73,20 @@ type Config struct {
 	// ShardPoll is the coordinator's polling interval while a remote shard
 	// job runs (default 150ms).
 	ShardPoll time.Duration
+	// MinWorkers and MaxWorkers bound the autoscaling worker pool. Both
+	// default to Workers — a fixed pool, autoscaling off. With MaxWorkers >
+	// MinWorkers a supervisor re-evaluates the pool every ScaleInterval.
+	MinWorkers int
+	MaxWorkers int
+	// ScaleInterval is the wall-clock supervisor's evaluation period
+	// (default 250ms). Negative disables the supervisor so tests and the
+	// loadgen harness can drive evaluateScale on their own clock.
+	ScaleInterval time.Duration
+	// Scaler tunes the scaling policy. Zero fields take the scaler
+	// defaults; its bounds are overwritten from MinWorkers/MaxWorkers.
+	Scaler scaler.Config
+	// Tracer, if non-nil, records one span per applied scale event.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +120,28 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = trace.DiscardLogger()
 	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = c.Workers
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = c.Workers
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
+	}
+	// The initial pool must sit inside the bounds.
+	if c.Workers < c.MinWorkers {
+		c.Workers = c.MinWorkers
+	}
+	if c.Workers > c.MaxWorkers {
+		c.Workers = c.MaxWorkers
+	}
+	if c.ScaleInterval == 0 {
+		c.ScaleInterval = 250 * time.Millisecond
+	}
+	c.Scaler.MinWorkers = c.MinWorkers
+	c.Scaler.MaxWorkers = c.MaxWorkers
+	c.Scaler = c.Scaler.WithDefaults()
 	return c
 }
 
@@ -143,6 +180,11 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
+
+	// pool is the autoscaling worker pool state; scaleStop ends its
+	// wall-clock supervisor at shutdown.
+	pool      *pool
+	scaleStop chan struct{}
 
 	// shard is the coordinator's HTTP client for remote shard workers
 	// (nil when Config.ShardWorkers is empty).
@@ -185,9 +227,15 @@ func New(cfg Config) *Server {
 	if len(cfg.ShardWorkers) > 0 {
 		s.shard = newShardClient(cfg.ShardWorkers, cfg.ShardAttempts, cfg.ShardPoll, cfg.Logger, s.mShardRetries)
 	}
+	s.pool = newPool(s, cfg)
+	s.scaleStop = make(chan struct{})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.MaxWorkers > cfg.MinWorkers && cfg.ScaleInterval > 0 {
+		s.wg.Add(1)
+		go s.scaleLoop()
 	}
 	return s
 }
@@ -295,21 +343,38 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 	return j, true
 }
 
-// Stats is a point-in-time view of the server for /healthz.
+// Stats is a point-in-time view of the server for /healthz. Workers is
+// the autoscaling pool's current size, inside [MinWorkers, MaxWorkers].
 type Stats struct {
-	Queued    int `json:"queued"`
-	Running   int `json:"running"`
-	Finished  int `json:"finished"`
-	CacheSize int `json:"cache_size"`
-	Workers   int `json:"workers"`
-	QueueCap  int `json:"queue_capacity"`
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	Finished    int `json:"finished"`
+	CacheSize   int `json:"cache_size"`
+	Workers     int `json:"workers"`
+	QueueCap    int `json:"queue_capacity"`
+	MinWorkers  int `json:"min_workers"`
+	MaxWorkers  int `json:"max_workers"`
+	BusyWorkers int `json:"busy_workers"`
+	ScaleEvents int `json:"scale_events"`
 }
 
 // Stats summarizes the server state.
 func (s *Server) Stats() Stats {
+	p := s.pool
+	p.mu.Lock()
+	cur, busy, scaled := p.cur, p.busy, p.eventsTotal
+	p.mu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{CacheSize: s.cache.len(), Workers: s.cfg.Workers, QueueCap: s.cfg.QueueDepth}
+	st := Stats{
+		CacheSize:   s.cache.len(),
+		Workers:     cur,
+		QueueCap:    s.cfg.QueueDepth,
+		MinWorkers:  s.cfg.MinWorkers,
+		MaxWorkers:  s.cfg.MaxWorkers,
+		BusyWorkers: busy,
+		ScaleEvents: scaled,
+	}
 	for _, j := range s.jobs {
 		switch j.state {
 		case StateQueued:
@@ -323,11 +388,30 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker drains the queue until Shutdown closes it or a scale-down hands
+// it a quit token. Tokens are only consumed between jobs, so a shrink
+// never interrupts a running measurement.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		s.runJob(job)
+	for {
+		select {
+		case <-s.pool.quit:
+			s.pool.quitConsumed()
+			return
+		default:
+		}
+		select {
+		case <-s.pool.quit:
+			s.pool.quitConsumed()
+			return
+		case job, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.pool.jobStarted()
+			s.runJob(job)
+			s.pool.jobFinished()
+		}
 	}
 }
 
@@ -359,53 +443,58 @@ func (s *Server) runJob(job *Job) {
 	job.started = time.Now()
 	job.cancel = cancel
 	job.markStarted()
-	s.mQueueMS.Observe(float64(job.started.Sub(job.submitted)) / float64(time.Millisecond))
+	waitMS := float64(job.started.Sub(job.submitted)) / float64(time.Millisecond)
+	s.mQueueMS.Observe(waitMS)
 	s.mu.Unlock()
+	s.pool.observeWait(waitMS)
 	defer cancel()
 
-	s.log.Info("job started", "job", job.ID, "queue_wait_ms",
-		float64(job.started.Sub(job.submitted))/float64(time.Millisecond))
+	s.log.Info("job started", "job", job.ID, "queue_wait_ms", waitMS)
 	res, err := s.execute(ctx, job.Spec)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	job.finished = time.Now()
-	job.cancel = nil
-	durMS := float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
-	s.mJobMS.Observe(durMS)
-	switch {
-	case err == nil:
-		job.state = StateDone
-		job.res = res
-		s.cache.put(job.key, res)
-		s.mCompleted.Inc()
-		if res.traceChrome != nil {
-			s.traces = append([]traceEntry{{
-				JobID:       job.ID,
-				TraceCount:  res.traceCount,
-				SpanCount:   res.spanCount,
-				SampleEvery: job.Spec.TraceSample,
-				FinishedAt:  job.finished,
-				URL:         "/v1/jobs/" + job.ID + "/trace.json",
-			}}, s.traces...)
-			if len(s.traces) > traceRingSize {
-				s.traces = s.traces[:traceRingSize]
+	var durMS float64
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		job.finished = time.Now()
+		job.cancel = nil
+		durMS = float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
+		s.mJobMS.Observe(durMS)
+		switch {
+		case err == nil:
+			job.state = StateDone
+			job.res = res
+			s.cache.put(job.key, res)
+			s.mCompleted.Inc()
+			if res.traceChrome != nil {
+				s.traces = append([]traceEntry{{
+					JobID:       job.ID,
+					TraceCount:  res.traceCount,
+					SpanCount:   res.spanCount,
+					SampleEvery: job.Spec.TraceSample,
+					FinishedAt:  job.finished,
+					URL:         "/v1/jobs/" + job.ID + "/trace.json",
+				}}, s.traces...)
+				if len(s.traces) > traceRingSize {
+					s.traces = s.traces[:traceRingSize]
+				}
 			}
+			s.log.Info("job done", "job", job.ID, "duration_ms", durMS,
+				"visits", res.summary.Visits, "trace_spans", res.spanCount)
+		case ctx.Err() != nil:
+			job.state = StateCanceled
+			job.err = ctx.Err().Error()
+			s.mCanceled.Inc()
+			s.log.Warn("job canceled", "job", job.ID, "duration_ms", durMS)
+		default:
+			job.state = StateFailed
+			job.err = err.Error()
+			s.mFailed.Inc()
+			s.log.Error("job failed", "job", job.ID, "duration_ms", durMS, "error", err.Error())
 		}
-		s.log.Info("job done", "job", job.ID, "duration_ms", durMS,
-			"visits", res.summary.Visits, "trace_spans", res.spanCount)
-	case ctx.Err() != nil:
-		job.state = StateCanceled
-		job.err = ctx.Err().Error()
-		s.mCanceled.Inc()
-		s.log.Warn("job canceled", "job", job.ID, "duration_ms", durMS)
-	default:
-		job.state = StateFailed
-		job.err = err.Error()
-		s.mFailed.Inc()
-		s.log.Error("job failed", "job", job.ID, "duration_ms", durMS, "error", err.Error())
-	}
-	close(job.done)
+		close(job.done)
+	}()
+	s.pool.observeJob(durMS)
 }
 
 // execute runs the measurement and renders every artifact to bytes. When
@@ -653,6 +742,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	if !already {
 		s.log.Info("server draining")
+		// Freeze the pool before the queue closes: once it is, a scale
+		// evaluation can neither spawn workers (racing wg.Wait below) nor
+		// hand out quit tokens the drain no longer needs.
+		s.pool.mu.Lock()
+		s.pool.closed = true
+		s.pool.mu.Unlock()
+		close(s.scaleStop)
 		close(s.queue)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -246,8 +247,16 @@ func TestQueueBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit code = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	retryAfter := resp.Header.Get("Retry-After")
+	if retryAfter == "" {
 		t.Fatal("429 response missing Retry-After")
+	}
+	secs, err := strconv.Atoi(retryAfter)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", retryAfter, err)
+	}
+	if secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %d, want within [1, 60]", secs)
 	}
 	if rejected := s.Metrics().Counter("service.jobs.rejected").Value(); rejected != 1 {
 		t.Fatalf("rejected counter = %d, want 1", rejected)

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 
 	"webmeasure/internal/metrics"
@@ -292,6 +293,13 @@ func (s *Span) SetAttr(key, value string) *Span {
 // SetAttrInt annotates the span with an integer value.
 func (s *Span) SetAttrInt(key string, value int) *Span {
 	return s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// SetAttrFloat annotates the span with a float value rendered shortest-
+// exact, so attribute bytes stay deterministic across platforms (the
+// scaler's p95 inputs ride on spans this way).
+func (s *Span) SetAttrFloat(key string, value float64) *Span {
+	return s.SetAttr(key, strconv.FormatFloat(value, 'g', -1, 64))
 }
 
 // AddEvent records a point-in-time annotation at a simulated timestamp.

@@ -1,0 +1,93 @@
+#!/bin/sh
+# bench_service.sh — record the job service's load/autoscaling behavior
+# as machine-readable JSON, via the deterministic loadgen simulator.
+#
+# Each scenario is one seeded sim run of cmd/loadgen -json; because sim
+# mode is a pure function of (config, seed), BENCH_service.json is
+# byte-reproducible across machines — these are capacity numbers, not
+# wall-clock benchmarks. The JSON shape is guarded by
+# TestBenchServiceJSONWellFormed, and EXPERIMENTS.md quotes the table.
+#
+# Usage: sh scripts/bench_service.sh [out.json]
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_service.json}"
+
+"$GO" build -o ./bench-service-bin ./cmd/loadgen
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR" ./bench-service-bin' EXIT
+
+# steady-poisson: a memoryless 20/s stream a small pool absorbs.
+cat >"$WORKDIR/steady-poisson.json" <<'EOF'
+{
+  "seed": 11, "arrival": "poisson", "rate_per_sec": 20, "duration_ms": 30000,
+  "mix": {"cached_share": 0.3},
+  "service": {"min_workers": 1, "max_workers": 4, "queue_depth": 16,
+              "job_base_us": 20000, "job_per_visit_us": 4000},
+  "slo": {"queue_wait_p95_ms": 1000, "e2e_p99_ms": 3000, "max_rejected_share": 0.05,
+          "min_cache_hit_ratio": 0.1}
+}
+EOF
+
+# burst-autoscale: the golden 3s-on/9s-off burst that forces the pool
+# both up and down (same scenario the determinism tests pin).
+cat >"$WORKDIR/burst-autoscale.json" <<'EOF'
+{
+  "seed": 42, "arrival": "burst", "rate_per_sec": 60,
+  "burst_on_ms": 3000, "burst_off_ms": 9000, "duration_ms": 40000,
+  "mix": {"cached_share": 0.3, "fault_light_share": 0.2, "fault_heavy_share": 0.1, "sharded_share": 0.1},
+  "service": {"min_workers": 1, "max_workers": 6, "queue_depth": 32,
+              "job_base_us": 20000, "job_per_visit_us": 4000,
+              "scaler": {"up_cooldown_ms": 500, "down_cooldown_ms": 2000, "down_stable_ms": 1000}},
+  "slo": {"queue_wait_p95_ms": 2000, "e2e_p99_ms": 5000, "max_rejected_share": 0.2,
+          "min_cache_hit_ratio": 0.05}
+}
+EOF
+
+# closed-loop: 8 clients with think time; the loop self-limits, so the
+# queue never rejects and latency stays flat.
+cat >"$WORKDIR/closed-loop.json" <<'EOF'
+{
+  "seed": 7, "loop": "closed", "clients": 8, "think_ms": 100, "duration_ms": 30000,
+  "mix": {"cached_share": 0.5},
+  "service": {"min_workers": 1, "max_workers": 4, "queue_depth": 16,
+              "job_base_us": 30000, "job_per_visit_us": 2000},
+  "slo": {"queue_wait_p95_ms": 500, "max_rejected_share": 0.0001, "min_cache_hit_ratio": 0.2}
+}
+EOF
+
+# overload-reject: a fixed 50/s stream into a pool capped at 2 workers
+# with a shallow queue — the backpressure path, 429s by design.
+cat >"$WORKDIR/overload-reject.json" <<'EOF'
+{
+  "seed": 3, "arrival": "fixed", "rate_per_sec": 50, "duration_ms": 20000,
+  "service": {"min_workers": 1, "max_workers": 2, "queue_depth": 8,
+              "job_base_us": 100000, "job_per_visit_us": 2000},
+  "slo": {"queue_wait_p95_ms": 5000}
+}
+EOF
+
+SCENARIOS="steady-poisson burst-autoscale closed-loop overload-reject"
+for NAME in $SCENARIOS; do
+    # Exit 3 is "ran fine, an SLO target failed" — still a valid report
+    # (overload-reject is expected to miss targets; that is the point).
+    ./bench-service-bin -config "$WORKDIR/$NAME.json" -json >"$WORKDIR/$NAME.out" || {
+        code=$?
+        [ "$code" -eq 3 ] || { echo "bench-service: $NAME exited $code"; exit 1; }
+    }
+done
+
+{
+    printf '{\n  "scenarios": [\n'
+    FIRST=1
+    for NAME in $SCENARIOS; do
+        [ "$FIRST" -eq 1 ] || printf ',\n'
+        FIRST=0
+        printf '    {"name": "%s", "report": ' "$NAME"
+        cat "$WORKDIR/$NAME.out"
+        printf '}'
+    done
+    printf '\n  ]\n}\n'
+} >"$OUT"
+echo "bench-service: wrote $OUT"
