@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service bench-throughput bench-json bench-dataset bench-smoke serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-throughput bench-json bench-dataset bench-crawl bench-smoke serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service race-crawl cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service cover bench-smoke
+tier2: serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service race-crawl cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -33,6 +33,12 @@ load-smoke:
 	$(GO) build -o ./load-smoke-serve ./cmd/serve
 	sh scripts/loadgen_smoke.sh ./load-smoke-gen ./load-smoke-serve
 	rm -f ./load-smoke-gen ./load-smoke-serve
+
+# Race-harden the site-parallel crawl pool at full length: worker
+# submit/cancel/drain, the reorder sequencer, and the scratch-state merge
+# under concurrent site completions.
+race-crawl:
+	$(GO) test -race -count=1 ./internal/crawler
 
 # Per-package coverage floor (default 80%) over the packages the fault
 # injection and analysis correctness lean on; see scripts/cover_gate.sh.
@@ -122,6 +128,14 @@ bench-json:
 bench-dataset:
 	sh scripts/bench_dataset.sh BENCH_dataset.json
 	$(GO) test -run '^TestBenchDatasetJSONWellFormed$$' .
+
+# Site-parallel crawl measurements recorded as machine-readable JSON
+# (BENCH_crawl.json): wall time and peak RSS at site-worker counts
+# 1/2/4/8, clean and heavy-fault, streaming vs a buffered baseline, each
+# case in a fresh process; see cmd/benchcrawl.
+bench-crawl:
+	sh scripts/bench_crawl.sh BENCH_crawl.json
+	$(GO) test -run '^TestBenchCrawlJSONWellFormed$$' .
 
 # One iteration of every hot-path benchmark: catches benchmarks that no
 # longer compile or panic, without paying for a full timed run.

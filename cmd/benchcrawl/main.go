@@ -1,0 +1,284 @@
+// Command benchcrawl measures the site-parallel crawl end to end: wall
+// time and peak RSS across site-worker counts {1, 2, 4, 8}, on a clean
+// network and under heavy fault injection, in streaming mode (dataset
+// written site by site as the crawl runs) — plus a buffered baseline
+// (whole dataset accumulated in memory, written at the end) at 4 workers
+// for the memory comparison. Every case runs in its own child process —
+// re-executing this binary with -case — so getrusage MaxRSS is an honest
+// per-case peak, not an artifact of allocator reuse across cases. The
+// driver records GOMAXPROCS alongside the numbers: wall speedup scales
+// with available cores, while the streamed-vs-buffered RSS gap is a
+// property of the pipeline and shows on any machine. Output is
+// machine-readable JSON (BENCH_crawl.json by default), shape-guarded by
+// TestBenchCrawlJSONWellFormed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"webmeasure"
+	"webmeasure/internal/dataset"
+	"webmeasure/internal/measurement"
+)
+
+const (
+	benchSites = 150
+	benchPages = 6
+	benchSeed  = 11
+)
+
+var workerCounts = []int{1, 2, 4, 8}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcrawl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "BENCH_crawl.json", "output path for the benchmark JSON")
+		caseMode = fs.Bool("case", false, "run one measurement case and print its JSON (internal: the driver re-executes itself with this flag)")
+		mode     = fs.String("mode", "", "case mode: stream (write sites as they finish) or buffered (accumulate, write at the end)")
+		workers  = fs.Int("site-workers", 0, "case mode: crawl site-worker count")
+		faults   = fs.String("faults", "", "case mode: fault profile (empty = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *caseMode {
+		return runCase(*mode, *workers, *faults, stdout, stderr)
+	}
+	return runDriver(*out, stdout, stderr)
+}
+
+// caseResult is one measured (mode, workers, faults) cell.
+type caseResult struct {
+	Name    string  `json:"name"`
+	Mode    string  `json:"mode"`
+	Workers int     `json:"site_workers"`
+	Faults  string  `json:"faults"`
+	Sites   int     `json:"sites"`
+	Visits  int     `json:"visits"`
+	Bytes   int64   `json:"bytes"`
+	WallMS  float64 `json:"wall_ms"`
+	RSSKB   int64   `json:"max_rss_kb"`
+}
+
+// bufferedSink reproduces the pre-streaming memory profile: every visit
+// is held in an in-memory dataset until the crawl completes, then the
+// whole dataset is written at once.
+type bufferedSink struct {
+	ds *dataset.Dataset
+}
+
+func (s *bufferedSink) WriteSite(site string, visits []*measurement.Visit) error {
+	for _, v := range visits {
+		s.ds.Add(v)
+	}
+	return nil
+}
+
+// runCase executes one crawl in this process and prints the JSON result.
+// The dataset lands in a temp file (removed afterwards); wall time covers
+// crawl plus dataset write — the full producer path either mode pays.
+func runCase(mode string, workers int, faultProfile string, stdout, stderr io.Writer) int {
+	work, err := os.MkdirTemp("", "benchcrawl")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(work)
+	path := filepath.Join(work, "ds.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	cfg := webmeasure.Config{
+		Seed: benchSeed, Sites: benchSites, PagesPerSite: benchPages,
+		FaultProfile: faultProfile, SiteWorkers: workers,
+	}
+	visits := 0
+	start := time.Now()
+	switch mode {
+	case "stream":
+		sw := dataset.NewJSONLSiteWriter(f)
+		stats, err := webmeasure.CrawlStream(context.Background(), cfg, sw)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcrawl: crawl: %v\n", err)
+			return 1
+		}
+		if err := sw.Close(); err != nil {
+			fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+			return 1
+		}
+		visits = stats.VisitsTotal
+	case "buffered":
+		sink := &bufferedSink{ds: dataset.New()}
+		if _, err := webmeasure.CrawlStream(context.Background(), cfg, sink); err != nil {
+			fmt.Fprintf(stderr, "benchcrawl: crawl: %v\n", err)
+			return 1
+		}
+		if err := sink.ds.WriteJSONL(f); err != nil {
+			fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+			return 1
+		}
+		visits = sink.ds.Len()
+	default:
+		fmt.Fprintf(stderr, "benchcrawl: unknown -mode %q\n", mode)
+		return 2
+	}
+	wall := time.Since(start)
+
+	st, err := f.Stat()
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: getrusage: %v\n", err)
+		return 1
+	}
+	r := caseResult{
+		Mode: mode, Workers: workers, Faults: faultProfile,
+		Sites:  benchSites,
+		Visits: visits,
+		Bytes:  st.Size(),
+		WallMS: float64(wall) / float64(time.Millisecond),
+		// Linux reports ru_maxrss in KiB.
+		RSSKB: ru.Maxrss,
+	}
+	if err := json.NewEncoder(stdout).Encode(r); err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// summaryRow condenses one fault profile's scaling and memory story.
+type summaryRow struct {
+	Faults      string  `json:"faults"`
+	WallW1MS    float64 `json:"wall_w1_ms"`
+	WallW4MS    float64 `json:"wall_w4_ms"`
+	WallW8MS    float64 `json:"wall_w8_ms"`
+	SpeedupW4   float64 `json:"speedup_w4"`
+	SpeedupW8   float64 `json:"speedup_w8"`
+	StreamRSS   int64   `json:"stream_rss_kb"`   // at 4 workers
+	BufferedRSS int64   `json:"buffered_rss_kb"` // at 4 workers
+	RSSRatio    float64 `json:"rss_ratio"`       // buffered / stream
+}
+
+// runDriver fans the cases out to child processes and writes the JSON.
+func runDriver(out string, stdout, stderr io.Writer) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	var cases []caseResult
+	var summary []summaryRow
+	for _, faults := range []string{"", "heavy"} {
+		label := faults
+		if label == "" {
+			label = "off"
+		}
+		byKey := map[string]caseResult{}
+		measure := func(mode string, workers int) bool {
+			r, err := runChild(self, mode, workers, faults, stderr)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchcrawl: %s/w%d/%s: %v\n", mode, workers, label, err)
+				return false
+			}
+			r.Name = fmt.Sprintf("%s/w%d/%s", mode, workers, label)
+			fmt.Fprintf(stderr, "benchcrawl: %-18s %8.1f ms  %8d KB rss  (%d visits, %d bytes)\n",
+				r.Name, r.WallMS, r.RSSKB, r.Visits, r.Bytes)
+			cases = append(cases, r)
+			byKey[fmt.Sprintf("%s/w%d", mode, workers)] = r
+			return true
+		}
+		for _, w := range workerCounts {
+			if !measure("stream", w) {
+				return 1
+			}
+		}
+		if !measure("buffered", 4) {
+			return 1
+		}
+		w1, w4, w8 := byKey["stream/w1"], byKey["stream/w4"], byKey["stream/w8"]
+		buf4 := byKey["buffered/w4"]
+		summary = append(summary, summaryRow{
+			Faults:      label,
+			WallW1MS:    w1.WallMS,
+			WallW4MS:    w4.WallMS,
+			WallW8MS:    w8.WallMS,
+			SpeedupW4:   ratio(w1.WallMS, w4.WallMS),
+			SpeedupW8:   ratio(w1.WallMS, w8.WallMS),
+			StreamRSS:   w4.RSSKB,
+			BufferedRSS: buf4.RSSKB,
+			RSSRatio:    ratio(float64(buf4.RSSKB), float64(w4.RSSKB)),
+		})
+	}
+
+	doc := struct {
+		GoMaxProcs int          `json:"gomaxprocs"`
+		Sites      int          `json:"sites"`
+		Pages      int          `json:"pages"`
+		Cases      []caseResult `json:"cases"`
+		Summary    []summaryRow `json:"summary"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0), Sites: benchSites, Pages: benchPages, Cases: cases, Summary: summary}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchcrawl: %v\n", err)
+		return 1
+	}
+	for _, s := range summary {
+		fmt.Fprintf(stdout, "benchcrawl: faults=%-5s  4 workers %.2fx, 8 workers %.2fx vs 1 (GOMAXPROCS=%d); streaming cuts peak RSS %.1fx vs buffered\n",
+			s.Faults, s.SpeedupW4, s.SpeedupW8, doc.GoMaxProcs, s.RSSRatio)
+	}
+	fmt.Fprintf(stdout, "benchcrawl: %d cases written to %s\n", len(cases), out)
+	return 0
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// runChild re-executes this binary for one case and parses its JSON.
+func runChild(self, mode string, workers int, faults string, stderr io.Writer) (caseResult, error) {
+	var outBuf bytes.Buffer
+	cmd := exec.Command(self, "-case",
+		"-mode", mode, "-site-workers", fmt.Sprint(workers), "-faults", faults)
+	cmd.Stdout = &outBuf
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		return caseResult{}, err
+	}
+	var r caseResult
+	if err := json.Unmarshal(outBuf.Bytes(), &r); err != nil {
+		return caseResult{}, fmt.Errorf("parse case output: %w", err)
+	}
+	return r, nil
+}

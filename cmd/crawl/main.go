@@ -1,9 +1,13 @@
-// Command crawl runs only the measurement (no analysis) and writes the raw
-// visit records as JSON Lines — the commander/clients half of the paper's
-// framework (Appendix C). Feed the output to cmd/analyze with the same
-// -sites/-pages/-seed flags. While the crawl runs, -progress prints live
-// counter/timing snapshots (sites done, visit latency percentiles), and
-// -trace records one deterministic span trace per page (load the output in
+// Command crawl runs only the measurement (no analysis) and streams the
+// raw visit records to disk as they are collected — the commander/clients
+// half of the paper's framework (Appendix C). Sites are crawled by
+// -site-workers concurrent workers and written in site-list order as each
+// finishes, so peak memory is bounded by the in-flight crawl window, not
+// the dataset size, and the output bytes are identical for every worker
+// count. Feed the output to cmd/analyze with the same -sites/-pages/-seed
+// flags. While the crawl runs, -progress prints live counter/timing
+// snapshots (sites done, visit latency percentiles), and -trace records
+// one deterministic span trace per page (load the output in
 // chrome://tracing or Perfetto). Diagnostics are structured log records on
 // stderr (-log-level, -log-json).
 package main
@@ -43,7 +47,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sites       = fs.Int("sites", 100, "number of sites to sample")
 		pages       = fs.Int("pages", 10, "max subpages per site")
 		seed        = fs.Int64("seed", 1, "master seed")
-		workers     = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
+		siteWorkers = fs.Int("site-workers", 0, "concurrent site crawls (0 = all CPUs); output is byte-identical for any value")
 		progress    = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 		out         = fs.String("o", "dataset.jsonl", "output path for the dataset")
 		format      = fs.String("format", "jsonl", "dataset output format: jsonl or col (compact columnar)")
@@ -79,7 +83,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := webmeasure.Config{
 		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
 		FaultProfile: *faults,
-		Workers:      *workers, Metrics: reg,
+		SiteWorkers:  *siteWorkers, Metrics: reg,
 		Progress: func(done, total int) {
 			if done%50 == 0 || done == total {
 				logger.Info("crawl progress", "done", done, "total", total)
@@ -95,31 +99,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		cfg.ResumeJSONL = f
 	}
-	stopProgress := metrics.StartProgress(ctx, stderr, reg, *progress)
-	res, err := webmeasure.Run(ctx, cfg)
-	stopProgress()
-	if err != nil {
-		logger.Error("crawl failed", "error", err.Error())
-		return 1
-	}
+	// The dataset streams to disk while the crawl runs: each site's visits
+	// are written as soon as the site is emitted, so a long crawl never
+	// holds the whole dataset in memory. A failed run removes the partial
+	// file — the command either produces a complete dataset or none.
 	f, err := os.Create(*out)
 	if err != nil {
 		logger.Error("crawl failed", "error", err.Error())
 		return 1
 	}
-	writeDataset := res.WriteDataset
+	var sink dataset.SiteWriter = dataset.NewJSONLSiteWriter(f)
 	if *format == dataset.FormatCol {
-		writeDataset = res.WriteDatasetCol
+		sink = dataset.NewColSiteWriter(f)
 	}
-	if err := writeDataset(f); err != nil {
-		logger.Error("dataset write failed", "error", err.Error())
+	stopProgress := metrics.StartProgress(ctx, stderr, reg, *progress)
+	st, err := webmeasure.CrawlStream(ctx, cfg, sink)
+	stopProgress()
+	if err == nil {
+		if cerr := sink.Close(); cerr != nil {
+			err = cerr
+		} else if cerr := f.Close(); cerr != nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(*out)
+		logger.Error("crawl failed", "error", err.Error())
 		return 1
 	}
-	if err := f.Close(); err != nil {
-		logger.Error("dataset write failed", "error", err.Error())
-		return 1
-	}
-	st := res.CrawlStats()
 	logger.Info("metrics", "snapshot", fmt.Sprint(reg.Snapshot()))
 	logger.Info("crawl done",
 		"sites", st.SitesVisited, "pages", st.PagesDiscovered,

@@ -56,7 +56,8 @@ const maxRecordLen = 1 << 30
 
 // BlockMeta is one block's entry in the footer index.
 type BlockMeta struct {
-	// Site is the block's site; blocks are written in ascending site order.
+	// Site is the block's site; the footer lists blocks in ascending site
+	// order regardless of the order the body was written in.
 	Site string
 	// Offset is the byte offset of the block record ("BLK\n") in the file.
 	Offset uint64

@@ -260,8 +260,8 @@ func TestWriterValidation(t *testing.T) {
 	if err := w.WriteSite("m.org", siteRows("m.org", 0, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WriteSite("a.org", siteRows("a.org", 10, 1, 1)); err == nil {
-		t.Error("out-of-order site accepted")
+	if err := w.WriteSite("m.org", siteRows("m.org", 10, 1, 1)); err == nil {
+		t.Error("duplicate site accepted")
 	}
 
 	w2 := NewWriter(&bytes.Buffer{})
@@ -274,6 +274,58 @@ func TestWriterValidation(t *testing.T) {
 	rows[0].Seq, rows[1].Seq = rows[1].Seq, rows[0].Seq
 	if err := w3.WriteSite("z.org", rows); err == nil {
 		t.Error("out-of-sequence rows accepted")
+	}
+}
+
+func TestWriterAnySiteOrder(t *testing.T) {
+	// The streaming crawl emits blocks in site-list order, which for the
+	// generated site names is not lexicographic.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	emitted := []string{"m.org", "a.org", "z.org"}
+	for i, site := range emitted {
+		if err := w.WriteSite(site, siteRows(site, uint64(i*10), 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// The body scans in emission order...
+	var bodyOrder []string
+	idx, err := Scan(bytes.NewReader(data), func(sb *SiteBlock) error {
+		bodyOrder = append(bodyOrder, sb.Site)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bodyOrder, emitted) {
+		t.Errorf("body order %v, want %v", bodyOrder, emitted)
+	}
+	// ...but the footer index is sorted by site, so index consumers never
+	// depend on emission order.
+	var idxOrder []string
+	for _, b := range idx.Blocks {
+		idxOrder = append(idxOrder, b.Site)
+	}
+	if !reflect.DeepEqual(idxOrder, []string{"a.org", "m.org", "z.org"}) {
+		t.Errorf("index order %v", idxOrder)
+	}
+	r, err := OpenReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, meta := range r.Index().Blocks {
+		sb, err := r.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.Site != meta.Site {
+			t.Errorf("block %d: decoded %q, index %q", i, sb.Site, meta.Site)
+		}
 	}
 }
 

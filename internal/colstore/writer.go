@@ -9,20 +9,24 @@ import (
 )
 
 // Writer emits a columnar dataset file: header, one block per WriteSite
-// call, and the index footer on Close. Sites must be written in ascending
-// order and each site's rows in ascending sequence order — the invariants
-// the delta columns and the footer's binary-searchable block list rely on.
+// call, and the index footer on Close. Each site may be written at most
+// once, in any order — the streaming crawl emits blocks in site-list
+// order, the batch writer in ascending site order — and each site's rows
+// must carry ascending sequence numbers (the delta columns rely on it).
+// Close sorts the footer's block list by site regardless of the order the
+// body was written in, so index lookups never depend on emission order.
 type Writer struct {
 	bw     *bufio.Writer
 	off    uint64
 	blocks []BlockMeta
+	seen   map[string]bool
 	err    error
 	closed bool
 }
 
 // NewWriter starts a columnar file on w by writing the header magic.
 func NewWriter(w io.Writer) *Writer {
-	cw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	cw := &Writer{bw: bufio.NewWriterSize(w, 1<<16), seen: make(map[string]bool)}
 	if _, err := cw.bw.WriteString(Magic); err != nil {
 		cw.err = fmt.Errorf("colstore: write header: %w", err)
 	}
@@ -39,9 +43,10 @@ func (w *Writer) WriteSite(site string, rows []VisitRow) error {
 	if w.closed {
 		return fmt.Errorf("colstore: WriteSite after Close")
 	}
-	if n := len(w.blocks); n > 0 && w.blocks[n-1].Site >= site {
-		return w.setErr(fmt.Errorf("colstore: block for site %q must follow %q in ascending site order", site, w.blocks[n-1].Site))
+	if w.seen[site] {
+		return w.setErr(fmt.Errorf("colstore: duplicate block for site %q", site))
 	}
+	w.seen[site] = true
 	pages := make(map[string]bool, 16)
 	for i, r := range rows {
 		if r.Visit.Site != site {
@@ -83,6 +88,10 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
+	// The footer lists blocks in site order whatever order the body was
+	// written in: readers look blocks up by site through the index's
+	// offsets, never by body position.
+	sort.Slice(w.blocks, func(a, b int) bool { return w.blocks[a].Site < w.blocks[b].Site })
 	var idx buf
 	idx.uvarint(SchemaVersion)
 	idx.uvarint(uint64(len(w.blocks)))

@@ -5,11 +5,21 @@
 // not. Each client runs a pool of browser instances, enforces the page
 // timeout, and suffers injected network-level failures so the per-profile
 // success rate matches the paper's (≥89%).
+//
+// Sites themselves are crawled by a bounded worker pool (Config.
+// SiteWorkers): each worker runs one site's whole profile barrier on
+// isolated metrics/trace scratch, and a deterministic sequencer folds
+// finished sites back into site-list order before anything touches shared
+// state — the dataset, the metrics registry, the tracer, the streaming
+// sink. Every visit is a pure function of (seed, profile, page), so the
+// output bytes are identical for every worker count; only the wall clock
+// changes.
 package crawler
 
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"webmeasure/internal/browser"
@@ -65,14 +75,29 @@ type Config struct {
 	// re-performed, so an interrupted multi-day crawl continues where it
 	// stopped. Only successful visits are reused; failures are retried.
 	Resume *dataset.Dataset
-	// Progress, if non-nil, receives the site index after each completed
-	// site batch (monitoring hook for the commander UI).
+	// SiteWorkers bounds the site-level worker pool: how many sites are
+	// crawled concurrently. Output bytes are identical for every value —
+	// the sequencer emits sites in list order regardless of completion
+	// order — so this is purely a wall-clock/memory knob. 0 = GOMAXPROCS.
+	SiteWorkers int
+	// Progress, if non-nil, receives the site index after each site is
+	// emitted, strictly in site-list order (monitoring hook for the
+	// commander UI).
 	Progress func(done, total int)
-	// OnVisit, if non-nil, receives every visit as it completes — the
-	// streaming sink for multi-day crawls (write-through checkpointing).
-	// Called concurrently from the clients; the callback must be
-	// goroutine-safe.
+	// OnVisit, if non-nil, receives every visit at emission — the
+	// streaming hook for multi-day crawls (write-through checkpointing).
+	// Called from the single emission goroutine, in final dataset order.
 	OnVisit func(*measurement.Visit)
+	// Sink, if non-nil, receives each emitted site's visits in site-list
+	// order — the streaming dataset writer (dataset.SiteWriter satisfies
+	// it). With a sink attached and DiscardDataset set, a crawl's peak
+	// memory is bounded by the in-flight reorder window instead of the
+	// whole dataset.
+	Sink SiteSink
+	// DiscardDataset skips accumulating the in-memory dataset.Dataset;
+	// Run returns an empty one. Use together with Sink (or OnVisit) when
+	// the caller streams visits out instead of analyzing them in place.
+	DiscardDataset bool
 	// Metrics, if non-nil, receives live crawl counters and timings
 	// (crawl.sites, crawl.visits, crawl.visit_ms, …; the full name list
 	// is in the internal/metrics package comment). Snapshot it from
@@ -169,8 +194,41 @@ type Stats struct {
 	VisitsReused int
 }
 
-// Run executes the crawl and returns the collected dataset. The context
-// cancels between site batches.
+// SiteSink receives each emitted site's visits, in site-list order, from
+// the single emission goroutine. dataset.SiteWriter implementations
+// satisfy it (Close stays with the caller, which owns the output).
+type SiteSink interface {
+	WriteSite(site string, visits []*measurement.Visit) error
+}
+
+// add folds another site's stats into the run totals.
+func (s *Stats) add(o Stats) {
+	s.SitesVisited += o.SitesVisited
+	s.PagesDiscovered += o.PagesDiscovered
+	s.VisitsTotal += o.VisitsTotal
+	s.VisitsFailed += o.VisitsFailed
+	s.VisitsDegraded += o.VisitsDegraded
+	s.VisitsRetried += o.VisitsRetried
+	s.AttemptsTotal += o.AttemptsTotal
+	s.VisitsReused += o.VisitsReused
+}
+
+// crawlRun is the resolved, immutable state a crawl's site workers share.
+type crawlRun struct {
+	cfg       Config
+	profiles  []browser.Profile
+	instances int
+	retry     RetryPolicy
+	// tracer is the run's merged tracer; each site works on a Scratch of
+	// it and the sequencer Imports the exports in site order.
+	tracer *trace.Tracer
+}
+
+// Run executes the crawl and returns the collected dataset. Sites are
+// crawled by Config.SiteWorkers concurrent workers on isolated scratch
+// state and emitted in site-list order; the context cancels dispatch
+// between sites (in-flight sites finish, the contiguous emitted prefix is
+// kept, and ctx.Err() is returned).
 func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	if cfg.Universe == nil {
 		return nil, Stats{}, fmt.Errorf("crawler: Config.Universe is required")
@@ -178,191 +236,359 @@ func Run(ctx context.Context, cfg Config) (*dataset.Dataset, Stats, error) {
 	if len(cfg.Sites) == 0 {
 		return nil, Stats{}, fmt.Errorf("crawler: no sites to crawl")
 	}
-	profiles := cfg.Profiles
-	if len(profiles) == 0 {
-		profiles = browser.DefaultProfiles()
-	}
-	instances := cfg.Instances
-	if instances <= 0 {
-		instances = 15
-	}
+	// Validate the fault profile once up front; per-site injectors are
+	// derived from the same (seed, profile) pair and cannot fail after
+	// this. The validation injector also pre-binds the fault counters so
+	// the exposition lists them even before the first site merges.
 	inj, err := faults.New(cfg.Seed, cfg.Faults)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	inj.InstrumentWith(cfg.Metrics)
+
+	c := &crawlRun{
+		cfg:       cfg,
+		profiles:  cfg.Profiles,
+		instances: cfg.Instances,
+		retry:     cfg.Retry.withDefaults(),
+		tracer:    cfg.Tracer,
+	}
+	if len(c.profiles) == 0 {
+		c.profiles = browser.DefaultProfiles()
+	}
+	if c.instances <= 0 {
+		c.instances = 15
+	}
+	if c.tracer == nil {
+		c.tracer = trace.TracerFrom(ctx)
+	}
+	// Pre-create the run-level instruments so the exposition's instrument
+	// set does not depend on how many sites merged before a snapshot.
+	registerCrawlMetrics(cfg.Metrics, c.profiles)
+
+	workers := cfg.SiteWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Sites) {
+		workers = len(cfg.Sites)
+	}
+	// The reorder window bounds how far completed sites may run ahead of
+	// the emission cursor: a permit is taken before a site is dispatched
+	// and released when the site is emitted (or the run aborts). A slow
+	// head site therefore stalls dispatch after window sites instead of
+	// letting finished sites pile up without bound — the backpressure that
+	// keeps streaming crawls at O(window) memory.
+	window := 2 * workers
+	permits := make(chan struct{}, window)
+	jobs := make(chan int)
+	results := make(chan *siteResult, window)
+
+	dispatchCtx, stopDispatch := context.WithCancel(ctx)
+	defer stopDispatch()
+	go func() {
+		defer close(jobs)
+		for si := range cfg.Sites {
+			select {
+			case permits <- struct{}{}:
+			case <-dispatchCtx.Done():
+				return
+			}
+			select {
+			case jobs <- si:
+			case <-dispatchCtx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				results <- c.crawlSite(si)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	ds := dataset.New()
+	var stats Stats
+	var runErr error
+	seq := newSequencer(func(r *siteResult) error {
+		defer func() { <-permits }()
+		if runErr != nil {
+			// Drain mode after a failure: release window slots, emit nothing.
+			return nil
+		}
+		if r.err != nil {
+			return r.err
+		}
+		return c.emit(r, ds, &stats)
+	})
+	for r := range results {
+		if err := seq.offer(r); err != nil {
+			runErr = err
+			stopDispatch()
+		}
+	}
+	if runErr != nil {
+		return ds, stats, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return ds, stats, err
+	}
+	return ds, stats, nil
+}
+
+// registerCrawlMetrics pre-creates every run-level crawl instrument on
+// the shared registry (a nil registry is a no-op), so snapshots taken
+// before the first site emission already list them — the same surface the
+// sequential crawler exposed.
+func registerCrawlMetrics(reg *metrics.Registry, profiles []browser.Profile) {
+	if reg == nil {
+		return
+	}
+	for _, name := range []string{
+		"crawl.sites", "crawl.pages", "crawl.visits", "crawl.visits.failed",
+		"crawl.visits.degraded", "crawl.visits.retried", "crawl.attempts",
+		"crawl.visits.reused",
+	} {
+		reg.Counter(name)
+	}
+	reg.Histogram("crawl.visit_ms")
+	reg.Histogram("crawl.site_ms")
+	for _, p := range profiles {
+		reg.Histogram(metrics.Labeled("crawl.visit_ms", "profile", p.Name))
+	}
+}
+
+// emit folds one finished site into the run's shared state, in site-list
+// order: stats, the metrics merge, the trace import, the dataset/OnVisit
+// append, the streaming sink, and finally the progress callback. Runs on
+// the single sequencer goroutine.
+func (c *crawlRun) emit(r *siteResult, ds *dataset.Dataset, stats *Stats) error {
+	if !r.skipped {
+		stats.add(r.stats)
+		if c.cfg.Metrics != nil {
+			if err := c.cfg.Metrics.Merge(r.dump); err != nil {
+				return fmt.Errorf("crawler: merge site metrics: %w", err)
+			}
+		}
+		if c.tracer != nil {
+			if err := c.tracer.Import(r.traces); err != nil {
+				return fmt.Errorf("crawler: merge site traces: %w", err)
+			}
+		}
+		for _, v := range r.visits {
+			if !c.cfg.DiscardDataset {
+				ds.Add(v)
+			}
+			if c.cfg.OnVisit != nil {
+				c.cfg.OnVisit(v)
+			}
+		}
+		if c.cfg.Sink != nil {
+			if err := c.cfg.Sink.WriteSite(r.site, r.visits); err != nil {
+				return fmt.Errorf("crawler: site sink: %w", err)
+			}
+		}
+	}
+	if c.cfg.Progress != nil {
+		c.cfg.Progress(r.index+1, len(c.cfg.Sites))
+	}
+	return nil
+}
+
+// crawlSite runs one site's whole profile barrier on isolated scratch
+// state: a fresh metrics registry, a scratch tracer, and a per-site fault
+// injector (fault decisions are pure functions of (seed, profile, page,
+// attempt), so per-site injectors decide exactly what a shared one
+// would). Visits land in canonical slots — kept pages in discovery order,
+// profiles in configuration order within each page — so the emitted visit
+// order is a pure function of the site, not of goroutine scheduling.
+func (c *crawlRun) crawlSite(si int) *siteResult {
+	cfg := &c.cfg
+	r := &siteResult{index: si}
+
+	var reg *metrics.Registry
+	if cfg.Metrics != nil {
+		reg = metrics.New()
+	}
+	tracer := c.tracer.Scratch()
+	inj, err := faults.New(cfg.Seed, cfg.Faults)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	inj.InstrumentWith(reg)
 	var transport browser.Transport
 	if inj.Enabled() {
 		transport = inj
 	}
-	retry := cfg.Retry.withDefaults()
-	tracer := cfg.Tracer
-	if tracer == nil {
-		tracer = trace.TracerFrom(ctx)
-	}
 
-	ds := dataset.New()
-	var stats Stats
-	var statsMu sync.Mutex
-	mSites := cfg.Metrics.Counter("crawl.sites")
-	mPages := cfg.Metrics.Counter("crawl.pages")
-	mVisits := cfg.Metrics.Counter("crawl.visits")
-	mFailed := cfg.Metrics.Counter("crawl.visits.failed")
-	mDegraded := cfg.Metrics.Counter("crawl.visits.degraded")
-	mRetried := cfg.Metrics.Counter("crawl.visits.retried")
-	mAttempts := cfg.Metrics.Counter("crawl.attempts")
-	mReused := cfg.Metrics.Counter("crawl.visits.reused")
-	mVisitMS := cfg.Metrics.Histogram("crawl.visit_ms")
-	mSiteMS := cfg.Metrics.Histogram("crawl.site_ms")
+	siteDone := reg.Histogram("crawl.site_ms").Time()
+	site := cfg.Universe.GenerateSiteAt(cfg.Sites[si], cfg.Epoch)
+	r.site = site.Domain
+	pages := discoverPages(site, cfg.MaxPages)
+	kept := pages
+	if cfg.PageFilter != nil {
+		kept = make([]*webgen.Page, 0, len(pages))
+		for _, p := range pages {
+			if cfg.PageFilter(site.Domain, p.URL) {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			// No page of this site belongs to the shard: skip the site
+			// without counting it — not even a crawl.site_ms sample, which
+			// would register a near-zero timing for work never done and
+			// skew the site-latency histogram under sharding.
+			r.skipped = true
+			return r
+		}
+	}
+	r.stats.SitesVisited = 1
+	r.stats.PagesDiscovered = len(kept)
+	reg.Counter("crawl.pages").Add(int64(len(kept)))
+
+	mVisits := reg.Counter("crawl.visits")
+	mFailed := reg.Counter("crawl.visits.failed")
+	mDegraded := reg.Counter("crawl.visits.degraded")
+	mRetried := reg.Counter("crawl.visits.retried")
+	mAttempts := reg.Counter("crawl.attempts")
+	mReused := reg.Counter("crawl.visits.reused")
+	mVisitMS := reg.Histogram("crawl.visit_ms")
 	// Per-profile latency series: one labeled histogram per profile, the
 	// per-profile half of the stage breakdown.
-	mVisitMSByProf := make(map[string]*metrics.Histogram, len(profiles))
-	for _, p := range profiles {
-		mVisitMSByProf[p.Name] = cfg.Metrics.Histogram(metrics.Labeled("crawl.visit_ms", "profile", p.Name))
+	mVisitMSByProf := make(map[string]*metrics.Histogram, len(c.profiles))
+	for _, p := range c.profiles {
+		mVisitMSByProf[p.Name] = reg.Histogram(metrics.Labeled("crawl.visit_ms", "profile", p.Name))
 	}
 
-	for si, entry := range cfg.Sites {
-		if err := ctx.Err(); err != nil {
-			return ds, stats, err
-		}
-		siteDone := mSiteMS.Time()
-		site := cfg.Universe.GenerateSiteAt(entry, cfg.Epoch)
-		pages := discoverPages(site, cfg.MaxPages)
-		kept := pages
-		if cfg.PageFilter != nil {
-			kept = make([]*webgen.Page, 0, len(pages))
-			for _, p := range pages {
-				if cfg.PageFilter(site.Domain, p.URL) {
-					kept = append(kept, p)
-				}
-			}
-			if len(kept) == 0 {
-				// No page of this site belongs to the shard: skip the site
-				// without counting it, so page-granular counters sum to the
-				// unsharded run across a disjoint filter family.
-				siteDone()
-				if cfg.Progress != nil {
-					cfg.Progress(si+1, len(cfg.Sites))
-				}
-				continue
-			}
-		}
-		stats.SitesVisited++
-		stats.PagesDiscovered += len(kept)
-		mPages.Add(int64(len(kept)))
+	// Canonical visit slots: page-major, profile-minor. Each slot is
+	// written exactly once, by the goroutine that performed the visit.
+	nProf := len(c.profiles)
+	pageIdx := make(map[string]int, len(kept))
+	for i, p := range kept {
+		pageIdx[p.URL] = i
+	}
+	slots := make([]*measurement.Visit, len(kept)*nProf)
 
-		// Checkpoint reuse: split each profile's work into pages already
-		// covered by the resume dataset and pages still to visit.
-		reuse := func(prof browser.Profile, page *webgen.Page) *measurement.Visit {
-			if cfg.Resume == nil {
-				return nil
-			}
-			pv := cfg.Resume.PageGroup(dataset.PageKey{Site: site.Domain, PageURL: page.URL})
-			if pv == nil {
-				return nil
-			}
-			if v := pv.ByProfile[prof.Name]; v != nil && v.Clean() {
-				return v
-			}
+	// Checkpoint reuse: split each profile's work into pages already
+	// covered by the resume dataset and pages still to visit.
+	reuse := func(prof browser.Profile, page *webgen.Page) *measurement.Visit {
+		if cfg.Resume == nil {
 			return nil
 		}
+		pv := cfg.Resume.PageGroup(dataset.PageKey{Site: site.Domain, PageURL: page.URL})
+		if pv == nil {
+			return nil
+		}
+		if v := pv.ByProfile[prof.Name]; v != nil && v.Clean() {
+			return v
+		}
+		return nil
+	}
 
-		// The commander starts every profile's client on the site at the
-		// same moment and waits for all of them (site-level barrier).
-		var wg sync.WaitGroup
-		for _, prof := range profiles {
-			wg.Add(1)
-			go func(prof browser.Profile) {
-				defer wg.Done()
-				b := &browser.Browser{Profile: prof, TimeoutMS: cfg.TimeoutMS, Transport: transport}
-				reused := func(v *measurement.Visit) {
-					ds.Add(v)
-					if cfg.OnVisit != nil {
-						cfg.OnVisit(v)
-					}
-					mVisits.Inc()
-					mReused.Inc()
-					statsMu.Lock()
-					stats.VisitsTotal++
-					stats.VisitsReused++
-					statsMu.Unlock()
+	var statsMu sync.Mutex
+	// The commander starts every profile's client on the site at the
+	// same moment and waits for all of them (site-level barrier).
+	var wg sync.WaitGroup
+	for pi, prof := range c.profiles {
+		wg.Add(1)
+		go func(pi int, prof browser.Profile) {
+			defer wg.Done()
+			b := &browser.Browser{Profile: prof, TimeoutMS: cfg.TimeoutMS, Transport: transport}
+			reused := func(v *measurement.Visit) {
+				slots[pageIdx[v.PageURL]*nProf+pi] = v
+				mVisits.Inc()
+				mReused.Inc()
+				statsMu.Lock()
+				r.stats.VisitsTotal++
+				r.stats.VisitsReused++
+				statsMu.Unlock()
+			}
+			performed := func(v *measurement.Visit) {
+				slots[pageIdx[v.PageURL]*nProf+pi] = v
+				mVisits.Inc()
+				attempts := v.Attempts
+				if attempts <= 0 {
+					attempts = 1
 				}
-				performed := func(v *measurement.Visit) {
-					ds.Add(v)
-					if cfg.OnVisit != nil {
-						cfg.OnVisit(v)
-					}
-					mVisits.Inc()
-					attempts := v.Attempts
-					if attempts <= 0 {
-						attempts = 1
-					}
-					mAttempts.Add(int64(attempts))
-					if attempts > 1 {
-						mRetried.Inc()
-					}
-					degraded := v.EffectiveStatus() == measurement.VisitDegraded
-					if degraded {
-						mDegraded.Inc()
-					}
-					if !v.Success {
-						mFailed.Inc()
-					} else {
-						mVisitMS.Observe(float64(v.DurationMS))
-						mVisitMSByProf[v.Profile].Observe(float64(v.DurationMS))
-					}
-					statsMu.Lock()
-					stats.VisitsTotal++
-					stats.AttemptsTotal += attempts
-					if attempts > 1 {
-						stats.VisitsRetried++
-					}
-					if degraded {
-						stats.VisitsDegraded++
-					}
-					if !v.Success {
-						stats.VisitsFailed++
-					}
-					statsMu.Unlock()
+				mAttempts.Add(int64(attempts))
+				if attempts > 1 {
+					mRetried.Inc()
 				}
-				if cfg.Stateful {
-					// One sequential session per site: the jar persists across
-					// pages in discovery order. Off-shard pages are visited so
-					// the jar advances exactly as in the unsharded crawl, but
-					// recorded nowhere (nil tracer and registry are no-ops).
-					jar := browser.NewJar()
-					for _, p := range pages {
-						if cfg.PageFilter != nil && !cfg.PageFilter(site.Domain, p.URL) {
-							visitPage(nil, nil, b, site, p, cfg.Seed, jar, retry)
-							continue
-						}
-						if v := reuse(prof, p); v != nil {
-							reused(v)
-							continue
-						}
-						performed(visitPage(tracer, cfg.Metrics, b, site, p, cfg.Seed, jar, retry))
-					}
-					return
+				degraded := v.EffectiveStatus() == measurement.VisitDegraded
+				if degraded {
+					mDegraded.Inc()
 				}
-				var todo []*webgen.Page
-				for _, p := range kept {
+				if !v.Success {
+					mFailed.Inc()
+				} else {
+					mVisitMS.Observe(float64(v.DurationMS))
+					mVisitMSByProf[v.Profile].Observe(float64(v.DurationMS))
+				}
+				statsMu.Lock()
+				r.stats.VisitsTotal++
+				r.stats.AttemptsTotal += attempts
+				if attempts > 1 {
+					r.stats.VisitsRetried++
+				}
+				if degraded {
+					r.stats.VisitsDegraded++
+				}
+				if !v.Success {
+					r.stats.VisitsFailed++
+				}
+				statsMu.Unlock()
+			}
+			if cfg.Stateful {
+				// One sequential session per site: the jar persists across
+				// pages in discovery order. Off-shard pages are visited so
+				// the jar advances exactly as in the unsharded crawl, but
+				// recorded nowhere (nil tracer and registry are no-ops).
+				jar := browser.NewJar()
+				for _, p := range pages {
+					if cfg.PageFilter != nil && !cfg.PageFilter(site.Domain, p.URL) {
+						visitPage(nil, nil, b, site, p, cfg.Seed, jar, c.retry)
+						continue
+					}
 					if v := reuse(prof, p); v != nil {
 						reused(v)
 						continue
 					}
-					todo = append(todo, p)
+					performed(visitPage(tracer, reg, b, site, p, cfg.Seed, jar, c.retry))
 				}
-				visitAll(tracer, cfg.Metrics, b, site, todo, cfg.Seed, instances, retry, performed)
-			}(prof)
-		}
-		wg.Wait()
-		mSites.Inc()
-		siteDone()
-		if cfg.Progress != nil {
-			cfg.Progress(si+1, len(cfg.Sites))
-		}
+				return
+			}
+			var todo []*webgen.Page
+			for _, p := range kept {
+				if v := reuse(prof, p); v != nil {
+					reused(v)
+					continue
+				}
+				todo = append(todo, p)
+			}
+			visitAll(tracer, reg, b, site, todo, cfg.Seed, c.instances, c.retry, performed)
+		}(pi, prof)
 	}
-	return ds, stats, nil
+	wg.Wait()
+	reg.Counter("crawl.sites").Inc()
+	siteDone()
+	r.visits = slots
+	if reg != nil {
+		r.dump = reg.Dump()
+	}
+	if tracer != nil {
+		r.traces = tracer.Export()
+	}
+	return r
 }
 
 // discoverPages delegates to the HTML-parsing discovery pass.

@@ -1,0 +1,241 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"webmeasure/internal/dataset"
+	"webmeasure/internal/faults"
+	"webmeasure/internal/measurement"
+	"webmeasure/internal/metrics"
+)
+
+// runWorkers crawls cfg with the given site-worker count and returns the
+// dataset's JSONL bytes, the metrics counter map, and the stats.
+func runWorkers(t *testing.T, cfg Config, workers int) ([]byte, map[string]int64, Stats) {
+	t.Helper()
+	cfg.SiteWorkers = workers
+	cfg.Metrics = metrics.New()
+	ds, stats, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatalf("workers=%d: write: %v", workers, err)
+	}
+	return buf.Bytes(), cfg.Metrics.Dump().Counters, stats
+}
+
+// TestSiteWorkersByteIdentical is the package-level half of the parallel
+// determinism contract: 1 worker and 8 workers must produce the same
+// dataset bytes, the same counter values, and the same stats — clean and
+// under heavy fault injection.
+func TestSiteWorkersByteIdentical(t *testing.T) {
+	heavy, err := faults.ByName("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		mutil func(*Config)
+	}{
+		{"clean", func(*Config) {}},
+		{"heavy-faults", func(c *Config) { c.Faults = heavy }},
+		{"stateful", func(c *Config) { c.Stateful = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCrawl(t, 10, 11)
+			tc.mutil(&cfg)
+			ds1, ctr1, st1 := runWorkers(t, cfg, 1)
+			ds8, ctr8, st8 := runWorkers(t, cfg, 8)
+			if !bytes.Equal(ds1, ds8) {
+				t.Errorf("dataset bytes differ between 1 and 8 site workers")
+			}
+			if !reflect.DeepEqual(ctr1, ctr8) {
+				t.Errorf("counters differ:\n 1 worker: %v\n 8 workers: %v", ctr1, ctr8)
+			}
+			if st1 != st8 {
+				t.Errorf("stats differ:\n 1 worker: %+v\n 8 workers: %+v", st1, st8)
+			}
+		})
+	}
+}
+
+// orderSink records the site order and visit stream a crawl emits.
+type orderSink struct {
+	sites  []string
+	visits []*measurement.Visit
+}
+
+func (s *orderSink) WriteSite(site string, visits []*measurement.Visit) error {
+	s.sites = append(s.sites, site)
+	s.visits = append(s.visits, visits...)
+	return nil
+}
+
+// TestSinkReceivesSiteListOrder pins the streaming contract: the sink
+// sees every site exactly once, in site-list order, and the concatenated
+// sink visits equal the in-memory dataset's insertion order (DiscardDataset
+// off so both exist to compare).
+func TestSinkReceivesSiteListOrder(t *testing.T) {
+	cfg := smallCrawl(t, 9, 5)
+	cfg.SiteWorkers = 4
+	sink := &orderSink{}
+	cfg.Sink = sink
+	var onVisit []*measurement.Visit
+	cfg.OnVisit = func(v *measurement.Visit) { onVisit = append(onVisit, v) }
+	ds, _, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(cfg.Sites))
+	for i, e := range cfg.Sites {
+		want[i] = cfg.Universe.GenerateSiteAt(e, cfg.Epoch).Domain
+	}
+	if !reflect.DeepEqual(sink.sites, want) {
+		t.Errorf("sink site order %v, want site-list order %v", sink.sites, want)
+	}
+	if len(sink.visits) != ds.Len() {
+		t.Fatalf("sink saw %d visits, dataset has %d", len(sink.visits), ds.Len())
+	}
+	for i, v := range sink.visits {
+		if onVisit[i] != v {
+			t.Fatalf("OnVisit order diverges from sink order at visit %d", i)
+		}
+	}
+	// The streamed bytes equal the buffered writer's bytes.
+	var streamed, buffered bytes.Buffer
+	sw := dataset.NewJSONLSiteWriter(&streamed)
+	start := 0
+	for _, site := range sink.sites {
+		end := start
+		for end < len(sink.visits) && sink.visits[end].Site == site {
+			end++
+		}
+		if err := sw.WriteSite(site, sink.visits[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		start = end
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteJSONL(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		t.Errorf("streamed JSONL differs from buffered WriteJSONL")
+	}
+}
+
+// TestDiscardDataset checks the streaming-only mode: with DiscardDataset
+// the returned dataset stays empty while the sink still receives every
+// visit.
+func TestDiscardDataset(t *testing.T) {
+	cfg := smallCrawl(t, 5, 3)
+	sink := &orderSink{}
+	cfg.Sink = sink
+	cfg.DiscardDataset = true
+	ds, stats, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 {
+		t.Errorf("DiscardDataset kept %d visits in memory", ds.Len())
+	}
+	if len(sink.visits) != stats.VisitsTotal {
+		t.Errorf("sink saw %d visits, stats count %d", len(sink.visits), stats.VisitsTotal)
+	}
+}
+
+// TestSinkErrorAbortsRun checks a failing sink stops the crawl with its
+// error instead of crawling every remaining site to completion.
+func TestSinkErrorAbortsRun(t *testing.T) {
+	cfg := smallCrawl(t, 8, 3)
+	cfg.SiteWorkers = 2
+	boom := fmt.Errorf("disk full")
+	fail := failSink{after: 2, err: boom}
+	cfg.Sink = &fail
+	_, _, err := Run(context.Background(), cfg)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("disk full")) {
+		t.Fatalf("run returned %v, want the sink error", err)
+	}
+}
+
+type failSink struct {
+	after int
+	n     int
+	err   error
+}
+
+func (s *failSink) WriteSite(string, []*measurement.Visit) error {
+	s.n++
+	if s.n > s.after {
+		return s.err
+	}
+	return nil
+}
+
+// TestMidRunCancellation cancels the context from the progress callback
+// and expects ctx.Err back with a contiguous site-list prefix emitted —
+// the pool's drain path (also exercised under -race by make race-crawl).
+func TestMidRunCancellation(t *testing.T) {
+	cfg := smallCrawl(t, 12, 9)
+	cfg.SiteWorkers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &orderSink{}
+	cfg.Sink = sink
+	cfg.Progress = func(done, total int) {
+		if done == 3 {
+			cancel()
+		}
+	}
+	_, _, err := Run(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("run returned %v, want context.Canceled", err)
+	}
+	if len(sink.sites) < 3 {
+		t.Fatalf("only %d sites emitted before cancel, progress fired at 3", len(sink.sites))
+	}
+	want := make([]string, len(sink.sites))
+	for i := range sink.sites {
+		want[i] = cfg.Universe.GenerateSiteAt(cfg.Sites[i], cfg.Epoch).Domain
+	}
+	if !reflect.DeepEqual(sink.sites, want) {
+		t.Errorf("emitted sites %v are not a site-list prefix %v", sink.sites, want)
+	}
+}
+
+// TestSkippedSiteRecordsNoSiteTiming is the skip-path fix: a site whose
+// pages are all filtered out must contribute nothing to crawl.site_ms —
+// previously it recorded a near-zero sample that skewed the site-latency
+// histogram under sharding.
+func TestSkippedSiteRecordsNoSiteTiming(t *testing.T) {
+	cfg := smallCrawl(t, 6, 13)
+	cfg.Metrics = metrics.New()
+	skip := cfg.Universe.GenerateSiteAt(cfg.Sites[2], cfg.Epoch).Domain
+	cfg.PageFilter = func(site, pageURL string) bool { return site != skip }
+	_, stats, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SitesVisited != 5 {
+		t.Fatalf("visited %d sites, want 5 (one fully skipped)", stats.SitesVisited)
+	}
+	d := cfg.Metrics.Dump()
+	h, ok := d.Histograms["crawl.site_ms"]
+	if !ok {
+		t.Fatal("crawl.site_ms histogram missing")
+	}
+	if h.Count != 5 {
+		t.Errorf("crawl.site_ms has %d samples, want 5 — skipped sites must not record a timing", h.Count)
+	}
+	if got := d.Counters["crawl.sites"]; got != 5 {
+		t.Errorf("crawl.sites = %d, want 5", got)
+	}
+}

@@ -1,0 +1,102 @@
+package crawler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSequencerEmitsInIndexOrder feeds the sequencer every permutation
+// driver a seeded generator produces and asserts the emission is always
+// 0..n-1 in order, each site exactly once — completion order must be
+// invisible downstream (satellite of the site-parallel crawl: the
+// dataset's byte identity across worker counts rests on this).
+func TestSequencerEmitsInIndexOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		perm := rng.Perm(n)
+		var got []int
+		seq := newSequencer(func(r *siteResult) error {
+			got = append(got, r.index)
+			return nil
+		})
+		for _, idx := range perm {
+			if err := seq.offer(&siteResult{index: idx}); err != nil {
+				t.Fatalf("trial %d: offer(%d): %v", trial, idx, err)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: emitted %d of %d sites (completion order %v)", trial, len(got), n, perm)
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("trial %d: emission %v out of order at %d (completion order %v)", trial, got, i, perm)
+			}
+		}
+	}
+}
+
+// TestSequencerIdenticalEmissionForAnyCompletionOrder replays the same
+// site results in many random completion orders and asserts the emitted
+// payload sequence — not just the indices — is identical every time.
+func TestSequencerIdenticalEmissionForAnyCompletionOrder(t *testing.T) {
+	const n = 25
+	results := make([]*siteResult, n)
+	for i := range results {
+		results[i] = &siteResult{index: i, site: fmt.Sprintf("site-%02d.example", i)}
+	}
+	emit := func(perm []int) []string {
+		var got []string
+		seq := newSequencer(func(r *siteResult) error {
+			got = append(got, r.site)
+			return nil
+		})
+		for _, idx := range perm {
+			if err := seq.offer(results[idx]); err != nil {
+				t.Fatalf("offer(%d): %v", idx, err)
+			}
+		}
+		return got
+	}
+	want := emit(rand.New(rand.NewSource(1)).Perm(n))
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		got := emit(rng.Perm(n))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d emissions, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: emission %d is %q, want %q", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSequencerStopsOnEmitError pins the failure contract: the first
+// emit error is returned to the offering caller, the cursor does not
+// advance past the failed site, and buffered later sites stay pending.
+func TestSequencerStopsOnEmitError(t *testing.T) {
+	boom := fmt.Errorf("sink full")
+	var emitted []int
+	seq := newSequencer(func(r *siteResult) error {
+		if r.index == 1 {
+			return boom
+		}
+		emitted = append(emitted, r.index)
+		return nil
+	})
+	if err := seq.offer(&siteResult{index: 2}); err != nil {
+		t.Fatalf("offer(2): %v", err)
+	}
+	if err := seq.offer(&siteResult{index: 0}); err != nil {
+		t.Fatalf("offer(0): %v", err)
+	}
+	if err := seq.offer(&siteResult{index: 1}); err != boom {
+		t.Fatalf("offer(1) returned %v, want the emit error", err)
+	}
+	if len(emitted) != 1 || emitted[0] != 0 {
+		t.Fatalf("emitted %v, want [0]", emitted)
+	}
+}

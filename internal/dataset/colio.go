@@ -20,20 +20,23 @@ const (
 )
 
 // WriteCol writes the dataset in the columnar format: one block per
-// site, sites in ascending order, each visit tagged with its insertion
-// sequence number so ReadCol can restore the exact insertion order the
-// JSONL form preserves positionally.
+// site, blocks in first-insertion order (the footer index stays sorted
+// by site for seeks), each visit tagged with its insertion sequence
+// number so ReadCol can restore the exact insertion order the JSONL form
+// preserves positionally. A crawl-ordered dataset therefore encodes to
+// the same bytes whether buffered through WriteCol or streamed site by
+// site through ColSiteWriter, and a col -> jsonl -> col round trip is
+// byte-identical.
 func (d *Dataset) WriteCol(w io.Writer) error {
 	visits := d.Visits()
 	bySite := make(map[string][]colstore.VisitRow)
+	var sites []string
 	for i, v := range visits {
+		if _, seen := bySite[v.Site]; !seen {
+			sites = append(sites, v.Site)
+		}
 		bySite[v.Site] = append(bySite[v.Site], colstore.VisitRow{Seq: uint64(i), Visit: v})
 	}
-	sites := make([]string, 0, len(bySite))
-	for s := range bySite {
-		sites = append(sites, s)
-	}
-	sort.Strings(sites)
 	cw := colstore.NewWriter(w)
 	for _, site := range sites {
 		if err := cw.WriteSite(site, bySite[site]); err != nil {

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"webmeasure/internal/colstore"
+	"webmeasure/internal/measurement"
+)
+
+// SiteWriter is a streaming dataset sink: the site-parallel crawl hands
+// it one site at a time, in final dataset order, and Close seals the
+// file. Both implementations produce byte-identical output to their
+// buffered counterparts (WriteJSONL / WriteCol of a dataset whose
+// insertion order matches the emission order), so a streamed crawl and a
+// buffered crawl of the same configuration write the same files — only
+// the peak memory differs.
+type SiteWriter interface {
+	// WriteSite appends one site's visits. Visits must belong to site;
+	// sites must not repeat.
+	WriteSite(site string, visits []*measurement.Visit) error
+	// Close flushes and finalizes the output. The writer cannot be used
+	// afterwards.
+	Close() error
+}
+
+// JSONLSiteWriter streams visits as JSON Lines, one visit per line in
+// emission order — the streaming form of WriteJSONL.
+type JSONLSiteWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSiteWriter starts a JSONL stream on w.
+func NewJSONLSiteWriter(w io.Writer) *JSONLSiteWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLSiteWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteSite appends one site's visits as lines.
+func (s *JSONLSiteWriter) WriteSite(site string, visits []*measurement.Visit) error {
+	for _, v := range visits {
+		if v.Site != site {
+			return fmt.Errorf("dataset: visit of site %q written under site %q", v.Site, site)
+		}
+		if err := s.enc.Encode(v); err != nil {
+			return fmt.Errorf("dataset: encode visit: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes the buffered lines.
+func (s *JSONLSiteWriter) Close() error {
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ColSiteWriter streams visits into the columnar format, one block per
+// site in emission order. Sequence numbers are assigned globally in
+// emission order, so ReadCol of the output restores exactly the visit
+// order the sites were written in — the same order the JSONL stream
+// preserves positionally.
+type ColSiteWriter struct {
+	cw  *colstore.Writer
+	seq uint64
+}
+
+// NewColSiteWriter starts a columnar file on w.
+func NewColSiteWriter(w io.Writer) *ColSiteWriter {
+	return &ColSiteWriter{cw: colstore.NewWriter(w)}
+}
+
+// WriteSite encodes one site's visits as a block.
+func (s *ColSiteWriter) WriteSite(site string, visits []*measurement.Visit) error {
+	rows := make([]colstore.VisitRow, len(visits))
+	for i, v := range visits {
+		rows[i] = colstore.VisitRow{Seq: s.seq, Visit: v}
+		s.seq++
+	}
+	return s.cw.WriteSite(site, rows)
+}
+
+// Close writes the footer index and flushes.
+func (s *ColSiteWriter) Close() error {
+	return s.cw.Close()
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"webmeasure/internal/measurement"
+)
+
+// streamSites is the fixture for the streaming-writer tests: three sites
+// in crawl (non-lexicographic) order, two pages each, two profiles.
+func streamSites() (sites []string, bySite map[string][]*measurement.Visit) {
+	sites = []string{"m.example", "a.example", "z.example"}
+	bySite = make(map[string][]*measurement.Visit)
+	for _, s := range sites {
+		for _, page := range []string{"https://" + s + "/", "https://" + s + "/p1"} {
+			for _, prof := range []string{"Sim1", "Sim2"} {
+				bySite[s] = append(bySite[s], visit(s, page, prof, true))
+			}
+		}
+	}
+	return sites, bySite
+}
+
+// TestJSONLSiteWriterMatchesWriteJSONL checks the streamed JSONL equals
+// the buffered WriteJSONL of a dataset with the same insertion order.
+func TestJSONLSiteWriterMatchesWriteJSONL(t *testing.T) {
+	sites, bySite := streamSites()
+	ds := New()
+	var streamed bytes.Buffer
+	sw := NewJSONLSiteWriter(&streamed)
+	for _, s := range sites {
+		for _, v := range bySite[s] {
+			ds.Add(v)
+		}
+		if err := sw.WriteSite(s, bySite[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buffered bytes.Buffer
+	if err := ds.WriteJSONL(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		t.Error("streamed JSONL differs from buffered WriteJSONL")
+	}
+}
+
+// TestJSONLSiteWriterRejectsForeignVisit checks the site/visit ownership
+// guard.
+func TestJSONLSiteWriterRejectsForeignVisit(t *testing.T) {
+	sw := NewJSONLSiteWriter(&bytes.Buffer{})
+	err := sw.WriteSite("a.example", []*measurement.Visit{visit("b.example", "https://b.example/", "Sim1", true)})
+	if err == nil {
+		t.Fatal("visit of another site was accepted")
+	}
+}
+
+// TestColSiteWriterRoundTrip streams sites in crawl order into the
+// columnar format and checks ReadCol restores exactly the streamed visit
+// order (global sequence numbers are assigned in emission order).
+func TestColSiteWriterRoundTrip(t *testing.T) {
+	sites, bySite := streamSites()
+	var want []*measurement.Visit
+	var buf bytes.Buffer
+	cw := NewColSiteWriter(&buf)
+	for _, s := range sites {
+		want = append(want, bySite[s]...)
+		if err := cw.WriteSite(s, bySite[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCol(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != len(want) {
+		t.Fatalf("read %d visits, wrote %d", ds.Len(), len(want))
+	}
+	var wantJSONL, gotJSONL bytes.Buffer
+	wantDS := New()
+	for _, v := range want {
+		wantDS.Add(v)
+	}
+	if err := wantDS.WriteJSONL(&wantJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteJSONL(&gotJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSONL.Bytes(), gotJSONL.Bytes()) {
+		t.Error("columnar round trip does not restore the streamed visit order")
+	}
+}
+
+// TestColSiteWriterMatchesWriteCol checks that streaming sites in any
+// order produces byte-identical output to the buffered WriteCol of a
+// dataset with the same insertion order — the equivalence that lets a
+// streamed crawl replace the buffered writer without changing any
+// artifact (WriteCol emits blocks in first-insertion order).
+func TestColSiteWriterMatchesWriteCol(t *testing.T) {
+	order, bySite := streamSites()
+	ds := New()
+	var streamed bytes.Buffer
+	cw := NewColSiteWriter(&streamed)
+	for _, s := range order {
+		for _, v := range bySite[s] {
+			ds.Add(v)
+		}
+		if err := cw.WriteSite(s, bySite[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buffered bytes.Buffer
+	if err := ds.WriteCol(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		t.Error("streamed columnar file differs from buffered WriteCol")
+	}
+}

@@ -35,6 +35,12 @@ type JobSpec struct {
 	// worker count (the repo's determinism golden test), so results may
 	// be shared across jobs that differ only here.
 	Workers int `json:"workers,omitempty"`
+	// SiteWorkers bounds the crawl's site-level worker pool. Like
+	// Workers it is deliberately NOT part of the cache key: the crawl's
+	// output is byte-identical for every site-worker count (the reorder
+	// sequencer emits sites in list order), so results may be shared
+	// across jobs that differ only here.
+	SiteWorkers int `json:"site_workers,omitempty"`
 	// TraceSample enables span tracing for the job: 0 runs untraced, 1
 	// traces every page, N>1 head-samples one page in N. It IS part of
 	// the cache key — a traced job carries a trace artifact an untraced
@@ -89,6 +95,9 @@ func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
 	}
 	if s.Workers < 0 {
 		s.Workers = 0
+	}
+	if s.SiteWorkers < 0 {
+		s.SiteWorkers = 0
 	}
 	if s.TraceSample < 0 {
 		s.TraceSample = 0
@@ -173,11 +182,12 @@ func (s JobSpec) normalize(limits Limits) (JobSpec, error) {
 }
 
 // cacheKey is the canonical identity of the measurement a spec describes:
-// the JSON encoding of the normalized spec with Workers zeroed (worker
-// count never changes the output bytes). Two submissions with equal keys
-// are the same deterministic experiment.
+// the JSON encoding of the normalized spec with Workers and SiteWorkers
+// zeroed (neither pool size changes the output bytes). Two submissions
+// with equal keys are the same deterministic experiment.
 func (s JobSpec) cacheKey() string {
 	s.Workers = 0
+	s.SiteWorkers = 0
 	b, err := json.Marshal(s)
 	if err != nil {
 		// JobSpec is a plain struct of scalars and strings; Marshal
@@ -219,6 +229,7 @@ func (s JobSpec) config(reg *metrics.Registry) webmeasure.Config {
 		Profiles:     s.Profiles,
 		FaultProfile: s.FaultProfile,
 		Workers:      s.Workers,
+		SiteWorkers:  s.SiteWorkers,
 		Shards:       s.Shards,
 		ShardIndex:   shardIndex,
 		ShardSeed:    s.ShardSeed,

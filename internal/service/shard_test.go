@@ -54,6 +54,13 @@ func TestShardCacheKeyIsolation(t *testing.T) {
 	if normalized(t, workers).cacheKey() != normalized(t, base).cacheKey() {
 		t.Error("worker count leaked into the cache key")
 	}
+	// Same for the crawl's site-worker pool: the crawl output is
+	// byte-identical for every pool size, so the result is shareable.
+	siteWorkers := base
+	siteWorkers.SiteWorkers = 6
+	if normalized(t, siteWorkers).cacheKey() != normalized(t, base).cacheKey() {
+		t.Error("site-worker count leaked into the cache key")
+	}
 	// An unsharded spec must not grow shard fields in its key: cached
 	// results from before a redeploy with sharding enabled stay valid.
 	if key := normalized(t, base).cacheKey(); strings.Contains(key, "shard") {

@@ -134,6 +134,28 @@ func New(opts Options) *Tracer {
 // Enabled reports whether the tracer records anything at all.
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// Scratch returns a fresh empty tracer that makes the same sampling and
+// ID decisions as t — same seed and sampling rate, so Trace/Span IDs and
+// keep/drop outcomes are identical pure functions — but records into its
+// own buffers. The site-parallel crawler hands each in-flight site a
+// scratch tracer and Imports the exports in site order, which keeps the
+// merged tracer byte-identical to a sequential run's. The scratch shares
+// t's metrics registry (span counters are atomic and order-independent)
+// but not the MaxTraces valve: the valve's drop choice depends on
+// scheduling, so it only makes sense on the tracer that sees the whole
+// run. A nil tracer hands out a nil scratch.
+func (t *Tracer) Scratch() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{
+		seed:        t.seed,
+		sampleEvery: t.sampleEvery,
+		reg:         t.reg,
+		byKey:       make(map[string]*Trace),
+	}
+}
+
 // SampleEvery returns the head-sampling rate (1 = every trace).
 func (t *Tracer) SampleEvery() int {
 	if t == nil {

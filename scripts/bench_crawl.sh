@@ -1,0 +1,19 @@
+#!/bin/sh
+# bench_crawl.sh — measure the site-parallel crawl and record the numbers
+# as machine-readable JSON.
+#
+# cmd/benchcrawl crawls the same 150-site universe at site-worker counts
+# {1, 2, 4, 8}, clean and under heavy fault injection, in streaming mode
+# (dataset written site by site) plus a buffered baseline at 4 workers,
+# each case in a fresh child process so peak RSS is honest. The JSON
+# shape is guarded by TestBenchCrawlJSONWellFormed.
+#
+# Usage: sh scripts/bench_crawl.sh [out.json]
+set -e
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_crawl.json}"
+
+"$GO" build -o ./bench-crawl-bin ./cmd/benchcrawl
+./bench-crawl-bin -out "$OUT"
+rm -f ./bench-crawl-bin

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"webmeasure/internal/browser"
 	"webmeasure/internal/colstore"
@@ -83,6 +84,12 @@ type Config struct {
 	// merge is deterministic, so every report/JSON/CSV export is
 	// byte-identical for any worker count. 0 = GOMAXPROCS.
 	Workers int
+	// SiteWorkers bounds the crawl's site-level worker pool: that many
+	// sites are crawled concurrently, each on isolated scratch state, and
+	// a sequencer re-emits them in site-list order. Every artifact —
+	// dataset bytes in both formats, report, metrics counters, trace
+	// exports — is identical for any value. 0 = GOMAXPROCS.
+	SiteWorkers int
 	// Shards splits the experiment's page-key space into this many slices
 	// for distributed shard-and-merge analysis (0 or 1 = the whole
 	// experiment in one process). With Shards > 1 the run covers only the
@@ -185,49 +192,11 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		return nil, err
 	}
 	u, sample, boundaries := experimentFrame(cfg)
-
-	var resume *dataset.Dataset
-	if cfg.ResumeJSONL != nil {
-		var err error
-		resume, err = dataset.ReadAuto(cfg.ResumeJSONL)
-		if err != nil {
-			return nil, fmt.Errorf("webmeasure: resume dataset: %w", err)
-		}
-	}
-	profs, err := selectProfiles(cfg.Profiles)
+	ccfg, err := cfg.crawlerConfig(u, sample)
 	if err != nil {
 		return nil, err
 	}
-	faultProfile, err := faults.ByName(cfg.FaultProfile)
-	if err != nil {
-		return nil, fmt.Errorf("webmeasure: %w", err)
-	}
-	var pageFilter func(site, pageURL string) bool
-	if cfg.Shards > 1 {
-		if cfg.Stateful && resume != nil {
-			// A resumed stateful crawl reuses visits without replaying them,
-			// so the shared cookie jar would diverge from the full crawl's.
-			return nil, fmt.Errorf("webmeasure: sharded crawls cannot combine Stateful with ResumeJSONL")
-		}
-		pageFilter = cfg.shardPlan().Keep(cfg.ShardIndex)
-	}
-	ds, crawlStats, err := crawler.Run(ctx, crawler.Config{
-		Universe:   u,
-		Sites:      sample,
-		MaxPages:   cfg.PagesPerSite,
-		Instances:  cfg.Instances,
-		Profiles:   profs,
-		Seed:       cfg.Seed,
-		Epoch:      cfg.Epoch,
-		Stateful:   cfg.Stateful,
-		Faults:     faultProfile,
-		Retry:      cfg.Retry,
-		Progress:   cfg.Progress,
-		Resume:     resume,
-		Metrics:    cfg.Metrics,
-		Tracer:     cfg.Tracer,
-		PageFilter: pageFilter,
-	})
+	ds, crawlStats, err := crawler.Run(ctx, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: crawl: %w", err)
 	}
@@ -237,6 +206,82 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	res.stats = crawlStats
 	return res, nil
+}
+
+// crawlerConfig resolves the crawl inputs Run and CrawlStream share —
+// resume dataset, profile selection, fault profile, shard page filter —
+// into the crawler's configuration.
+func (c Config) crawlerConfig(u *webgen.Universe, sample []tranco.Entry) (crawler.Config, error) {
+	var resume *dataset.Dataset
+	if c.ResumeJSONL != nil {
+		var err error
+		resume, err = dataset.ReadAuto(c.ResumeJSONL)
+		if err != nil {
+			return crawler.Config{}, fmt.Errorf("webmeasure: resume dataset: %w", err)
+		}
+	}
+	profs, err := selectProfiles(c.Profiles)
+	if err != nil {
+		return crawler.Config{}, err
+	}
+	faultProfile, err := faults.ByName(c.FaultProfile)
+	if err != nil {
+		return crawler.Config{}, fmt.Errorf("webmeasure: %w", err)
+	}
+	var pageFilter func(site, pageURL string) bool
+	if c.Shards > 1 {
+		if c.Stateful && resume != nil {
+			// A resumed stateful crawl reuses visits without replaying them,
+			// so the shared cookie jar would diverge from the full crawl's.
+			return crawler.Config{}, fmt.Errorf("webmeasure: sharded crawls cannot combine Stateful with ResumeJSONL")
+		}
+		pageFilter = c.shardPlan().Keep(c.ShardIndex)
+	}
+	return crawler.Config{
+		Universe:    u,
+		Sites:       sample,
+		MaxPages:    c.PagesPerSite,
+		Instances:   c.Instances,
+		Profiles:    profs,
+		Seed:        c.Seed,
+		Epoch:       c.Epoch,
+		Stateful:    c.Stateful,
+		Faults:      faultProfile,
+		Retry:       c.Retry,
+		Progress:    c.Progress,
+		Resume:      resume,
+		Metrics:     c.Metrics,
+		Tracer:      c.Tracer,
+		PageFilter:  pageFilter,
+		SiteWorkers: c.SiteWorkers,
+	}, nil
+}
+
+// CrawlStream runs only the measurement, streaming each finished site
+// into sink in site-list order instead of accumulating the whole dataset
+// in memory: peak RSS is bounded by the crawl's in-flight reorder window,
+// not the dataset size. The sink receives exactly the visit sequence
+// Run's dataset would hold (a dataset.SiteWriter therefore produces the
+// same bytes WriteDataset/WriteDatasetCol would); Close stays with the
+// caller. Analysis runs separately — feed the written file to
+// LoadAndAnalyze.
+func CrawlStream(ctx context.Context, cfg Config, sink crawler.SiteSink) (crawler.Stats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validateShard(); err != nil {
+		return crawler.Stats{}, err
+	}
+	u, sample, _ := experimentFrame(cfg)
+	ccfg, err := cfg.crawlerConfig(u, sample)
+	if err != nil {
+		return crawler.Stats{}, err
+	}
+	ccfg.Sink = sink
+	ccfg.DiscardDataset = true
+	_, stats, err := crawler.Run(ctx, ccfg)
+	if err != nil {
+		return stats, fmt.Errorf("webmeasure: crawl: %w", err)
+	}
+	return stats, nil
 }
 
 // Analyze runs the analysis over an existing dataset (e.g. one loaded with
@@ -486,9 +531,19 @@ func LoadAndAnalyze(datasetIn io.Reader, cfg Config) (*Results, error) {
 // AnalyzeContext). A columnar dataset is analyzed site by site as it
 // decodes: each block's page groups enter the worker pool while only
 // that block occupies transient decode memory, and the retained visits
-// share the block's interned strings.
+// share the block's interned strings. A seekable columnar input (an
+// *os.File) is read through its footer index, whose blocks are listed in
+// ascending site order regardless of the order the crawl streamed them,
+// so block decode memory stays bounded even for files written in
+// crawl order by CrawlStream.
 func LoadAndAnalyzeContext(ctx context.Context, datasetIn io.Reader, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	if ra, size, ok := readerAtSize(datasetIn); ok {
+		head := make([]byte, len(colstore.Magic))
+		if n, _ := ra.ReadAt(head, 0); colstore.Sniff(head[:n]) {
+			return loadAndAnalyzeColIndexed(ctx, ra, size, cfg)
+		}
+	}
 	format, rd, err := dataset.DetectFormat(datasetIn)
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
@@ -504,13 +559,17 @@ func LoadAndAnalyzeContext(ctx context.Context, datasetIn io.Reader, cfg Config)
 	return AnalyzeContext(ctx, ds, u, sample, boundaries, cfg)
 }
 
-// loadAndAnalyzeCol streams a columnar dataset through the incremental
-// analysis: decode one site block, analyze its pages (through the
-// block's pre-interned key cache), move to the next. The decoded visits
-// are retained — the derived analyses read raw requests back after the
-// page pool — but they alias each block's string table, and no
-// JSONL-sized row buffers ever exist.
-func loadAndAnalyzeCol(ctx context.Context, r io.Reader, cfg Config) (*Results, error) {
+// colStream is the scaffolding the two columnar load paths share: the
+// regenerated experiment frame plus an open streaming analysis.
+type colStream struct {
+	u          *webgen.Universe
+	boundaries []int
+	ds         *dataset.Dataset
+	stream     *core.Stream
+	cfg        Config
+}
+
+func newColStream(ctx context.Context, cfg Config) (*colStream, error) {
 	u, sample, boundaries := experimentFrame(cfg)
 	filter, ranks, names, err := analysisEnv(u, sample, cfg)
 	if err != nil {
@@ -521,25 +580,88 @@ func loadAndAnalyzeCol(ctx context.Context, r io.Reader, cfg Config) (*Results, 
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
 	}
-	if _, err := dataset.ScanColSites(r, func(sb *colstore.SiteBlock) error {
-		for _, v := range sb.Visits {
-			ds.Add(v)
-		}
-		return stream.AddSite(sb.Site, dataset.GroupVisits(sb.Visits), sb.KeyCache())
-	}); err != nil {
-		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	return &colStream{u: u, boundaries: boundaries, ds: ds, stream: stream, cfg: cfg}, nil
+}
+
+// addBlock feeds one decoded site block to the analysis. Blocks must
+// arrive in ascending site order.
+func (cs *colStream) addBlock(sb *colstore.SiteBlock) error {
+	for _, v := range sb.Visits {
+		cs.ds.Add(v)
 	}
-	analysis, err := stream.Finish()
+	return cs.stream.AddSite(sb.Site, dataset.GroupVisits(sb.Visits), sb.KeyCache())
+}
+
+func (cs *colStream) finish() (*Results, error) {
+	analysis, err := cs.stream.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("webmeasure: analyze: %w", err)
 	}
 	return &Results{
-		cfg:        cfg,
-		universe:   u,
-		dataset:    ds,
+		cfg:        cs.cfg,
+		universe:   cs.u,
+		dataset:    cs.ds,
 		analysis:   analysis,
-		boundaries: boundaries,
+		boundaries: cs.boundaries,
 	}, nil
+}
+
+// loadAndAnalyzeColIndexed streams a random-access columnar dataset
+// through the incremental analysis in footer-index order: decode one
+// site block, analyze its pages (through the block's pre-interned key
+// cache), move to the next. The decoded visits are retained — the
+// derived analyses read raw requests back after the page pool — but
+// they alias each block's string table, and no JSONL-sized row buffers
+// ever exist. The footer lists blocks in ascending site order whatever
+// order the body holds, so this path accepts crawl-order files at the
+// same bounded decode memory as site-sorted ones.
+func loadAndAnalyzeColIndexed(ctx context.Context, ra io.ReaderAt, size int64, cfg Config) (*Results, error) {
+	colr, err := dataset.OpenCol(ra, size)
+	if err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	cs, err := newColStream(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for bi := range colr.Index().Blocks {
+		sb, err := colr.Block(bi)
+		if err != nil {
+			return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+		}
+		if err := cs.addBlock(sb); err != nil {
+			return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+		}
+	}
+	return cs.finish()
+}
+
+// loadAndAnalyzeCol handles a non-seekable columnar stream. The body's
+// block order is not guaranteed (CrawlStream writes blocks in crawl
+// order) and the footer cannot be consulted first, so the blocks are
+// buffered, sorted by site, and then fed to the streaming analysis —
+// correct for any order, at the cost of holding every decoded block at
+// once. Seekable inputs take loadAndAnalyzeColIndexed instead, which
+// keeps decode memory bounded.
+func loadAndAnalyzeCol(ctx context.Context, r io.Reader, cfg Config) (*Results, error) {
+	cs, err := newColStream(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []*colstore.SiteBlock
+	if _, err := dataset.ScanColSites(r, func(sb *colstore.SiteBlock) error {
+		blocks = append(blocks, sb)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Site < blocks[j].Site })
+	for _, sb := range blocks {
+		if err := cs.addBlock(sb); err != nil {
+			return nil, fmt.Errorf("webmeasure: load dataset: %w", err)
+		}
+	}
+	return cs.finish()
 }
 
 // Partial exports this run's analysis as one shard's contribution to a
