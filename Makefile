@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers bench-service bench-throughput bench-json bench-dataset bench-crawl bench-smoke serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service race-crawl cover fuzz-smoke clean
+.PHONY: all tier1 tier2 bench bench-workers bench-service bench-throughput bench-json bench-dataset bench-crawl bench-smoke serve-smoke trace-smoke shard-smoke col-smoke load-smoke drift-smoke race-service race-crawl cover fuzz-smoke clean
 
 all: tier1
 
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: serve-smoke trace-smoke shard-smoke col-smoke load-smoke race-service race-crawl cover bench-smoke
+tier2: serve-smoke trace-smoke shard-smoke col-smoke load-smoke drift-smoke race-service race-crawl cover bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -58,6 +58,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzColBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/colstore
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecCanonical$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzConfigParse$$' -fuzztime $(FUZZTIME) ./internal/loadgen
+	$(GO) test -run '^$$' -fuzz '^FuzzBaselineDecode$$' -fuzztime $(FUZZTIME) ./internal/drift
 
 # Crawl with -trace, validate the Chrome trace-event export with
 # cmd/tracecheck (shape + per-stage span coverage), and require the trace
@@ -75,6 +76,15 @@ serve-smoke:
 	$(GO) build -o ./serve-smoke-bin ./cmd/serve
 	sh scripts/serve_smoke.sh ./serve-smoke-bin
 	rm -f ./serve-smoke-bin
+
+# Boot cmd/serve in monitor mode for 3 epochs, wait for the drift
+# schedule to finish via /debug/drift, assert the state directory holds
+# the full baseline/delta/csv/report set, and diff the alert JSONL
+# against the committed golden; see scripts/drift_smoke.sh.
+drift-smoke:
+	$(GO) build -o ./drift-smoke-bin ./cmd/serve
+	sh scripts/drift_smoke.sh ./drift-smoke-bin
+	rm -f ./drift-smoke-bin
 
 # Boot a coordinator plus two shard workers as separate processes, run the
 # same experiment whole and sharded, and require byte-identical artifacts;

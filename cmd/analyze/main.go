@@ -23,6 +23,7 @@ import (
 	"webmeasure"
 	"webmeasure/internal/colstore"
 	"webmeasure/internal/dataset"
+	"webmeasure/internal/drift"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
 	"webmeasure/internal/trace"
@@ -48,6 +49,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sites     = fs.Int("sites", 100, "sites used for the crawl")
 		pages     = fs.Int("pages", 10, "pages per site used for the crawl")
 		seed      = fs.Int64("seed", 1, "seed used for the crawl")
+		epoch     = fs.Int("epoch", 0, "epoch used for the crawl (0 = base snapshot)")
 		workers   = fs.Int("workers", 0, "analysis worker goroutines (0 = all CPUs)")
 		shards    = fs.Int("shards", 0, "run the shard-and-merge pipeline over N page-key shards (0/1 = single analysis; output is byte-identical either way)")
 		shardSeed = fs.Int64("shard-seed", 0, "seed of the shard plan's page-key hash (0 = -seed)")
@@ -56,6 +58,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.String("json", "", "also export all results as one JSON bundle to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file (go tool pprof)")
 		memProf   = fs.String("memprofile", "", "write a heap profile after the analysis to this file (go tool pprof)")
+
+		baselineOut = fs.String("baseline-out", "", "write this run's drift baseline (per-site third parties, similarity summaries) to this JSON file")
+		driftFrom   = fs.String("drift-from", "", "compare against a prior baseline JSON file and print the drift section")
+		driftJSON   = fs.String("drift-json", "", "with -drift-from, also write the delta as JSON to this file")
 
 		traceOut    = fs.String("trace", "", "write a Chrome trace-event JSON of the analysis to this file (chrome://tracing)")
 		traceJSONL  = fs.String("trace-jsonl", "", "write the span trace as JSON Lines to this file")
@@ -69,6 +75,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	logger, err := trace.NewLogger(stderr, *logLevel, *logJSON)
 	if err != nil {
 		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		return 2
+	}
+	if *driftJSON != "" && *driftFrom == "" {
+		fmt.Fprintln(stderr, "analyze: -drift-json requires -drift-from")
 		return 2
 	}
 
@@ -139,7 +149,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	stopProgress := metrics.StartProgress(ctx, stderr, reg, *progress)
 	res, err := webmeasure.LoadAndAnalyzeShardedContext(ctx, f, webmeasure.Config{
-		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
+		Seed: *seed, Sites: *sites, PagesPerSite: *pages, Epoch: *epoch,
 		Workers: *workers, Metrics: reg, Tracer: tracer,
 		Shards: *shards, ShardSeed: *shardSeed,
 	})
@@ -149,6 +159,53 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	res.WriteReport(stdout)
+	if *baselineOut != "" || *driftFrom != "" {
+		// The baseline/delta pair is the longitudinal half of the analysis:
+		// -baseline-out persists this epoch's snapshot, -drift-from diffs it
+		// against a prior epoch's and appends the drift section.
+		b := res.DriftBaseline()
+		if *baselineOut != "" {
+			data, err := b.Encode()
+			if err == nil {
+				err = os.WriteFile(*baselineOut, data, 0o644)
+			}
+			if err != nil {
+				logger.Error("baseline export failed", "error", err.Error())
+				return 1
+			}
+			logger.Info("baseline written", "path", *baselineOut, "epoch", b.Meta.Epoch)
+		}
+		if *driftFrom != "" {
+			prevData, err := os.ReadFile(*driftFrom)
+			if err != nil {
+				logger.Error("drift comparison failed", "error", err.Error())
+				return 1
+			}
+			prev, err := drift.DecodeBaseline(prevData)
+			if err != nil {
+				logger.Error("drift comparison failed", "error", err.Error())
+				return 1
+			}
+			d, err := drift.Diff(prev, b)
+			if err != nil {
+				logger.Error("drift comparison failed", "error", err.Error())
+				return 1
+			}
+			fmt.Fprintln(stdout)
+			report.WriteDriftSection(stdout, d, nil)
+			if *driftJSON != "" {
+				data, err := d.Encode()
+				if err == nil {
+					err = os.WriteFile(*driftJSON, data, 0o644)
+				}
+				if err != nil {
+					logger.Error("drift export failed", "error", err.Error())
+					return 1
+				}
+				logger.Info("drift delta written", "path", *driftJSON)
+			}
+		}
+	}
 	logger.Info("metrics", "snapshot", fmt.Sprint(reg.Snapshot()))
 	if tracer != nil {
 		report.WriteStageBreakdown(stderr, tracer.StageBreakdown())

@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sites       = fs.Int("sites", 100, "number of sites to sample")
 		pages       = fs.Int("pages", 10, "max subpages per site")
 		seed        = fs.Int64("seed", 1, "master seed")
+		epoch       = fs.Int("epoch", 0, "measurement epoch: the universe deterministically churns per epoch (0 = base snapshot)")
 		siteWorkers = fs.Int("site-workers", 0, "concurrent site crawls (0 = all CPUs); output is byte-identical for any value")
 		progress    = fs.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 		out         = fs.String("o", "dataset.jsonl", "output path for the dataset")
@@ -81,7 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ctx = trace.NewContext(ctx, tracer)
 	}
 	cfg := webmeasure.Config{
-		Seed: *seed, Sites: *sites, PagesPerSite: *pages,
+		Seed: *seed, Sites: *sites, PagesPerSite: *pages, Epoch: *epoch,
 		FaultProfile: *faults,
 		SiteWorkers:  *siteWorkers, Metrics: reg,
 		Progress: func(done, total int) {
@@ -143,7 +144,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			"traces", tracer.TraceCount(), "spans", tracer.SpanCount(),
 			"sample_every", tracer.SampleEvery(), "dropped", tracer.Dropped())
 	}
-	fmt.Fprintf(stderr, "analyze with: analyze -i %s -sites %d -pages %d -seed %d\n",
+	hint := fmt.Sprintf("analyze with: analyze -i %s -sites %d -pages %d -seed %d",
 		*out, *sites, *pages, *seed)
+	if *epoch != 0 {
+		hint += fmt.Sprintf(" -epoch %d", *epoch)
+	}
+	fmt.Fprintln(stderr, hint)
 	return 0
 }

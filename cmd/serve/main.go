@@ -19,8 +19,10 @@ import (
 	"syscall"
 	"time"
 
+	"webmeasure/internal/drift"
 	"webmeasure/internal/service"
 	"webmeasure/internal/trace"
+	"webmeasure/internal/version"
 )
 
 func main() {
@@ -41,19 +43,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		minWorkers = fs.Int("min-workers", 0, "autoscaling floor (0 = pin the pool at -workers)")
 		maxWorkers = fs.Int("max-workers", 0, "autoscaling ceiling (0 = pin the pool at -workers)")
 		scaleEvery = fs.Duration("scale-interval", 250*time.Millisecond, "autoscaler evaluation period")
-		queue    = fs.Int("queue", 16, "queued-job bound before submissions get 429")
-		cache    = fs.Int("cache", 64, "LRU result cache entries (negative disables)")
-		maxSites = fs.Int("max-sites", 2000, "largest per-job site count accepted")
-		maxPages = fs.Int("max-pages", 100, "largest per-job pages-per-site accepted")
-		drain    = fs.Duration("drain", time.Minute, "shutdown grace period for running jobs")
-		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
-		logJSON  = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
+		queue      = fs.Int("queue", 16, "queued-job bound before submissions get 429")
+		cache      = fs.Int("cache", 64, "LRU result cache entries (negative disables)")
+		maxSites   = fs.Int("max-sites", 2000, "largest per-job site count accepted")
+		maxPages   = fs.Int("max-pages", 100, "largest per-job pages-per-site accepted")
+		drain      = fs.Duration("drain", time.Minute, "shutdown grace period for running jobs")
+		logLevel   = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logJSON    = fs.Bool("log-json", false, "emit log records as JSON instead of key=value text")
 
 		shardWorkers = fs.String("shard-workers", "", "comma-separated base URLs of peer servers coordinator jobs fan shard jobs out to (empty = run shards in-process)")
 		maxShards    = fs.Int("max-shards", 16, "largest per-job shard count accepted")
+
+		monitorEpochs = fs.Int("monitor-epochs", 0, "run the longitudinal drift monitor for N epochs (0 = off)")
+		monitorStart  = fs.Int("monitor-start-epoch", 0, "first monitored epoch")
+		monitorEvery  = fs.Duration("monitor-interval", 0, "pause between monitored epochs (0 = back to back)")
+		monitorSeed   = fs.Int64("monitor-seed", 1, "seed of the monitored experiment")
+		monitorSites  = fs.Int("monitor-sites", 20, "sites the monitored experiment crawls per epoch")
+		monitorPages  = fs.Int("monitor-pages", 5, "pages per site the monitored experiment crawls")
+		monitorFaults = fs.String("monitor-faults", "", "fault profile of the monitored experiment: off, light, or heavy")
+		monitorPin    = fs.Int("monitor-pin", -1, "epoch every baseline is additionally diffed against (-1 = the start epoch)")
+		stateDir      = fs.String("state-dir", "drift-state", "directory for monitor baselines, deltas, alerts.jsonl, and drift.csv")
+		driftRules    = fs.String("drift-rules", "", "JSON file of alert rules (empty = the built-in default rules)")
+
+		showVersion = fs.Bool("version", false, "print the build identity and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return 0
 	}
 	logger, err := trace.NewLogger(stderr, *logLevel, *logJSON)
 	if err != nil {
@@ -67,7 +86,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 			peers = append(peers, strings.TrimRight(w, "/"))
 		}
 	}
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:       *workers,
 		MinWorkers:    *minWorkers,
 		MaxWorkers:    *maxWorkers,
@@ -77,7 +96,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		Limits:        service.Limits{MaxSites: *maxSites, MaxPagesPerSite: *maxPages, MaxShards: *maxShards},
 		Logger:        logger,
 		ShardWorkers:  peers,
-	})
+	}
+	if *monitorEpochs > 0 {
+		mc := &service.MonitorConfig{
+			Spec: service.JobSpec{
+				Seed:         *monitorSeed,
+				Sites:        *monitorSites,
+				PagesPerSite: *monitorPages,
+				FaultProfile: *monitorFaults,
+			},
+			Epochs:     *monitorEpochs,
+			StartEpoch: *monitorStart,
+			Interval:   *monitorEvery,
+			StateDir:   *stateDir,
+			PinEpoch:   *monitorPin,
+		}
+		if *driftRules != "" {
+			rf, err := os.Open(*driftRules)
+			if err != nil {
+				fmt.Fprintf(stderr, "serve: %v\n", err)
+				return 2
+			}
+			rules, err := drift.ParseRules(rf)
+			rf.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "serve: -drift-rules: %v\n", err)
+				return 2
+			}
+			mc.Rules = rules
+		}
+		cfg.Monitor = mc
+		logger.Info("drift monitor enabled",
+			"epochs", *monitorEpochs, "start", *monitorStart, "state_dir", *stateDir,
+			"sites", *monitorSites, "pages", *monitorPages, "seed", *monitorSeed)
+	}
+	srv := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

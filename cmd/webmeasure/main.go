@@ -17,6 +17,7 @@ import (
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/report"
 	"webmeasure/internal/trace"
+	"webmeasure/internal/version"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "trace one page in N (head-based sampling; 1 = every page)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logJSON     = flag.Bool("log-json", false, "emit log records as JSON instead of key=value text")
+		showVersion = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	logger, err := trace.NewLogger(os.Stderr, *logLevel, *logJSON)
 	if err != nil {

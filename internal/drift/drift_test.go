@@ -1,0 +1,494 @@
+package drift
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"webmeasure/internal/tree"
+)
+
+// mkBaseline hand-builds a minimal valid baseline for delta/rule tests.
+func mkBaseline(epoch int, thirdParties, trackers []string, trackingShare float64) *Baseline {
+	return &Baseline{
+		Meta: Meta{
+			SchemaVersion: SchemaVersion,
+			Epoch:         epoch,
+			Seed:          7,
+			Sites:         2,
+			TrancoSize:    20,
+			PagesPerSite:  2,
+			Profiles:      []string{"Sim1", "Sim2"},
+		},
+		SitesAnalyzed: 1,
+		VettedPages:   2,
+		TrackingShare: trackingShare,
+		ThirdParties:  thirdParties,
+		Trackers:      trackers,
+		SiteBaselines: []*SiteBaseline{{
+			Site:         "a.example",
+			VettedPages:  2,
+			ThirdParties: thirdParties,
+			Trackers:     trackers,
+		}},
+	}
+}
+
+// rec builds a tree record root→children (depth 1 chain per child list).
+func rec(site, page string, keys ...string) tree.Record {
+	r := tree.Record{
+		Site:    site,
+		PageURL: page,
+		Profile: "Sim1",
+		Nodes:   []tree.NodeRecord{{Key: page}},
+	}
+	for _, k := range keys {
+		r.Nodes = append(r.Nodes, tree.NodeRecord{Key: k, Parent: page})
+	}
+	return r
+}
+
+func TestSetDiff(t *testing.T) {
+	onlyA, onlyB := setDiff(
+		[]string{"a", "b", "c", "e"},
+		[]string{"b", "d", "e", "f"},
+	)
+	if got, want := fmt.Sprint(onlyA), "[a c]"; got != want {
+		t.Errorf("onlyA = %s, want %s", got, want)
+	}
+	if got, want := fmt.Sprint(onlyB), "[d f]"; got != want {
+		t.Errorf("onlyB = %s, want %s", got, want)
+	}
+}
+
+func TestDiffIdentity(t *testing.T) {
+	b := mkBaseline(3, []string{"cdn.example", "tr.example"}, []string{"tr.example"}, 0.25)
+	b.SiteBaselines[0].Trees = []tree.Record{
+		rec("a.example", "https://a.example/", "https://cdn.example/x.js"),
+	}
+	d, err := Diff(b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FromEpoch != 3 || d.ToEpoch != 3 {
+		t.Errorf("epochs = %d→%d", d.FromEpoch, d.ToEpoch)
+	}
+	if len(d.NewThirdParties)+len(d.VanishedThirdParties) != 0 {
+		t.Errorf("self-diff has third-party churn: %v / %v", d.NewThirdParties, d.VanishedThirdParties)
+	}
+	if d.ThirdPartyJaccard != 1 {
+		t.Errorf("self-diff jaccard = %v", d.ThirdPartyJaccard)
+	}
+	if d.TrackingShareDrift != 0 {
+		t.Errorf("self-diff tracking drift = %v", d.TrackingShareDrift)
+	}
+	if d.TreeSimilarity != 1 || d.EdgeSimilarity != 1 {
+		t.Errorf("self-diff tree/edge similarity = %v/%v", d.TreeSimilarity, d.EdgeSimilarity)
+	}
+	if d.CommonPages != 1 {
+		t.Errorf("common pages = %d", d.CommonPages)
+	}
+}
+
+func TestDiffChurn(t *testing.T) {
+	from := mkBaseline(0, []string{"a.net", "b.net", "c.net"}, []string{"a.net"}, 0.2)
+	to := mkBaseline(1, []string{"b.net", "c.net", "d.net", "e.net"}, []string{"a.net", "d.net"}, 0.3)
+	// One common page whose tree gained a node, one page vanished, one new.
+	from.SiteBaselines[0].Trees = []tree.Record{
+		rec("a.example", "https://a.example/", "https://b.net/x.js"),
+		rec("a.example", "https://a.example/old", "https://c.net/y.js"),
+	}
+	to.SiteBaselines[0].Trees = []tree.Record{
+		rec("a.example", "https://a.example/", "https://b.net/x.js", "https://d.net/z.js"),
+		rec("a.example", "https://a.example/new", "https://e.net/w.js"),
+	}
+	d, err := Diff(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(d.NewThirdParties), "[d.net e.net]"; got != want {
+		t.Errorf("new third parties = %s, want %s", got, want)
+	}
+	if got, want := fmt.Sprint(d.VanishedThirdParties), "[a.net]"; got != want {
+		t.Errorf("vanished third parties = %s, want %s", got, want)
+	}
+	// |∩|=2, |∪|=5.
+	if d.ThirdPartyJaccard != 0.4 {
+		t.Errorf("jaccard = %v, want 0.4", d.ThirdPartyJaccard)
+	}
+	if got, want := fmt.Sprint(d.NewTrackers), "[d.net]"; got != want {
+		t.Errorf("new trackers = %s, want %s", got, want)
+	}
+	if len(d.VanishedTrackers) != 0 {
+		t.Errorf("vanished trackers = %v", d.VanishedTrackers)
+	}
+	if d.TrackingShareDrift < 0.0999 || d.TrackingShareDrift > 0.1001 {
+		t.Errorf("tracking drift = %v, want ~0.1", d.TrackingShareDrift)
+	}
+	if d.CommonPages != 1 {
+		t.Fatalf("common pages = %d, want 1", d.CommonPages)
+	}
+	if d.TreeSimilarity <= 0 || d.TreeSimilarity >= 1 {
+		t.Errorf("tree similarity = %v, want in (0,1) for a grown tree", d.TreeSimilarity)
+	}
+	if d.EdgeSimilarity <= 0 || d.EdgeSimilarity >= 1 {
+		t.Errorf("edge similarity = %v, want in (0,1)", d.EdgeSimilarity)
+	}
+}
+
+func TestDiffSiteTurnover(t *testing.T) {
+	from := mkBaseline(0, []string{"x.net"}, nil, 0)
+	to := mkBaseline(1, []string{"x.net"}, nil, 0)
+	to.SiteBaselines = []*SiteBaseline{{Site: "b.example", VettedPages: 1}}
+	d, err := Diff(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(d.VanishedSites), "[a.example]"; got != want {
+		t.Errorf("vanished sites = %s, want %s", got, want)
+	}
+	if got, want := fmt.Sprint(d.NewSites), "[b.example]"; got != want {
+		t.Errorf("new sites = %s, want %s", got, want)
+	}
+	if len(d.SiteDeltas) != 0 {
+		t.Errorf("no common site expected, got %d deltas", len(d.SiteDeltas))
+	}
+}
+
+func TestDiffRejectsDifferentExperiments(t *testing.T) {
+	a := mkBaseline(0, nil, nil, 0)
+	for _, mutate := range []func(*Baseline){
+		func(b *Baseline) { b.Meta.Seed = 8 },
+		func(b *Baseline) { b.Meta.Sites = 3 },
+		func(b *Baseline) { b.Meta.PagesPerSite = 9 },
+		func(b *Baseline) { b.Meta.Profiles = []string{"Sim1"} },
+		func(b *Baseline) { b.Meta.FaultProfile = "heavy" },
+		func(b *Baseline) { b.Meta.SchemaVersion = SchemaVersion + 1 },
+	} {
+		b := mkBaseline(1, nil, nil, 0)
+		mutate(b)
+		if _, err := Diff(a, b); err == nil {
+			t.Errorf("Diff accepted mismatched baselines (%+v vs %+v)", a.Meta, b.Meta)
+		}
+	}
+}
+
+func TestBaselineEncodeDecodeRoundTrip(t *testing.T) {
+	b := mkBaseline(2, []string{"cdn.example"}, []string{"cdn.example"}, 0.5)
+	b.SiteBaselines[0].Trees = []tree.Record{
+		rec("a.example", "https://a.example/", "https://cdn.example/x.js"),
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("encode→decode→encode is not byte-identical")
+	}
+}
+
+func TestDecodeBaselineRejectsCorruption(t *testing.T) {
+	valid := mkBaseline(0, []string{"a.net", "b.net"}, nil, 0)
+	cases := []struct {
+		name   string
+		mutate func(*Baseline)
+	}{
+		{"wrong schema", func(b *Baseline) { b.Meta.SchemaVersion = 99 }},
+		{"unsorted third parties", func(b *Baseline) { b.ThirdParties = []string{"b.net", "a.net"} }},
+		{"duplicate third parties", func(b *Baseline) { b.ThirdParties = []string{"a.net", "a.net"} }},
+		{"sites out of order", func(b *Baseline) {
+			b.SiteBaselines = []*SiteBaseline{{Site: "b.example"}, {Site: "a.example"}}
+		}},
+		{"empty site", func(b *Baseline) { b.SiteBaselines = []*SiteBaseline{{Site: ""}} }},
+		{"bad tree record", func(b *Baseline) {
+			b.SiteBaselines[0].Trees = []tree.Record{{
+				Site: "a.example", PageURL: "p", Profile: "Sim1",
+				Nodes: []tree.NodeRecord{{Key: "root"}, {Key: "x", Parent: "missing"}},
+			}}
+		}},
+	}
+	for _, tc := range cases {
+		b := mkBaseline(0, []string{"a.net", "b.net"}, nil, 0)
+		tc.mutate(b)
+		data, err := b.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		if _, err := DecodeBaseline(data); err == nil {
+			t.Errorf("%s: DecodeBaseline accepted corrupt input", tc.name)
+		}
+	}
+	// Sanity: the unmutated baseline decodes.
+	data, _ := valid.Encode()
+	if _, err := DecodeBaseline(data); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+}
+
+// deltaWith builds a delta whose named metric reads value (other metrics
+// stay at benign defaults).
+func deltaWith(epoch int, metric string, value float64) *Delta {
+	d := &Delta{
+		SchemaVersion:     SchemaVersion,
+		FromEpoch:         epoch - 1,
+		ToEpoch:           epoch,
+		ThirdPartyJaccard: 1,
+		TreeSimilarity:    1,
+		EdgeSimilarity:    1,
+	}
+	switch metric {
+	case "third_party_jaccard":
+		d.ThirdPartyJaccard = value
+	case "tracking_share_drift":
+		d.TrackingShareDrift = value
+	case "new_trackers":
+		for i := 0; i < int(value); i++ {
+			d.NewTrackers = append(d.NewTrackers, fmt.Sprintf("t%d.net", i))
+		}
+	case "tree_similarity":
+		d.TreeSimilarity = value
+	case "vetted_pages_drift_rel":
+		d.VettedPagesDriftRel = value
+	default:
+		panic("unknown metric in test: " + metric)
+	}
+	return d
+}
+
+// TestEngineDebounce is the table-driven rule-engine suite the
+// acceptance criteria pin: an alert fires only after N consecutive
+// breaching epochs, keeps firing while the breach holds, and resets on a
+// clean epoch.
+func TestEngineDebounce(t *testing.T) {
+	cases := []struct {
+		name   string
+		rule   Rule
+		metric string
+		values []float64 // one per epoch, starting at epoch 1
+		fired  []int     // epochs an alert is expected at
+	}{
+		{
+			name:   "immediate fire, consecutive=1",
+			rule:   Rule{Name: "r", Metric: "third_party_jaccard", Op: "lt", Threshold: 0.9},
+			metric: "third_party_jaccard",
+			values: []float64{0.95, 0.8, 0.95, 0.7},
+			fired:  []int{2, 4},
+		},
+		{
+			name:   "debounce=2 needs two breaches in a row",
+			rule:   Rule{Name: "r", Metric: "third_party_jaccard", Op: "lt", Threshold: 0.9, Consecutive: 2},
+			metric: "third_party_jaccard",
+			values: []float64{0.8, 0.95, 0.8, 0.8, 0.8},
+			fired:  []int{4, 5},
+		},
+		{
+			name:   "debounce=3 never reached when streak breaks",
+			rule:   Rule{Name: "r", Metric: "tree_similarity", Op: "lt", Threshold: 0.5, Consecutive: 3},
+			metric: "tree_similarity",
+			values: []float64{0.4, 0.4, 0.6, 0.4, 0.4},
+			fired:  nil,
+		},
+		{
+			name:   "debounce=3 fires on the third and keeps firing",
+			rule:   Rule{Name: "r", Metric: "tree_similarity", Op: "lt", Threshold: 0.5, Consecutive: 3},
+			metric: "tree_similarity",
+			values: []float64{0.4, 0.4, 0.4, 0.4},
+			fired:  []int{3, 4},
+		},
+		{
+			name:   "ge op with count metric",
+			rule:   Rule{Name: "r", Metric: "new_trackers", Op: "ge", Threshold: 2},
+			metric: "new_trackers",
+			values: []float64{1, 2, 3, 0},
+			fired:  []int{2, 3},
+		},
+		{
+			name:   "gt boundary is exclusive",
+			rule:   Rule{Name: "r", Metric: "tracking_share_drift", Op: "gt", Threshold: 0.05},
+			metric: "tracking_share_drift",
+			values: []float64{0.05, 0.051},
+			fired:  []int{2},
+		},
+		{
+			name:   "le boundary is inclusive",
+			rule:   Rule{Name: "r", Metric: "vetted_pages_drift_rel", Op: "le", Threshold: -0.5},
+			metric: "vetted_pages_drift_rel",
+			values: []float64{-0.5, -0.4},
+			fired:  []int{1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := NewEngine([]Rule{tc.rule})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fired []int
+			for i, v := range tc.values {
+				epoch := i + 1
+				alerts := eng.Evaluate(deltaWith(epoch, tc.metric, v))
+				for _, a := range alerts {
+					if a.Epoch != epoch {
+						t.Errorf("alert epoch = %d, want %d", a.Epoch, epoch)
+					}
+					if a.Severity != SeverityWarning {
+						t.Errorf("default severity = %q, want warning", a.Severity)
+					}
+					fired = append(fired, epoch)
+				}
+			}
+			if got, want := fmt.Sprint(fired), fmt.Sprint(tc.fired); got != want {
+				t.Errorf("fired at %s, want %s", got, want)
+			}
+		})
+	}
+}
+
+func TestEngineStreakAndFiring(t *testing.T) {
+	eng, err := NewEngine([]Rule{
+		{Name: "a", Metric: "third_party_jaccard", Op: "lt", Threshold: 0.9},
+		{Name: "b", Metric: "tree_similarity", Op: "lt", Threshold: 0.5, Consecutive: 2, Severity: SeverityCritical},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deltaWith(1, "third_party_jaccard", 0.5)
+	d.TreeSimilarity = 0.3
+	alerts := eng.Evaluate(d)
+	if len(alerts) != 1 || alerts[0].Rule != "a" || alerts[0].Streak != 1 {
+		t.Fatalf("epoch 1 alerts = %+v, want only rule a at streak 1", alerts)
+	}
+	if eng.Firing() != 1 {
+		t.Errorf("firing after epoch 1 = %d, want 1", eng.Firing())
+	}
+	d = deltaWith(2, "third_party_jaccard", 0.5)
+	d.TreeSimilarity = 0.3
+	alerts = eng.Evaluate(d)
+	if len(alerts) != 2 {
+		t.Fatalf("epoch 2 alerts = %+v, want both rules", alerts)
+	}
+	if alerts[0].Rule != "a" || alerts[1].Rule != "b" {
+		t.Errorf("alerts not in rule order: %+v", alerts)
+	}
+	if alerts[1].Severity != SeverityCritical || alerts[1].Streak != 2 {
+		t.Errorf("rule b alert = %+v", alerts[1])
+	}
+	if eng.Firing() != 2 {
+		t.Errorf("firing after epoch 2 = %d, want 2", eng.Firing())
+	}
+	// A clean epoch resets everything.
+	alerts = eng.Evaluate(deltaWith(3, "third_party_jaccard", 1))
+	if len(alerts) != 0 {
+		t.Fatalf("epoch 3 alerts = %+v, want none", alerts)
+	}
+	if eng.Firing() != 0 {
+		t.Errorf("firing after clean epoch = %d, want 0", eng.Firing())
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	bad := [][]Rule{
+		{{Name: "", Metric: "tree_similarity", Op: "lt", Threshold: 1}},
+		{{Name: "r", Metric: "nope", Op: "lt", Threshold: 1}},
+		{{Name: "r", Metric: "tree_similarity", Op: "!=", Threshold: 1}},
+		{{Name: "r", Metric: "tree_similarity", Op: "lt", Threshold: 1, Severity: "fatal"}},
+		{{Name: "r", Metric: "tree_similarity", Op: "lt", Threshold: 1, Consecutive: -1}},
+		{
+			{Name: "dup", Metric: "tree_similarity", Op: "lt", Threshold: 1},
+			{Name: "dup", Metric: "edge_similarity", Op: "lt", Threshold: 1},
+		},
+	}
+	for i, rules := range bad {
+		if _, err := NewEngine(rules); err == nil {
+			t.Errorf("case %d: NewEngine accepted invalid rules %+v", i, rules)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(strings.NewReader(`[
+		{"name": "churn", "metric": "third_party_jaccard", "op": "lt", "threshold": 0.9},
+		{"name": "shape", "metric": "tree_similarity", "op": "lt", "threshold": 0.5, "consecutive": 2, "severity": "critical"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	if rules[0].Consecutive != 1 || rules[0].Severity != SeverityWarning {
+		t.Errorf("defaults not applied: %+v", rules[0])
+	}
+	if rules[1].Consecutive != 2 || rules[1].Severity != SeverityCritical {
+		t.Errorf("explicit fields lost: %+v", rules[1])
+	}
+	for _, input := range []string{
+		`[{"name": "x", "metric": "third_party_jaccard", "op": "lt", "threshold": 0.9, "typo": 1}]`,
+		`[{"name": "x", "metric": "third_party_jaccard", "op": "lt", "threshold": 0.9}] trailing`,
+		`{"name": "x"}`,
+	} {
+		if _, err := ParseRules(strings.NewReader(input)); err == nil {
+			t.Errorf("ParseRules accepted %q", input)
+		}
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	if _, err := NewEngine(DefaultRules()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricCatalogComplete(t *testing.T) {
+	d := &Delta{}
+	for _, name := range MetricNames {
+		if _, ok := d.Metric(name); !ok {
+			t.Errorf("MetricNames lists %q but Metric does not resolve it", name)
+		}
+	}
+	if _, ok := d.Metric("bogus"); ok {
+		t.Error("Metric resolved an unknown name")
+	}
+}
+
+func TestWriteCSVDeterministic(t *testing.T) {
+	from := mkBaseline(0, []string{"a.net", "b.net"}, []string{"a.net"}, 0.2)
+	to := mkBaseline(1, []string{"b.net", "c.net"}, []string{"c.net"}, 0.25)
+	d, err := Diff(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1, buf2 bytes.Buffer
+	rows := []CSVRow{{Delta: d, Alerts: 2}}
+	if err := WriteCSV(&buf1, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&buf2, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("WriteCSV is not deterministic")
+	}
+	lines := strings.Split(strings.TrimRight(buf1.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row", len(lines))
+	}
+	if got, want := len(strings.Split(lines[0], ",")), len(CSVHeader); got != want {
+		t.Errorf("header has %d columns, want %d", got, want)
+	}
+	if got, want := len(strings.Split(lines[1], ",")), len(CSVHeader); got != want {
+		t.Errorf("row has %d columns, want %d", got, want)
+	}
+	if !strings.HasPrefix(lines[1], "0,1,") {
+		t.Errorf("row = %q, want epochs 0,1 first", lines[1])
+	}
+}

@@ -1,0 +1,48 @@
+package drift
+
+import (
+	"bytes"
+	"testing"
+
+	"webmeasure/internal/tree"
+)
+
+// FuzzBaselineDecode hammers the baseline codec: arbitrary bytes must
+// never panic, and anything DecodeBaseline accepts must re-encode and
+// decode to the same bytes (the monitor trusts persisted baselines to
+// round-trip).
+func FuzzBaselineDecode(f *testing.F) {
+	seed := mkBaseline(1, []string{"cdn.example", "tracker.example"}, []string{"tracker.example"}, 0.3)
+	seed.SiteBaselines[0].Trees = []tree.Record{
+		rec("a.example", "https://a.example/", "https://cdn.example/x.js"),
+	}
+	data, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"meta":{"schema_version":1}}`))
+	f.Add([]byte(`{"meta":{"schema_version":1},"site_baselines":[{"site":"a","trees":[{"site":"a","page_url":"p","profile":"x","nodes":[{"key":"p"}]}]}]}`))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		b, err := DecodeBaseline(input)
+		if err != nil {
+			return
+		}
+		enc, err := b.Encode()
+		if err != nil {
+			t.Fatalf("accepted baseline failed to encode: %v", err)
+		}
+		b2, err := DecodeBaseline(enc)
+		if err != nil {
+			t.Fatalf("re-encoded baseline rejected: %v", err)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encode→decode→encode not byte-stable")
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package drift
+
+// The alert rule engine: configurable thresholds over delta metrics with
+// consecutive-epoch debounce and severity levels. Everything is
+// deterministic — alerts carry epochs, not timestamps, and rules
+// evaluate in their declared order — so a seeded monitor run produces a
+// byte-identical alert sequence.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Severity levels, ordered.
+const (
+	SeverityInfo     = "info"
+	SeverityWarning  = "warning"
+	SeverityCritical = "critical"
+)
+
+// Rule is one alert condition: fire when Metric Op Threshold holds for
+// Consecutive epochs in a row.
+type Rule struct {
+	// Name identifies the rule in alerts; must be unique in an engine.
+	Name string `json:"name"`
+	// Metric is one of MetricNames.
+	Metric string `json:"metric"`
+	// Op is the comparison: "lt", "le", "gt", or "ge" (value vs
+	// Threshold).
+	Op string `json:"op"`
+	// Threshold is the boundary value.
+	Threshold float64 `json:"threshold"`
+	// Consecutive is the debounce: the condition must hold for this many
+	// epochs in a row before the rule fires (and keeps firing while it
+	// holds). 0 means 1 — fire immediately.
+	Consecutive int `json:"consecutive,omitempty"`
+	// Severity is info, warning (default), or critical.
+	Severity string `json:"severity,omitempty"`
+}
+
+// breached reports whether the rule's condition holds for value.
+func (r Rule) breached(value float64) bool {
+	switch r.Op {
+	case "lt":
+		return value < r.Threshold
+	case "le":
+		return value <= r.Threshold
+	case "gt":
+		return value > r.Threshold
+	case "ge":
+		return value >= r.Threshold
+	}
+	return false
+}
+
+// validate normalizes defaults and rejects malformed rules.
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("drift: rule has no name")
+	}
+	if _, ok := (&Delta{}).Metric(r.Metric); !ok {
+		return fmt.Errorf("drift: rule %q: unknown metric %q", r.Name, r.Metric)
+	}
+	switch r.Op {
+	case "lt", "le", "gt", "ge":
+	default:
+		return fmt.Errorf("drift: rule %q: bad op %q (want lt/le/gt/ge)", r.Name, r.Op)
+	}
+	if r.Consecutive < 0 {
+		return fmt.Errorf("drift: rule %q: negative consecutive", r.Name)
+	}
+	if r.Consecutive == 0 {
+		r.Consecutive = 1
+	}
+	switch r.Severity {
+	case "":
+		r.Severity = SeverityWarning
+	case SeverityInfo, SeverityWarning, SeverityCritical:
+	default:
+		return fmt.Errorf("drift: rule %q: bad severity %q", r.Name, r.Severity)
+	}
+	return nil
+}
+
+// Alert is one fired rule at one epoch. No wall-clock field by design:
+// the sequence must be byte-identical across reruns.
+type Alert struct {
+	Epoch     int     `json:"epoch"`
+	Rule      string  `json:"rule"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Op        string  `json:"op"`
+	Severity  string  `json:"severity"`
+	// Streak is how many consecutive epochs the condition has held.
+	Streak  int    `json:"streak"`
+	Message string `json:"message"`
+}
+
+// Engine evaluates a rule set against a stream of deltas, tracking
+// per-rule breach streaks for debounce.
+type Engine struct {
+	rules   []Rule
+	streaks map[string]int
+	firing  map[string]bool
+}
+
+// NewEngine validates the rules (defaults applied in place) and builds
+// an engine. Duplicate rule names are rejected: the streak state is
+// keyed by name.
+func NewEngine(rules []Rule) (*Engine, error) {
+	e := &Engine{streaks: make(map[string]int), firing: make(map[string]bool)}
+	seen := make(map[string]bool)
+	for i := range rules {
+		if err := rules[i].validate(); err != nil {
+			return nil, err
+		}
+		if seen[rules[i].Name] {
+			return nil, fmt.Errorf("drift: duplicate rule %q", rules[i].Name)
+		}
+		seen[rules[i].Name] = true
+		e.rules = append(e.rules, rules[i])
+	}
+	return e, nil
+}
+
+// Rules returns the engine's validated rules.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// Evaluate feeds one delta through every rule in declared order and
+// returns the alerts that fire at epoch d.ToEpoch. A breached rule
+// increments its streak and fires once the streak reaches Consecutive; a
+// clean epoch resets the streak (and the firing state).
+func (e *Engine) Evaluate(d *Delta) []Alert {
+	var alerts []Alert
+	for _, r := range e.rules {
+		value, ok := d.Metric(r.Metric)
+		if !ok {
+			continue
+		}
+		if !r.breached(value) {
+			e.streaks[r.Name] = 0
+			e.firing[r.Name] = false
+			continue
+		}
+		e.streaks[r.Name]++
+		streak := e.streaks[r.Name]
+		if streak < r.Consecutive {
+			continue
+		}
+		e.firing[r.Name] = true
+		alerts = append(alerts, Alert{
+			Epoch:     d.ToEpoch,
+			Rule:      r.Name,
+			Metric:    r.Metric,
+			Value:     value,
+			Threshold: r.Threshold,
+			Op:        r.Op,
+			Severity:  r.Severity,
+			Streak:    streak,
+			Message: fmt.Sprintf("%s: %s=%s %s %s for %d consecutive epoch(s)",
+				r.Name, r.Metric, trimFloat(value), r.Op, trimFloat(r.Threshold), streak),
+		})
+	}
+	return alerts
+}
+
+// Firing returns the number of rules currently in a firing state.
+func (e *Engine) Firing() int {
+	n := 0
+	for _, f := range e.firing {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// trimFloat renders a float compactly for alert messages.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// ParseRules reads a JSON rule array, rejecting unknown fields so typos
+// in a rule file fail loudly instead of silently never firing.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rules []Rule
+	if err := dec.Decode(&rules); err != nil {
+		return nil, fmt.Errorf("drift: rules: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("drift: rules: trailing data after rule array")
+	}
+	for i := range rules {
+		if err := rules[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// DefaultRules is the monitor's out-of-the-box rule set, tuned to the
+// seeded generator's epoch churn (tracker swaps at p≈0.3, page turnover
+// at p≈0.5): a run of a few epochs reliably exercises both the
+// immediately-firing and the debounced paths.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "third-party-churn", Metric: "third_party_jaccard", Op: "lt", Threshold: 0.9, Severity: SeverityWarning},
+		{Name: "tracker-influx", Metric: "new_trackers", Op: "ge", Threshold: 3, Severity: SeverityWarning},
+		{Name: "tracking-share-jump", Metric: "tracking_share_drift", Op: "gt", Threshold: 0.05, Severity: SeverityCritical},
+		{Name: "tree-shape-shift", Metric: "tree_similarity", Op: "lt", Threshold: 0.5, Consecutive: 2, Severity: SeverityWarning},
+		{Name: "coverage-collapse", Metric: "vetted_pages_drift_rel", Op: "lt", Threshold: -0.5, Severity: SeverityCritical},
+		{Name: "persistent-churn", Metric: "third_party_jaccard", Op: "lt", Threshold: 0.95, Consecutive: 3, Severity: SeverityInfo},
+	}
+}

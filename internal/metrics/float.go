@@ -1,0 +1,72 @@
+package metrics
+
+// FloatGauge is the floating-point counterpart of Gauge, added for the
+// longitudinal drift monitor: similarity scores and drift deltas are
+// ratios in [0, 1] (or small signed drifts) that an int64 gauge cannot
+// carry. The value is stored as float64 bits in a single atomic word, so
+// Set/Value are lock-free like the other instruments. The zero value is
+// ready to use; a nil FloatGauge ignores writes and reads as zero.
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// FloatGauge is a settable float64 level.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value. NaN is stored as zero so expositions
+// and merges never propagate it.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		v = 0
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *FloatGauge) Add(delta float64) {
+	if g == nil || math.IsNaN(delta) {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.fgauges[name]
+	if g == nil {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
+// FloatGaugeStat is one float gauge's level in a snapshot.
+type FloatGaugeStat struct {
+	Name  string
+	Value float64
+}

@@ -31,8 +31,10 @@ type Dump struct {
 	// Gauges merge additively like counters: the shard pipeline never
 	// publishes gauges, so summing is only ever applied to disjoint
 	// contributions (e.g. per-component capacity levels).
-	Gauges     map[string]int64         `json:"gauges,omitempty"`
-	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// FloatGauges merge additively like Gauges.
+	FloatGauges map[string]float64       `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramDump `json:"histograms,omitempty"`
 }
 
 // Dump captures the registry for merging. Safe to call concurrently with
@@ -49,6 +51,10 @@ func (r *Registry) Dump() Dump {
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	for name, g := range r.gauges {
 		gauges[name] = g
+	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for name, g := range r.fgauges {
+		fgauges[name] = g
 	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
@@ -67,6 +73,12 @@ func (r *Registry) Dump() Dump {
 		d.Gauges = make(map[string]int64, len(gauges))
 		for name, g := range gauges {
 			d.Gauges[name] = g.Value()
+		}
+	}
+	if len(fgauges) > 0 {
+		d.FloatGauges = make(map[string]float64, len(fgauges))
+		for name, g := range fgauges {
+			d.FloatGauges[name] = g.Value()
 		}
 	}
 	if len(hists) > 0 {
@@ -108,6 +120,9 @@ func (r *Registry) Merge(d Dump) error {
 	}
 	for name, v := range d.Gauges {
 		r.Gauge(name).Add(v)
+	}
+	for name, v := range d.FloatGauges {
+		r.FloatGauge(name).Add(v)
 	}
 	for name, hd := range d.Histograms {
 		if err := r.Histogram(name).mergeDump(hd); err != nil {

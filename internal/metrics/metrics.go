@@ -321,6 +321,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
 }
 
@@ -329,6 +330,7 @@ func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -399,9 +401,10 @@ type HistogramStat struct {
 // Snapshot is a point-in-time view of every instrument, sorted by name
 // for deterministic rendering.
 type Snapshot struct {
-	Counters   []CounterStat
-	Gauges     []GaugeStat
-	Histograms []HistogramStat
+	Counters    []CounterStat
+	Gauges      []GaugeStat
+	FloatGauges []FloatGaugeStat
+	Histograms  []HistogramStat
 }
 
 // Snapshot captures every instrument. Safe to call concurrently with
@@ -419,6 +422,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		gauges[name] = g
 	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for name, g := range r.fgauges {
+		fgauges[name] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -432,11 +439,15 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range gauges {
 		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: g.Value()})
 	}
+	for name, g := range fgauges {
+		s.FloatGauges = append(s.FloatGauges, FloatGaugeStat{Name: name, Value: g.Value()})
+	}
 	for name, h := range hists {
 		s.Histograms = append(s.Histograms, HistogramStat{Name: name, Stats: h.Stats()})
 	}
 	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
 	sort.Slice(s.Gauges, func(a, b int) bool { return s.Gauges[a].Name < s.Gauges[b].Name })
+	sort.Slice(s.FloatGauges, func(a, b int) bool { return s.FloatGauges[a].Name < s.FloatGauges[b].Name })
 	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
 	return s
 }
@@ -458,8 +469,14 @@ func (s Snapshot) String() string {
 		}
 		fmt.Fprintf(&b, "%s=%d", g.Name, g.Value)
 	}
+	for i, g := range s.FloatGauges {
+		if i > 0 || len(s.Counters)+len(s.Gauges) > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.4g", g.Name, g.Value)
+	}
 	for i, h := range s.Histograms {
-		if i == 0 && len(s.Counters)+len(s.Gauges) > 0 {
+		if i == 0 && len(s.Counters)+len(s.Gauges)+len(s.FloatGauges) > 0 {
 			b.WriteString(" | ")
 		} else if i > 0 {
 			b.WriteString(" | ")

@@ -87,26 +87,40 @@ func withLe(inner, key, value string) string {
 // helpText documents the metric families the pipeline registers; families
 // not listed fall back to a generic line so HELP is never missing.
 var helpText = map[string]string{
-	"crawl.sites":           "Sites completed by the crawl.",
-	"crawl.pages":           "Pages discovered by the crawl.",
-	"crawl.visits":          "Visits performed, including resume-reused ones.",
-	"crawl.visits.failed":   "Visits that ended in failure.",
-	"crawl.visits.reused":   "Visits reused from a resume checkpoint.",
-	"crawl.visit_ms":        "Simulated page-load duration in milliseconds.",
-	"crawl.site_ms":         "Wall-clock milliseconds per completed site batch.",
-	"crawl.retries.total":   "Visit retries by the fault kind that triggered them.",
-	"faults.injected.total": "Faults injected by the deterministic injector, by kind.",
-	"analysis.pages":        "Page groups examined by the analysis.",
-	"analysis.pages.vetted": "Pages passing the vetting rule.",
-	"analysis.trees":        "Trees built.",
-	"analysis.trees.failed": "Malformed visits skipped by the tree builder.",
-	"analysis.page_ms":      "Wall-clock milliseconds per analyzed page.",
-	"trace.spans.total":     "Trace spans recorded per pipeline stage.",
-	"trace.span_us":         "Simulated span duration in microseconds per stage.",
-	"service.jobs.total":    "Jobs accepted by the service.",
-	"service.cache_hits":    "Jobs served from the result cache.",
-	"service.workers_current":    "Current size of the autoscaling job worker pool.",
-	"service.scale_events.total": "Applied autoscaling decisions, by direction.",
+	"crawl.sites":                  "Sites completed by the crawl.",
+	"crawl.pages":                  "Pages discovered by the crawl.",
+	"crawl.visits":                 "Visits performed, including resume-reused ones.",
+	"crawl.visits.failed":          "Visits that ended in failure.",
+	"crawl.visits.reused":          "Visits reused from a resume checkpoint.",
+	"crawl.visit_ms":               "Simulated page-load duration in milliseconds.",
+	"crawl.site_ms":                "Wall-clock milliseconds per completed site batch.",
+	"crawl.retries.total":          "Visit retries by the fault kind that triggered them.",
+	"faults.injected.total":        "Faults injected by the deterministic injector, by kind.",
+	"analysis.pages":               "Page groups examined by the analysis.",
+	"analysis.pages.vetted":        "Pages passing the vetting rule.",
+	"analysis.trees":               "Trees built.",
+	"analysis.trees.failed":        "Malformed visits skipped by the tree builder.",
+	"analysis.page_ms":             "Wall-clock milliseconds per analyzed page.",
+	"trace.spans.total":            "Trace spans recorded per pipeline stage.",
+	"trace.span_us":                "Simulated span duration in microseconds per stage.",
+	"service.jobs.total":           "Jobs accepted by the service.",
+	"service.cache_hits":           "Jobs served from the result cache.",
+	"service.workers_current":      "Current size of the autoscaling job worker pool.",
+	"service.scale_events.total":   "Applied autoscaling decisions, by direction.",
+	"go.goroutines":                "Number of live goroutines, sampled at scrape time.",
+	"go.heap_inuse_bytes":          "Bytes of heap memory in use, sampled at scrape time.",
+	"go.gc_pause_p95_ms":           "p95 of recent GC stop-the-world pauses in milliseconds.",
+	"process.uptime_seconds":       "Seconds since the process started.",
+	"monitor.epochs.total":         "Measurement epochs completed by monitor mode.",
+	"monitor.current_epoch":        "Epoch most recently completed by monitor mode.",
+	"drift.alerts.total":           "Drift alerts emitted across all epochs.",
+	"drift.alerts.firing":          "Alert rules currently in a firing state.",
+	"drift.tracking_share":         "Tracking share of the latest monitored epoch.",
+	"drift.tracking_share_drift":   "Tracking-share change vs the previous epoch.",
+	"drift.third_party_jaccard":    "Jaccard similarity of global third-party sets vs the previous epoch.",
+	"drift.tree_similarity":        "Mean cross-epoch tree similarity over common pages.",
+	"drift.new_third_parties":      "Third-party domains new in the latest epoch.",
+	"drift.vanished_third_parties": "Third-party domains gone in the latest epoch.",
 }
 
 // helpFor returns the HELP text of a family's internal base name.
@@ -191,6 +205,26 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			lastFamily = se.family
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(se.family, se.inner), s.Gauges[se.idx].Value); err != nil {
+			return err
+		}
+	}
+
+	// Float gauges render as their own gauge families after the integer
+	// ones. Families never collide: a name is either an int or a float
+	// gauge in a given registry, never both.
+	names = make([]string, len(s.FloatGauges))
+	for i, g := range s.FloatGauges {
+		names[i] = g.Name
+	}
+	lastFamily = ""
+	for _, se := range resolveSeries(names) {
+		if se.family != lastFamily {
+			if err := familyHeader(w, se.family, se.base, "gauge"); err != nil {
+				return err
+			}
+			lastFamily = se.family
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(se.family, se.inner), promFloat(s.FloatGauges[se.idx].Value)); err != nil {
 			return err
 		}
 	}

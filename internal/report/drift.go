@@ -1,0 +1,106 @@
+package report
+
+// The drift section of the text report: one delta (epoch-over-epoch or
+// vs a pinned baseline) rendered as the same aligned tables the paper's
+// sections use, followed by the alerts that fired on it.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"webmeasure/internal/drift"
+)
+
+// WriteDriftSection renders one delta and its alerts. Deterministic for
+// a given (delta, alerts) pair.
+func WriteDriftSection(w io.Writer, d *drift.Delta, alerts []drift.Alert) {
+	fmt.Fprintf(w, "== Longitudinal drift: epoch %d -> %d ==\n\n", d.FromEpoch, d.ToEpoch)
+
+	Table(w, "Ecosystem drift", []string{"metric", "value"}, [][]string{
+		{"third-party Jaccard", F(d.ThirdPartyJaccard)},
+		{"new third parties", strconv.Itoa(len(d.NewThirdParties))},
+		{"vanished third parties", strconv.Itoa(len(d.VanishedThirdParties))},
+		{"new trackers", strconv.Itoa(len(d.NewTrackers))},
+		{"vanished trackers", strconv.Itoa(len(d.VanishedTrackers))},
+		{"tracking share", F(d.TrackingShareFrom) + " -> " + F(d.TrackingShareTo) + " (" + signedF(d.TrackingShareDrift) + ")"},
+		{"new sites", strconv.Itoa(len(d.NewSites))},
+		{"vanished sites", strconv.Itoa(len(d.VanishedSites))},
+	})
+	fmt.Fprintln(w)
+
+	Table(w, "Structural drift", []string{"metric", "value"}, [][]string{
+		{"common pages", strconv.Itoa(d.CommonPages)},
+		{"cross-epoch tree similarity", F(d.TreeSimilarity)},
+		{"cross-epoch edge similarity", F(d.EdgeSimilarity)},
+		{"mean nodes drift", signedF(d.MeanNodesDrift) + " (" + signedPct(d.MeanNodesDriftRel) + ")"},
+		{"mean depth drift", signedF(d.MeanDepthDrift)},
+		{"child-sim drift (horizontal)", signedF(d.ChildSimDrift)},
+		{"parent-sim drift (vertical)", signedF(d.ParentSimDrift)},
+		{"depth-similarity drift", signedF(d.DepthSimilarityDrift)},
+		{"vetted pages", strconv.Itoa(d.VettedPagesFrom) + " -> " + strconv.Itoa(d.VettedPagesTo) + " (" + signedPct(d.VettedPagesDriftRel) + ")"},
+	})
+	fmt.Fprintln(w)
+
+	// Top drifting sites by third-party churn, most churn first; ties
+	// stay in site order (SiteDeltas is sorted by site).
+	const topSites = 5
+	churn := make([]drift.SiteDelta, 0, len(d.SiteDeltas))
+	for _, sd := range d.SiteDeltas {
+		if len(sd.NewThirdParties)+len(sd.VanishedThirdParties) > 0 {
+			churn = append(churn, sd)
+		}
+	}
+	for i := 1; i < len(churn); i++ {
+		for j := i; j > 0; j-- {
+			a, b := churn[j-1], churn[j]
+			if len(b.NewThirdParties)+len(b.VanishedThirdParties) > len(a.NewThirdParties)+len(a.VanishedThirdParties) {
+				churn[j-1], churn[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if len(churn) > 0 {
+		n := len(churn)
+		if n > topSites {
+			n = topSites
+		}
+		rows := make([][]string, 0, n)
+		for _, sd := range churn[:n] {
+			rows = append(rows, []string{
+				sd.Site,
+				strconv.Itoa(len(sd.NewThirdParties)),
+				strconv.Itoa(len(sd.VanishedThirdParties)),
+				F(sd.ThirdPartyJaccard),
+				F(sd.TreeSimilarity),
+			})
+		}
+		Table(w, "Top drifting sites", []string{"site", "new 3p", "gone 3p", "3p jaccard", "tree sim"}, rows)
+		fmt.Fprintln(w)
+	}
+
+	if len(alerts) == 0 {
+		fmt.Fprintln(w, "Alerts: none")
+		return
+	}
+	rows := make([][]string, 0, len(alerts))
+	for _, a := range alerts {
+		rows = append(rows, []string{
+			strings.ToUpper(a.Severity),
+			a.Rule,
+			a.Metric,
+			F(a.Value),
+			a.Op + " " + F(a.Threshold),
+			strconv.Itoa(a.Streak),
+		})
+	}
+	Table(w, "Alerts", []string{"severity", "rule", "metric", "value", "condition", "streak"}, rows)
+}
+
+// signedF renders a drift value with an explicit sign.
+func signedF(x float64) string { return fmt.Sprintf("%+.2f", x) }
+
+// signedPct renders a relative drift as a signed percentage.
+func signedPct(x float64) string { return fmt.Sprintf("%+.1f%%", x*100) }

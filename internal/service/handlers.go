@@ -5,7 +5,11 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
+	"time"
+
+	"webmeasure/internal/version"
 )
 
 // datasetFlushEvery is how many visits a streamed JSONL download writes
@@ -25,12 +29,14 @@ const datasetFlushEvery = 256
 //	GET    /v1/jobs/{id}/dataset.col   raw visits in the columnar format
 //	GET    /v1/jobs/{id}/trace.json  Chrome trace-event JSON (404 if untraced)
 //	GET    /v1/jobs/{id}/trace.jsonl span-per-line trace export
-//	GET    /healthz                  liveness + queue stats
+//	GET    /healthz                  liveness, build identity, uptime, stats
 //	GET    /metrics                  Prometheus text exposition
+//	GET    /debug/                   index of the debug endpoints
 //	GET    /debug/pprof/             live profiling (go tool pprof)
 //	GET    /debug/traces             recent traced jobs, newest first
 //	GET    /debug/traces/{id}        trace.json by job ID (chrome://tracing)
 //	GET    /debug/scale              recent autoscaling events + pool state
+//	GET    /debug/drift              drift-monitor status, last delta, alerts
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Live profiling of the serving process: `go tool pprof
@@ -67,8 +73,12 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// "GET /debug/{$}" matches exactly /debug/ — Go 1.22 precedence keeps
+	// the more specific pprof/traces/scale/drift routes intact.
+	mux.HandleFunc("GET /debug/{$}", s.handleDebugIndex)
 	mux.HandleFunc("GET /debug/traces", s.handleTraceList)
 	mux.HandleFunc("GET /debug/scale", s.handleScale)
+	mux.HandleFunc("GET /debug/drift", s.handleDrift)
 	mux.HandleFunc("GET /debug/traces/{id}", s.traceArtifact(func(r *result) ([]byte, string) {
 		return r.traceChrome, "application/json"
 	}))
@@ -297,11 +307,30 @@ func (s *Server) handleScale(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleHealthz answers liveness with the build identity, process
+// uptime, queue/pool stats, and (when monitor mode is on) the drift
+// monitor's progress — one probe tells an operator what is running,
+// for how long, and whether the longitudinal loop is healthy.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": s.Stats()})
+	body := map[string]any{
+		"status":         "ok",
+		"version":        version.Version,
+		"build":          version.String(),
+		"go_version":     runtime.Version(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"stats":          s.Stats(),
+	}
+	if st, ok := s.MonitorStatus(); ok {
+		body["monitor"] = st
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Runtime gauges are sampled at scrape time, not on a background
+	// ticker — scrapes always see current values and an idle server burns
+	// no cycles keeping them fresh.
+	s.sampleRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.Snapshot().WritePrometheus(w)
 }

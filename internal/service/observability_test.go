@@ -310,6 +310,11 @@ func TestMetricsExpositionLint(t *testing.T) {
 		`crawl_visit_ms_bucket{profile=`,
 		`trace_spans_total{stage="crawl.fetch"}`,
 		`trace_span_us_count{stage="analyze.compare"}`,
+		// Go runtime gauges, sampled at scrape time by handleMetrics.
+		`go_goroutines`,
+		`go_heap_inuse_bytes`,
+		`go_gc_pause_p95_ms`,
+		`process_uptime_seconds`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %s:\n%s", want, body)

@@ -26,6 +26,7 @@ import (
 
 	"webmeasure"
 	"webmeasure/internal/core"
+	"webmeasure/internal/drift"
 	"webmeasure/internal/metrics"
 	"webmeasure/internal/service/scaler"
 	"webmeasure/internal/trace"
@@ -87,6 +88,11 @@ type Config struct {
 	Scaler scaler.Config
 	// Tracer, if non-nil, records one span per applied scale event.
 	Tracer *trace.Tracer
+	// Monitor, if non-nil, starts the longitudinal drift monitor: a
+	// background loop that reruns Monitor.Spec for a sequence of epochs,
+	// persists per-epoch baselines to Monitor.StateDir, diffs adjacent
+	// and pinned epochs, and evaluates alert rules on each delta.
+	Monitor *MonitorConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +196,14 @@ type Server struct {
 	// (nil when Config.ShardWorkers is empty).
 	shard *shardClient
 
+	// monitor is the drift-monitor state (nil when monitor mode is off);
+	// monitorDone closes when the monitor loop exits.
+	monitor     *monitorState
+	monitorDone chan struct{}
+
+	// started anchors the uptime reported by /healthz and /metrics.
+	started time.Time
+
 	// counters, bound once so the hot paths skip registry lookups
 	mSubmitted, mCompleted, mFailed, mCanceled   *metrics.Counter
 	mRejected, mCacheHits, mCacheMisses          *metrics.Counter
@@ -210,6 +224,7 @@ func New(cfg Config) *Server {
 		queue:     make(chan *Job, cfg.QueueDepth),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+		started:   time.Now(),
 
 		mSubmitted:      cfg.Metrics.Counter("service.jobs.submitted"),
 		mCompleted:      cfg.Metrics.Counter("service.jobs.completed"),
@@ -236,6 +251,26 @@ func New(cfg Config) *Server {
 	if cfg.MaxWorkers > cfg.MinWorkers && cfg.ScaleInterval > 0 {
 		s.wg.Add(1)
 		go s.scaleLoop()
+	}
+	if cfg.Monitor != nil {
+		mc := cfg.Monitor.withDefaults()
+		eng, engErr := drift.NewEngine(mc.Rules)
+		if engErr != nil {
+			// The loop aborts on rulesErr before running any epoch; the
+			// fallback engine only keeps status() safe to call.
+			eng, _ = drift.NewEngine(drift.DefaultRules())
+		}
+		s.monitor = &monitorState{
+			cfg:          mc,
+			engine:       eng,
+			rulesErr:     engErr,
+			baselines:    make(map[int]*drift.Baseline),
+			currentEpoch: -1,
+			lastEpoch:    -1,
+		}
+		s.monitorDone = make(chan struct{})
+		s.wg.Add(1)
+		go s.monitorLoop()
 	}
 	return s
 }

@@ -1,0 +1,41 @@
+// Package version centralizes the build identity the -version flags and
+// the /healthz endpoint report. The version string tracks the PR
+// sequence growing this repository; builds installed via `go install`
+// additionally surface the module version and VCS revision when the
+// toolchain embedded them.
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the semantic version of the measurement pipeline.
+const Version = "0.10.0"
+
+// String renders the full identity: version, optional VCS revision, and
+// the Go toolchain.
+func String() string {
+	s := "webmeasure " + Version
+	if rev := revision(); rev != "" {
+		s += " (" + rev + ")"
+	}
+	return s + " " + runtime.Version()
+}
+
+// revision returns the short VCS revision when the build embedded one.
+func revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			if len(kv.Value) > 12 {
+				return kv.Value[:12]
+			}
+			return kv.Value
+		}
+	}
+	return ""
+}

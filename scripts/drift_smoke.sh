@@ -1,0 +1,80 @@
+#!/bin/sh
+# Smoke test for monitor mode: boot cmd/serve with a 3-epoch drift
+# monitor, poll /debug/drift until the schedule completes, assert the
+# state directory holds the full artifact set, require the alert JSONL
+# to match the committed golden byte for byte (the monitor is
+# deterministic end to end), and require a clean SIGINT drain.
+#
+# Usage: scripts/drift_smoke.sh [path-to-serve-binary]
+set -eu
+
+BIN=${1:-./serve}
+WORKDIR=$(mktemp -d)
+STATE="$WORKDIR/state"
+LOG="$WORKDIR/serve.log"
+GOLDEN=${DRIFT_GOLDEN:-scripts/golden/drift_alerts.jsonl}
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+"$BIN" -addr 127.0.0.1:0 -workers 1 \
+    -monitor-epochs 3 -monitor-seed 7 -monitor-sites 6 -monitor-pages 3 \
+    -state-dir "$STATE" >"$LOG" 2>&1 &
+PID=$!
+
+# The banner prints the bound address: "serving on http://127.0.0.1:PORT".
+BASE=""
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's/^serving on \(http:\/\/[^ ]*\).*/\1/p' "$LOG" | head -n1)
+    [ -n "$BASE" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "serve died at startup:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$BASE" ] || { echo "serve never printed its address:"; cat "$LOG"; exit 1; }
+
+# Wait for the monitor to finish its 3 epochs.
+DONE=""
+for _ in $(seq 1 600); do
+    DRIFT=$(curl -fsS "$BASE/debug/drift")
+    DONE=$(printf '%s' "$DRIFT" | sed -n 's/.*"done": *\(true\|false\).*/\1/p')
+    ERR=$(printf '%s' "$DRIFT" | sed -n 's/.*"last_error": *"\([^"]*\)".*/\1/p')
+    [ -n "$ERR" ] && { echo "monitor failed: $ERR"; exit 1; }
+    [ "$DONE" = "true" ] && break
+    sleep 0.1
+done
+[ "$DONE" = "true" ] || { echo "monitor never finished: $DRIFT"; exit 1; }
+printf '%s' "$DRIFT" | grep -q '"epochs_done": 3' || {
+    echo "monitor did not run 3 epochs: $DRIFT"; exit 1; }
+
+# The health probe must carry the build identity and the monitor block.
+HEALTH=$(curl -fsS "$BASE/healthz")
+printf '%s' "$HEALTH" | grep -q '"version"' || { echo "healthz lacks version: $HEALTH"; exit 1; }
+printf '%s' "$HEALTH" | grep -q '"monitor"' || { echo "healthz lacks monitor: $HEALTH"; exit 1; }
+
+# The debug index must link the drift endpoint.
+curl -fsS "$BASE/debug/" | grep -q '/debug/drift' || { echo "/debug/ lacks the drift link"; exit 1; }
+
+# Drift gauges must be exported on /metrics.
+curl -fsS "$BASE/metrics" | grep -q '^monitor_epochs_total 3$' || {
+    echo "monitor_epochs_total not visible on /metrics"; exit 1; }
+curl -fsS "$BASE/metrics" | grep -q '^drift_third_party_jaccard ' || {
+    echo "drift_third_party_jaccard not visible on /metrics"; exit 1; }
+
+# The state directory must hold the full artifact set.
+for f in baseline-e0000.json baseline-e0001.json baseline-e0002.json \
+         delta-e0000-e0001.json delta-e0001-e0002.json \
+         alerts.jsonl drift.csv drift-report.txt; do
+    [ -f "$STATE/$f" ] || { echo "state dir missing $f"; ls "$STATE"; exit 1; }
+done
+head -n1 "$STATE/drift.csv" | grep -q '^from_epoch,to_epoch,' || {
+    echo "drift.csv header looks wrong:"; head -n1 "$STATE/drift.csv"; exit 1; }
+
+# The alert sequence is deterministic: it must match the golden exactly.
+if ! diff -u "$GOLDEN" "$STATE/alerts.jsonl"; then
+    echo "alerts.jsonl deviates from the golden $GOLDEN"; exit 1
+fi
+
+kill -INT "$PID"
+if ! wait "$PID"; then
+    echo "serve exited non-zero on shutdown:"; cat "$LOG"; exit 1
+fi
+grep -q "drained cleanly" "$LOG" || { echo "no clean drain:"; cat "$LOG"; exit 1; }
+echo "drift-smoke: OK ($BASE, 3 epochs, $(wc -l <"$STATE/alerts.jsonl") alerts)"

@@ -26,6 +26,7 @@ import (
 	"webmeasure/internal/core"
 	"webmeasure/internal/crawler"
 	"webmeasure/internal/dataset"
+	"webmeasure/internal/drift"
 	"webmeasure/internal/faults"
 	"webmeasure/internal/filterlist"
 	"webmeasure/internal/metrics"
@@ -506,6 +507,22 @@ func (r *Results) Analysis() *core.Analysis { return r.analysis }
 
 // Universe exposes the generated web universe.
 func (r *Results) Universe() *webgen.Universe { return r.universe }
+
+// DriftBaseline snapshots the analysis into a longitudinal drift
+// baseline (see internal/drift): the per-epoch artifact the monitor
+// persists and later diffs against other epochs of the same experiment.
+func (r *Results) DriftBaseline() *drift.Baseline {
+	cfg := r.cfg.withDefaults()
+	return drift.Snapshot(r.analysis, drift.Meta{
+		Epoch:        cfg.Epoch,
+		Seed:         cfg.Seed,
+		Sites:        cfg.Sites,
+		TrancoSize:   cfg.TrancoSize,
+		PagesPerSite: cfg.PagesPerSite,
+		Profiles:     r.analysis.Profiles(),
+		FaultProfile: cfg.FaultProfile,
+	})
+}
 
 // Dataset exposes the collected visits, e.g. for streaming JSONL
 // downloads (dataset.StreamJSONL) from a serving layer.
